@@ -1,0 +1,76 @@
+// Command dclueexp regenerates the paper's figures (Figs 2-16 of Kant &
+// Sahoo, ICPP 2005) and prints each as a text table.
+//
+// Examples:
+//
+//	dclueexp -fig 6            # throughput scaling vs nodes and affinity
+//	dclueexp -all -quick       # every figure, reduced sweeps
+//	dclueexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dclue"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to reproduce (2..16)")
+		all       = flag.Bool("all", false, "reproduce every figure")
+		ablation  = flag.String("ablation", "", "ablation to run (see -list)")
+		ablations = flag.Bool("ablations", false, "run every ablation")
+		list      = flag.Bool("list", false, "list available figures and ablations")
+		quick     = flag.Bool("quick", false, "reduced sweeps and shorter runs")
+		chart     = flag.Bool("chart", false, "render ASCII charts instead of tables")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opts := dclue.ExperimentOptions{Seed: *seed, Quick: *quick, Log: os.Stderr}
+	render := func(r dclue.ExperimentResult) string {
+		if *chart {
+			return r.Chart()
+		}
+		return r.Table()
+	}
+
+	switch {
+	case *list:
+		for _, f := range dclue.Figures() {
+			fmt.Printf("%-16s %s\n", f.ID, f.Title)
+		}
+		for _, f := range dclue.AblationList() {
+			fmt.Printf("%-16s %s\n", f.ID, f.Title)
+		}
+	case *ablations:
+		for _, f := range dclue.AblationList() {
+			fmt.Print(render(f.Run(opts)))
+			fmt.Println()
+		}
+	case *ablation != "":
+		r, ok := dclue.RunAblation(*ablation, opts)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown ablation %q; try -list\n", *ablation)
+			os.Exit(2)
+		}
+		fmt.Print(render(r))
+	case *all:
+		for _, f := range dclue.Figures() {
+			fmt.Print(render(f.Run(opts)))
+			fmt.Println()
+		}
+	case *fig != "":
+		r, ok := dclue.RunFigure(*fig, opts)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; try -list\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Print(render(r))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

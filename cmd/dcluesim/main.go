@@ -1,0 +1,67 @@
+// Command dcluesim runs a single clustered-DBMS simulation and prints its
+// metrics. Every major knob of the paper's study is a flag.
+//
+// Examples:
+//
+//	dcluesim -nodes 8 -affinity 0.8
+//	dcluesim -nodes 8 -affinity 0.5 -swtcp -swiscsi
+//	dcluesim -nodes 8 -lata 4 -crosstraffic 100e6 -priority
+//	dcluesim -nodes 4 -capacity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dclue"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 4, "cluster size (server nodes)")
+		lata       = flag.Int("lata", 12, "max nodes per LATA (subcluster)")
+		affinity   = flag.Float64("affinity", 0.8, "probability a query routes to its home server")
+		warehouses = flag.Int("warehouses", 0, "scaled warehouse count (0 = 40 per node)")
+		capacity   = flag.Bool("capacity", false, "binary-search the max sustainable configuration instead of one run")
+		swTCP      = flag.Bool("swtcp", false, "software TCP instead of HW offload")
+		swISCSI    = flag.Bool("swiscsi", false, "software iSCSI instead of HW offload")
+		central    = flag.Bool("centrallog", false, "centralized (single-node) logging")
+		lowComp    = flag.Bool("lowcomp", false, "divide DB path lengths by 4 (the paper's low-computation variant)")
+		cross      = flag.Float64("crosstraffic", 0, "offered FTP cross traffic, unscaled bits/s (e.g. 100e6)")
+		priority   = flag.Bool("priority", false, "give cross traffic AF21 priority")
+		extraRTT   = flag.Float64("extra-rtt-ms", 0, "added inter-LATA round-trip latency, unscaled milliseconds")
+		fwdRate    = flag.Float64("router-pps", 10000, "router forwarding rate in the scaled model, packets/s")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		warmup     = flag.Float64("warmup", 150, "warm-up, simulated seconds")
+		measure    = flag.Float64("measure", 240, "measurement window, simulated seconds")
+	)
+	flag.Parse()
+
+	p := dclue.DefaultParams(*nodes)
+	p.NodesPerLata = *lata
+	p.Affinity = *affinity
+	p.Warehouses = *warehouses
+	p.SWTCP = *swTCP
+	p.SWiSCSI = *swISCSI
+	p.CentralLogging = *central
+	p.LowComputation = *lowComp
+	p.CrossTrafficBps = *cross
+	p.CrossTrafficPriority = *priority
+	p.ExtraLatency = dclue.Time(*extraRTT / 2 * p.Scale * float64(dclue.Millisecond))
+	p.RouterFwdRate = *fwdRate * 100 / p.Scale
+	p.Seed = *seed
+	p.Warmup = dclue.Time(*warmup * float64(dclue.Second))
+	p.Measure = dclue.Time(*measure * float64(dclue.Second))
+
+	if *capacity {
+		r := dclue.MeasureCapacity(p, 48)
+		fmt.Printf("capacity: %d warehouses (feasible=%v)\n", r.Warehouses, r.Feasible)
+		fmt.Print(r.Metrics)
+		if !r.Feasible {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(dclue.Run(p))
+}

@@ -1,0 +1,102 @@
+// Package dclue is a from-scratch Go reproduction of DCLUE, the distributed
+// cluster emulator behind K. Kant and A. Sahoo, "Clustered DBMS Scalability
+// under Unified Ethernet Fabric" (ICPP 2005).
+//
+// It simulates a cache-fusion clustered OLTP DBMS whose inter-process
+// communication, iSCSI storage traffic and client-server traffic all share
+// one TCP/IP-over-Ethernet fabric: a discrete-event kernel, packet-level
+// Ethernet/router/QoS models, TCP Reno with SACK-style recovery and ECN, a
+// CPU/thread/memory platform model, per-node disks with iSCSI access, a
+// functional mini-DBMS (B+-trees, buffer caches, MVCC, two-phase subpage
+// locking, write-ahead logging, cache-fusion directory protocol), the full
+// TPC-C workload with the paper's affinity parameter, and FTP cross
+// traffic.
+//
+// The simplest entry point:
+//
+//	p := dclue.DefaultParams(4) // a 4-node cluster at the paper's defaults
+//	p.Affinity = 0.8
+//	m := dclue.Run(p)
+//	fmt.Println(m)
+//
+// Experiments reproducing the paper's figures live behind Figures and
+// RunFigure; see EXPERIMENTS.md for the measured results.
+package dclue
+
+import (
+	"dclue/internal/core"
+	"dclue/internal/experiments"
+	"dclue/internal/sim"
+)
+
+// Params configures a cluster simulation; see core.Params for every knob.
+type Params = core.Params
+
+// Metrics is the measurement set one run produces.
+type Metrics = core.Metrics
+
+// CapacityResult reports a capacity search outcome.
+type CapacityResult = core.CapacityResult
+
+// Time is simulated time in nanoseconds.
+type Time = sim.Time
+
+// Convenient duration units of simulated time.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DefaultParams returns the paper's baseline configuration (scale factor
+// 100, P4 DP nodes, 1 Gb/s Ethernet, HW TCP/iSCSI, affinity 0.8) for the
+// given cluster size.
+func DefaultParams(nodes int) Params { return core.DefaultParams(nodes) }
+
+// Run builds the cluster, simulates warmup plus the measurement window, and
+// returns the metrics.
+func Run(p Params) Metrics { return core.New(p).Run() }
+
+// MeasureCapacity finds the largest TPC-C configuration (warehouses, at
+// 12.5 tpm-C offered per warehouse) the cluster sustains with healthy
+// response times, following the benchmark's size-to-throughput rule the
+// paper's scaling studies rely on.
+func MeasureCapacity(p Params, maxWarehousesPerNode int) CapacityResult {
+	return core.MeasureCapacity(p, maxWarehousesPerNode)
+}
+
+// ExperimentOptions control the figure-reproduction sweeps.
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is one regenerated figure.
+type ExperimentResult = experiments.Result
+
+// Figure is one runnable paper-figure experiment.
+type Figure = experiments.Figure
+
+// Figures lists every paper figure experiment in order (Fig 2 .. Fig 16).
+func Figures() []Figure { return experiments.All() }
+
+// RunFigure runs the experiment for the given figure id ("fig06" or "6").
+// ok is false for an unknown id.
+func RunFigure(id string, o ExperimentOptions) (ExperimentResult, bool) {
+	f, ok := experiments.Lookup(id)
+	if !ok {
+		return ExperimentResult{}, false
+	}
+	return f.Run(o), true
+}
+
+// AblationList returns the design-choice ablation experiments: QoS remedy
+// (WFQ), shared-SAN storage, subpage granularity, group commit, elevator
+// scheduling, and warm start.
+func AblationList() []Figure { return experiments.Ablations() }
+
+// RunAblation runs the ablation with the given id ("abl-qos" or "qos").
+func RunAblation(id string, o ExperimentOptions) (ExperimentResult, bool) {
+	f, ok := experiments.LookupAblation(id)
+	if !ok {
+		return ExperimentResult{}, false
+	}
+	return f.Run(o), true
+}

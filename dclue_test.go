@@ -1,0 +1,58 @@
+package dclue_test
+
+import (
+	"testing"
+
+	"dclue"
+)
+
+// TestFacadeSmoke drives the public API end to end: configure, run, read
+// metrics — the quickstart example as a test.
+func TestFacadeSmoke(t *testing.T) {
+	p := dclue.DefaultParams(2)
+	p.Warehouses = 8
+	p.CustomersPerDist = 30
+	p.Items = 200
+	p.Warmup = 40 * dclue.Second
+	p.Measure = 100 * dclue.Second
+	m := dclue.Run(p)
+	if m.TpmC <= 0 {
+		t.Fatalf("no throughput: %+v", m)
+	}
+	if m.Nodes != 2 {
+		t.Fatalf("metrics nodes %d", m.Nodes)
+	}
+}
+
+func TestFacadeFigureRegistry(t *testing.T) {
+	figs := dclue.Figures()
+	if len(figs) != 15 {
+		t.Fatalf("figures %d, want 15", len(figs))
+	}
+	if _, ok := dclue.RunFigure("no-such", dclue.ExperimentOptions{}); ok {
+		t.Fatal("unknown figure accepted")
+	}
+	abls := dclue.AblationList()
+	if len(abls) < 5 {
+		t.Fatalf("ablations %d", len(abls))
+	}
+	if _, ok := dclue.RunAblation("nope", dclue.ExperimentOptions{}); ok {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	run := func() dclue.Metrics {
+		p := dclue.DefaultParams(1)
+		p.Warehouses = 6
+		p.CustomersPerDist = 30
+		p.Items = 100
+		p.Warmup = 30 * dclue.Second
+		p.Measure = 60 * dclue.Second
+		return dclue.Run(p)
+	}
+	a, b := run(), run()
+	if a.TpmC != b.TpmC || a.RespTimeMs != b.RespTimeMs {
+		t.Fatalf("nondeterministic facade runs: %v vs %v", a.TpmC, b.TpmC)
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: simulate a small clustered DBMS and print its headline
+// metrics. This is the two-minute tour of the public API: configure a
+// cluster, run it, read the measurement.
+package main
+
+import (
+	"fmt"
+
+	"dclue"
+)
+
+func main() {
+	// A 4-node cluster at the paper's defaults: scale factor 100 (so the
+	// reported tpm-C is 1/100th of real hardware), affinity 0.8, hardware
+	// TCP and iSCSI offload, local logging.
+	p := dclue.DefaultParams(4)
+
+	// Keep the quickstart snappy: a modest fixed database instead of the
+	// full self-sized search, and shorter warmup/measurement windows.
+	p.Warehouses = 8 * 4
+	p.Warmup = 60 * dclue.Second
+	p.Measure = 120 * dclue.Second
+
+	m := dclue.Run(p)
+
+	fmt.Println("4-node cluster, affinity 0.8")
+	fmt.Printf("  throughput:        %.0f scaled tpm-C (~%.0f unscaled)\n", m.TpmC, m.TpmC*p.Scale)
+	fmt.Printf("  transaction rate:  %.1f txn/s (scaled)\n", m.TotalTxnRate)
+	fmt.Printf("  IPC per txn:       %.1f control msgs, %.2f block transfers\n",
+		m.CtlMsgsPerTxn, m.DataMsgsPerTxn)
+	fmt.Printf("  lock waits/txn:    %.3f (mean wait %.1f scaled ms)\n",
+		m.LockWaitsPerTxn, m.LockWaitMs)
+	fmt.Printf("  CPU: utilization %.0f%%, CPI %.1f, %.1f active threads\n",
+		m.CPUUtil*100, m.CPI, m.ActiveThreads)
+	fmt.Printf("  buffer hit ratio:  %.1f%%\n", m.BufferHitRatio*100)
+	fmt.Printf("  client response:   %.0f scaled ms\n", m.RespTimeMs)
+}

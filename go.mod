@@ -1,0 +1,3 @@
+module dclue
+
+go 1.22

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+
+	"dclue/internal/db"
+	"dclue/internal/disk"
+	"dclue/internal/iscsi"
+	"dclue/internal/netsim"
+	"dclue/internal/platform"
+	"dclue/internal/rng"
+	"dclue/internal/sim"
+	"dclue/internal/tcp"
+	"dclue/internal/tpcc"
+)
+
+// Well-known ports on server nodes.
+const (
+	PortIPC    = 5001
+	PortClient = 8000
+)
+
+// DataDrivesPerNode is the per-node data spindle count (log disk separate).
+// Real 50 K tpm-C nodes of the era ran wide disk farms; 16 scaled spindles
+// keep random-read capacity from becoming the artificial bottleneck the
+// paper's calibration avoids.
+const DataDrivesPerNode = 16
+
+// node bundles one server's components.
+type node struct {
+	idx       int
+	cpu       *platform.CPU
+	stack     *tcp.Stack
+	drives    []*disk.Drive
+	logDisk   *disk.LogDisk
+	initiator *iscsi.Initiator
+	target    *iscsi.Target
+	dbn       *db.Node
+	transport *ipcTransport
+	workerRnd *rng.Stream
+}
+
+// Cluster is one assembled simulation instance.
+type Cluster struct {
+	P    Params
+	Sim  *sim.Sim
+	Topo *netsim.Topology
+	Dom  *tcp.Domain
+	Cat  *db.Catalog
+	Eng  *tpcc.Engine
+
+	nodes       []*node
+	clientStack *tcp.Stack
+	ftp         *ftpApp
+
+	// Post-warmup counters.
+	commits   [tpcc.NumTxnTypes]uint64
+	rollbacks uint64
+	retries   uint64
+	failures  uint64
+	respTally respTimes
+	measuring bool
+}
+
+type respTimes struct {
+	n   uint64
+	sum sim.Time
+}
+
+// New builds a cluster per the parameters. Run must be called to simulate.
+func New(p Params) *Cluster {
+	if p.Scale <= 0 {
+		panic("core: Params.Scale must be positive; start from DefaultParams")
+	}
+	s := sim.New()
+	c := &Cluster{P: p, Sim: s}
+
+	// Network.
+	var portSetup func(*netsim.Qdisc)
+	if p.WFQRouters {
+		portSetup = func(q *netsim.Qdisc) { q.SetDiscipline(netsim.DiscWFQ, nil) }
+	}
+	c.Topo = netsim.BuildTopology(s, netsim.TopologyConfig{
+		NodesPerLata:          p.LataLayout(),
+		NodeLinkBps:           p.NodeLinkBps,
+		InterLataBps:          p.InterLataBps,
+		ClientBps:             p.ClientLinkBps,
+		NodeProp:              p.NodePropDelay,
+		InterProp:             p.InterPropDelay,
+		ExtraInterLataLatency: p.ExtraLatency,
+		InnerFwdRate:          p.RouterFwdRate,
+		OuterFwdRate:          p.RouterFwdRate,
+		FwdLatency:            p.RouterFwdLat,
+		WithExtraHosts:        p.CrossTrafficBps > 0,
+		PortSetup:             portSetup,
+	})
+	tcpCfg := tcp.DefaultConfig(p.Scale)
+	if p.DisableECN {
+		tcpCfg.ECN = false
+	}
+	c.Dom = tcp.NewDomain(c.Topo.Net, tcpCfg)
+
+	// Database catalog + TPC-C population.
+	c.Cat = db.NewCatalog(p.Nodes)
+	c.Eng = tpcc.New(c.Cat, p.tpccConfig(), p.Seed)
+
+	// Per-node buffer sizing: a fraction of this node's partition.
+	totalBlocks := int64(0)
+	for _, t := range c.Cat.Tables {
+		totalBlocks += t.Blocks()
+	}
+	frames := int(float64(totalBlocks) / float64(p.Nodes) * p.BufferFraction)
+	if frames < 256 {
+		frames = 256
+	}
+
+	// Shared-IO (SAN) array, when configured: the same spindle count as
+	// the distributed model, pooled centrally.
+	var san *db.SANArray
+	if p.CentralSAN {
+		lat := p.SANLatency
+		if lat == 0 {
+			lat = sim.Time(20e3 * p.Scale) // 20 us unscaled
+		}
+		san = &db.SANArray{Sim: s, Latency: lat}
+		for d := 0; d < DataDrivesPerNode*p.Nodes; d++ {
+			san.Drives = append(san.Drives, disk.NewDrive(s, disk.DefaultParams(p.Scale),
+				rng.Derive(p.Seed, fmt.Sprintf("san-%d", d))))
+		}
+	}
+
+	opCosts := p.opCosts()
+	for i := 0; i < p.Nodes; i++ {
+		n := c.buildNode(i, frames, opCosts)
+		if san != nil {
+			n.dbn.Pager.SetSAN(san)
+		}
+		c.nodes = append(c.nodes, n)
+	}
+
+	// Client cloud: infinite client-side compute (the paper does not model
+	// client performance), its own stack.
+	c.clientStack = c.Dom.NewStack(netsim.AddrClientCloud, tcp.InstantProcessor{}, p.tcpCosts())
+
+	// Prewarm: each node starts with its own partition resident, hottest
+	// tables first (DCLUE builds the database in memory; this removes the
+	// cold-start transient the paper's warmup also discards).
+	if !p.NoPrewarm {
+		c.prewarm()
+	}
+
+	// Cross traffic.
+	if p.CrossTrafficBps > 0 {
+		c.ftp = newFTPApp(c)
+	}
+
+	// Establish the static connection mesh, then the workload.
+	s.Spawn("setup", c.setup)
+	return c
+}
+
+// buildNode assembles one server.
+func (c *Cluster) buildNode(i int, frames int, opCosts *db.OpCosts) *node {
+	p := c.P
+	s := c.Sim
+	n := &node{idx: i}
+	n.cpu = platform.NewCPU(s, platform.DefaultConfig(p.Scale))
+	n.stack = c.Dom.NewStack(netsim.NodeAddr(i), n.cpu, p.tcpCosts())
+	for d := 0; d < DataDrivesPerNode; d++ {
+		n.drives = append(n.drives, disk.NewDrive(s, disk.DefaultParams(p.Scale),
+			rng.Derive(p.Seed, fmt.Sprintf("drive-%d-%d", i, d))))
+	}
+	n.logDisk = disk.DefaultLogDisk(s, p.Scale)
+	if p.LogBatchLimit > 0 {
+		n.logDisk.SetBatchLimit(p.LogBatchLimit)
+	}
+	if p.FIFODisks {
+		for _, d := range n.drives {
+			d.SetFIFO(true)
+		}
+	}
+	n.initiator = iscsi.NewInitiator(s, n.cpu, p.iscsiCosts())
+	idx := i
+	n.target = iscsi.NewTarget(s, n.cpu, p.iscsiCosts(), func(table int) *disk.Drive {
+		return n.drives[table%len(n.drives)]
+	})
+	mkPager := func(costs *db.OpCosts, cache *db.BufferCache) *db.Pager {
+		return db.NewPager(s, idx, c.Cat, n.cpu, n.drives, n.initiator, costs)
+	}
+	n.dbn = db.NewNode(s, i, c.Cat, n.cpu,
+		db.NodeConfig{
+			BufferFrames:  frames,
+			OverflowBytes: p.OverflowBytes,
+			GCInterval:    sim.Time(1 * float64(sim.Second) * p.Scale / 100),
+			GCHorizon:     sim.Time(30 * float64(sim.Second) * p.Scale / 100),
+		},
+		mkPager, opCosts, n.logDisk)
+	// The deadlock-suspicion timeout must comfortably exceed a transaction
+	// holding time (~150 ms scaled when warm) so that ordinary contention
+	// waits succeed and only genuine deadlocks trip it.
+	n.dbn.GCS.DeadlockTimeout = sim.Time(0.05 * float64(sim.Second) * p.Scale)
+	if p.CentralLogging {
+		n.dbn.GCS.CentralLogNode = 0
+	}
+	n.transport = &ipcTransport{cluster: c, self: i}
+	n.dbn.GCS.SetTransport(n.transport)
+	n.workerRnd = rng.Derive(p.Seed, fmt.Sprintf("worker-%d", i))
+
+	// Estimated remote-work fraction for the MPI heuristic (§2.3): queries
+	// landing off-home touch remote data.
+	remote := (1 - p.Affinity) * float64(p.Nodes-1) / float64(p.Nodes)
+	n.cpu.SetRemoteFraction(remote)
+
+	// Listeners.
+	n.stack.Listen(PortIPC, func(conn *tcp.Conn) { c.acceptIPC(i, conn) })
+	n.stack.Listen(iscsi.Port, func(conn *tcp.Conn) { c.acceptISCSI(i, conn) })
+	n.stack.Listen(PortClient, func(conn *tcp.Conn) { c.acceptClient(i, conn) })
+	return n
+}
+
+// setup dials the static mesh (2 connections per server pair: IPC and
+// iSCSI, §2.3) and then starts terminals and cross traffic.
+func (c *Cluster) setup(p *sim.Proc) {
+	ipcOpts := tcp.DialOptions{Class: netsim.ClassBestEffort, MaxRetx: 1000}
+	for i := 0; i < c.P.Nodes; i++ {
+		for j := i + 1; j < c.P.Nodes; j++ {
+			ipc := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), PortIPC, ipcOpts)
+			if ipc == nil {
+				panic("core: IPC dial failed during setup")
+			}
+			c.bindIPC(i, j, ipc)
+			sto := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), iscsi.Port, ipcOpts)
+			if sto == nil {
+				panic("core: iSCSI dial failed during setup")
+			}
+			c.bindISCSI(i, j, sto)
+		}
+	}
+	c.startTerminals()
+	if c.ftp != nil {
+		c.ftp.start()
+	}
+	// Warmup boundary: reset statistics.
+	c.Sim.At(c.P.Warmup, func() { c.resetStats() })
+}
+
+// startTerminals spawns the TPC-C client population.
+func (c *Cluster) startTerminals() {
+	wh := c.Eng.Warehouses()
+	for w := 0; w < wh; w++ {
+		for t := 0; t < c.P.TerminalsPerWarehouse; t++ {
+			w, t := w, t
+			c.Sim.Spawn(fmt.Sprintf("term-%d-%d", w, t), func(p *sim.Proc) {
+				c.terminal(p, w, t)
+			})
+		}
+	}
+}
+
+// Run simulates warmup plus measurement and returns the metrics.
+func (c *Cluster) Run() Metrics {
+	end := c.P.Warmup + c.P.Measure
+	c.Sim.Run(end)
+	m := c.collect()
+	c.Sim.Shutdown()
+	return m
+}
+
+// prewarm fills every node's buffer cache with its own partition, hottest
+// tables first.
+func (c *Cluster) prewarm() {
+	order := []int{tpcc.TDistrict, tpcc.TWarehouse, tpcc.TStock, tpcc.TItem,
+		tpcc.TNewOrder, tpcc.TOrder, tpcc.TCustomer, tpcc.TOrderLine, tpcc.THistory}
+	full := make([]bool, len(c.nodes))
+	warm := func(blk db.BlockID) {
+		home := c.Cat.Home(blk)
+		if full[home] {
+			return
+		}
+		if !c.nodes[home].dbn.GCS.Prewarm(blk) {
+			full[home] = true
+		}
+	}
+	// Index leaves first — they are the hottest blocks of all.
+	for _, ti := range order {
+		t := c.Eng.Tables[ti]
+		for b := int64(0); b < t.IndexLeafBlocks(); b++ {
+			warm(t.IndexLeafBlock(b))
+		}
+	}
+	for _, ti := range order {
+		t := c.Eng.Tables[ti]
+		for b := int64(0); b < t.Blocks(); b++ {
+			warm(db.BlockID{Table: t.ID, Block: b})
+		}
+	}
+}
+
+// resetStats zeroes the measured counters at the warmup boundary.
+func (c *Cluster) resetStats() {
+	c.measuring = true
+	now := c.Sim.Now()
+	for i := range c.commits {
+		c.commits[i] = 0
+	}
+	c.rollbacks, c.retries, c.failures = 0, 0, 0
+	c.respTally = respTimes{}
+	for _, n := range c.nodes {
+		n.dbn.Stats = db.NodeStats{}
+		n.dbn.GCS.Stats = db.GCSStats{}
+		n.cpu.ResetStats(now)
+		n.dbn.Cache.Hits, n.dbn.Cache.Misses = 0, 0
+	}
+	c.Topo.Net.Drops, c.Topo.Net.Marks = 0, 0
+	for i := range c.Topo.Net.DelayByClass {
+		c.Topo.Net.DelayByClass[i] = netsim.DelayTally{}
+	}
+	c.Dom.Retransmits, c.Dom.Resets = 0, 0
+	if c.ftp != nil {
+		c.ftp.resetStats()
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+	"dclue/internal/tpcc"
+)
+
+// quickParams returns a small, fast configuration for tests.
+func quickParams(nodes int) Params {
+	p := DefaultParams(nodes)
+	p.Warehouses = 4 * nodes
+	p.CustomersPerDist = 30
+	p.Items = 200
+	p.TerminalsPerWarehouse = 10
+	p.Warmup = 40 * sim.Second
+	p.Measure = 120 * sim.Second
+	return p
+}
+
+func TestSingleNodeCommitsTransactions(t *testing.T) {
+	c := New(quickParams(1))
+	m := c.Run()
+	if m.TpmC <= 0 {
+		t.Fatalf("no new-orders committed: %+v", m)
+	}
+	if m.CtlMsgsPerTxn > 1 {
+		t.Fatalf("single node sent %v IPC ctl msgs/txn, want ~0", m.CtlMsgsPerTxn)
+	}
+	if m.Failures > 0 {
+		t.Fatalf("%d failed transactions", m.Failures)
+	}
+}
+
+func TestTwoNodeClusterRuns(t *testing.T) {
+	p := quickParams(2)
+	p.Affinity = 0.8
+	c := New(p)
+	m := c.Run()
+	if m.TpmC <= 0 {
+		t.Fatal("no throughput")
+	}
+	if m.CtlMsgsPerTxn == 0 {
+		t.Fatal("no IPC at affinity 0.8 with 2 nodes")
+	}
+	if m.ConnResets > 0 {
+		t.Fatalf("%d connection resets in a healthy run", m.ConnResets)
+	}
+}
+
+func TestAffinityOneMeansNoIPC(t *testing.T) {
+	p := quickParams(2)
+	p.Affinity = 1.0
+	c := New(p)
+	m := c.Run()
+	// §3.3: at affinity 1.0 there is almost no IPC traffic (only the odd
+	// shared item-table block).
+	if m.CtlMsgsPerTxn > 2 {
+		t.Fatalf("ctl msgs/txn %v at affinity 1.0, want ~0", m.CtlMsgsPerTxn)
+	}
+	if m.DataMsgsPerTxn > 1 {
+		t.Fatalf("data msgs/txn %v at affinity 1.0", m.DataMsgsPerTxn)
+	}
+}
+
+func TestLowerAffinityMoreIPC(t *testing.T) {
+	run := func(aff float64) Metrics {
+		p := quickParams(2)
+		p.Affinity = aff
+		return New(p).Run()
+	}
+	high := run(0.9)
+	low := run(0.2)
+	if low.CtlMsgsPerTxn <= high.CtlMsgsPerTxn {
+		t.Fatalf("ctl msgs/txn did not rise as affinity fell: %.2f (0.9) vs %.2f (0.2)",
+			high.CtlMsgsPerTxn, low.CtlMsgsPerTxn)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	p := quickParams(2)
+	a := New(p).Run()
+	b := New(p).Run()
+	if a.TpmC != b.TpmC || a.CtlMsgsPerTxn != b.CtlMsgsPerTxn {
+		t.Fatalf("nondeterministic: %.3f/%.3f vs %.3f/%.3f",
+			a.TpmC, a.CtlMsgsPerTxn, b.TpmC, b.CtlMsgsPerTxn)
+	}
+}
+
+func TestMixRoughlyNominal(t *testing.T) {
+	c := New(quickParams(1))
+	m := c.Run()
+	total := float64(0)
+	for _, n := range m.Commits {
+		total += float64(n)
+	}
+	if total < 50 {
+		t.Fatalf("too few commits (%v) to check mix", total)
+	}
+	noFrac := float64(m.Commits[tpcc.TxnNewOrder]) / total
+	if noFrac < 0.30 || noFrac > 0.56 {
+		t.Fatalf("new-order fraction %.2f, want ~0.43", noFrac)
+	}
+}

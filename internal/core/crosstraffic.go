@@ -1,0 +1,36 @@
+package core
+
+import (
+	"dclue/internal/ftp"
+	"dclue/internal/netsim"
+	"dclue/internal/tcp"
+)
+
+// ftpApp glues the cross-traffic endpoints (Fig 1's "extra client" and
+// "extra server", placed in different LATAs so their flows cross the
+// inter-LATA links) to the FTP generator.
+type ftpApp struct {
+	gen *ftp.Generator
+	srv *ftp.Server
+}
+
+// newFTPApp builds the extra hosts. Their compute is not modeled (the
+// paper studies their *traffic*), so they get instant processors; the
+// offered load parameter is given unscaled and divided by the system scale
+// like every other rate.
+func newFTPApp(c *Cluster) *ftpApp {
+	p := c.P
+	class := netsim.ClassBestEffort
+	if p.CrossTrafficPriority {
+		class = netsim.ClassAF21
+	}
+	cliStack := c.Dom.NewStack(netsim.AddrExtraClient, tcp.InstantProcessor{}, p.tcpCosts())
+	srvStack := c.Dom.NewStack(netsim.AddrExtraServer, tcp.InstantProcessor{}, p.tcpCosts())
+	srv := ftp.NewServer(srvStack)
+	gen := ftp.NewGenerator(c.Sim, cliStack, netsim.AddrExtraServer, class,
+		p.CrossTrafficBps/p.Scale, p.Seed)
+	return &ftpApp{gen: gen, srv: srv}
+}
+
+func (f *ftpApp) start()      { f.gen.Start() }
+func (f *ftpApp) resetStats() { f.gen.ResetStats() }

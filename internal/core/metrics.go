@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dclue/internal/netsim"
+	"dclue/internal/sim"
+	"dclue/internal/tpcc"
+)
+
+// Metrics is everything one run reports; each paper figure reads one or two
+// fields. Rates are in the scaled system; multiply throughput by the scale
+// factor to compare with unscaled hardware.
+type Metrics struct {
+	Nodes    int
+	Affinity float64
+
+	TpmC         float64 // scaled new-orders committed per simured minute
+	TotalTxnRate float64 // scaled transactions/s (all types)
+	Commits      [tpcc.NumTxnTypes]uint64
+	Rollbacks    uint64
+	Retries      uint64
+	Failures     uint64
+
+	CtlMsgsPerTxn  float64
+	DataMsgsPerTxn float64
+	IPCDataBytes   uint64
+
+	LockWaitsPerTxn float64
+	LockWaitMs      float64 // mean wait duration (scaled ms)
+	LockFailsPerTxn float64
+
+	ActiveThreads  float64 // mean runnable threads per node
+	CtxSwitchK     float64 // mean context-switch cost, K cycles
+	CPI            float64
+	CPUUtil        float64
+	BufferHitRatio float64
+
+	DiskReadsPerTxn float64
+	RespTimeMs      float64 // client-observed, scaled ms
+	MsgDelayMs      float64 // mean best-effort packet delay, scaled ms
+
+	InterLataUtil float64
+	NetDrops      uint64
+	NetMarks      uint64
+	Retransmits   uint64
+	ConnResets    uint64
+
+	FTPDeliveredMbps float64 // scaled
+}
+
+// collect gathers metrics at the end of the measurement window.
+func (c *Cluster) collect() Metrics {
+	p := c.P
+	m := Metrics{Nodes: p.Nodes, Affinity: p.Affinity}
+	meas := p.Measure.Seconds()
+
+	var totalCommits uint64
+	for ty, n := range c.commits {
+		m.Commits[ty] = n
+		totalCommits += n
+	}
+	m.TpmC = float64(c.commits[tpcc.TxnNewOrder]) / meas * 60
+	m.TotalTxnRate = float64(totalCommits) / meas
+	m.Rollbacks, m.Retries, m.Failures = c.rollbacks, c.retries, c.failures
+
+	if totalCommits == 0 {
+		totalCommits = 1 // avoid dividing by zero in a dead run
+	}
+	var ctl, data, waits, fails, diskReads uint64
+	var dataBytes uint64
+	var waitSum float64
+	var waitN uint64
+	var threads, ctx, cpi, util, hits float64
+	now := c.Sim.Now()
+	for _, n := range c.nodes {
+		st := n.dbn.GCS.Stats
+		ctl += st.CtlMsgsSent
+		data += st.DataMsgsSent
+		dataBytes += st.DataBytes
+		waits += st.LockWaits
+		fails += st.LockFails
+		waitSum += st.LockWaitTime.Sum()
+		waitN += st.LockWaitTime.N()
+		diskReads += st.BlockDiskReads
+		threads += n.cpu.ActiveThreads(now)
+		ctx += n.cpu.MeanCtxSwitchCycles()
+		cpi += n.cpu.CPI()
+		util += n.cpu.Utilization()
+		hits += n.dbn.Cache.HitRatio()
+	}
+	nn := float64(len(c.nodes))
+	m.CtlMsgsPerTxn = float64(ctl) / float64(totalCommits)
+	m.DataMsgsPerTxn = float64(data) / float64(totalCommits)
+	m.IPCDataBytes = dataBytes
+	m.LockWaitsPerTxn = float64(waits) / float64(totalCommits)
+	m.LockFailsPerTxn = float64(fails) / float64(totalCommits)
+	if waitN > 0 {
+		m.LockWaitMs = waitSum / float64(waitN) * 1000
+	}
+	m.DiskReadsPerTxn = float64(diskReads) / float64(totalCommits)
+	m.ActiveThreads = threads / nn
+	m.CtxSwitchK = ctx / nn / 1000
+	m.CPI = cpi / nn
+	m.CPUUtil = util / nn
+	m.BufferHitRatio = hits / nn
+
+	if c.respTally.n > 0 {
+		mean := c.respTally.sum / sim.Time(c.respTally.n)
+		m.RespTimeMs = mean.Millis()
+	}
+	be := c.Topo.Net.DelayByClass[netsim.ClassBestEffort]
+	m.MsgDelayMs = be.Mean().Millis()
+	m.InterLataUtil = c.Topo.InterLataUtilization()
+	m.NetDrops = c.Topo.Net.Drops
+	m.NetMarks = c.Topo.Net.Marks
+	m.Retransmits = c.Dom.Retransmits
+	m.ConnResets = c.Dom.Resets
+
+	if c.ftp != nil {
+		m.FTPDeliveredMbps = float64(c.ftp.gen.BytesDelivered) * 8 / meas / 1e6
+	}
+	return m
+}
+
+// String renders the headline numbers for humans.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d affinity=%.2f tpmC(scaled)=%.1f txn/s=%.2f\n",
+		m.Nodes, m.Affinity, m.TpmC, m.TotalTxnRate)
+	fmt.Fprintf(&b, "  IPC ctl/txn=%.1f data/txn=%.2f lockWaits/txn=%.3f lockWait=%.2fms lockFails/txn=%.4f\n",
+		m.CtlMsgsPerTxn, m.DataMsgsPerTxn, m.LockWaitsPerTxn, m.LockWaitMs, m.LockFailsPerTxn)
+	fmt.Fprintf(&b, "  threads=%.1f ctx=%.1fK CPI=%.2f cpu=%.2f bufHit=%.3f disk/txn=%.2f resp=%.1fms\n",
+		m.ActiveThreads, m.CtxSwitchK, m.CPI, m.CPUUtil, m.BufferHitRatio, m.DiskReadsPerTxn, m.RespTimeMs)
+	fmt.Fprintf(&b, "  net: delay=%.3fms interLataUtil=%.2f drops=%d marks=%d retx=%d resets=%d ftp=%.1fMbps\n",
+		m.MsgDelayMs, m.InterLataUtil, m.NetDrops, m.NetMarks, m.Retransmits, m.ConnResets, m.FTPDeliveredMbps)
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"dclue/internal/db"
+	"dclue/internal/sim"
+	"dclue/internal/tcp"
+	"dclue/internal/tpcc"
+)
+
+// clientReq frames a terminal's transaction request on the wire.
+type clientReq struct {
+	id  uint64
+	req tpcc.Request
+}
+
+// clientResp frames the server's reply.
+type clientResp struct {
+	id uint64
+	ok bool
+}
+
+// acceptClient serves one client connection on a server node: each request
+// message spawns a worker thread that executes the transaction (with the
+// paper's release-and-delayed-retry loop on lock failure) and replies.
+func (c *Cluster) acceptClient(self int, conn *tcp.Conn) {
+	n := c.nodes[self]
+	conn.SetOnMessage(func(m tcp.Message) {
+		req := m.Meta.(clientReq)
+		c.Sim.Spawn(fmt.Sprintf("worker-%d", self), func(p *sim.Proc) {
+			ok := c.executeWithRetry(p, n, req.req)
+			if conn.Established() {
+				conn.Enqueue(clientResp{id: req.id, ok: ok}, tpcc.RespBytes(req.req.Type))
+			}
+		})
+	})
+}
+
+// executeWithRetry runs one transaction to completion: commits count toward
+// throughput; lock failures abort, wait the retry delay, and re-execute
+// (§2.3); the spec's intentional rollbacks are terminal.
+func (c *Cluster) executeWithRetry(p *sim.Proc, n *node, req tpcc.Request) bool {
+	for attempt := 0; ; attempt++ {
+		err := c.Eng.Execute(p, n.dbn, req, n.workerRnd)
+		switch err {
+		case nil:
+			if c.measuring {
+				c.commits[req.Type]++
+			}
+			return true
+		case tpcc.ErrRollback:
+			if c.measuring {
+				c.rollbacks++
+			}
+			return true // executed per spec; not an error
+		case db.ErrLockFailed:
+			if attempt >= c.P.MaxTxnRetries {
+				if c.measuring {
+					c.failures++
+				}
+				return false
+			}
+			if c.measuring {
+				c.retries++
+			}
+			p.Sleep(c.P.RetryDelay)
+		default:
+			if c.measuring {
+				c.failures++
+			}
+			return false
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+// Shape tests: system-level assertions that the model reproduces the
+// *direction* of every effect the paper reports, on small configurations.
+// They complement the experiments package, which produces the full sweeps.
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+// shapeParams is a 4-node config big enough for the effects to show.
+func shapeParams() Params {
+	p := DefaultParams(4)
+	p.Warehouses = 6 * 4
+	p.Warmup = 60 * sim.Second
+	p.Measure = 150 * sim.Second
+	return p
+}
+
+func TestShapeSWTCPSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	p := shapeParams()
+	p.Affinity = 0.8
+	hw := New(p).Run()
+	p.SWTCP = true
+	p.SWiSCSI = true
+	sw := New(p).Run()
+	// §3.3: at affinity 0.8, HW TCP gives roughly twice the throughput of
+	// SW TCP. At this fixed sub-capacity load the effect shows as CPU and
+	// response-time inflation at least — and tpmC must not be higher.
+	if sw.TpmC > hw.TpmC*1.05 {
+		t.Fatalf("SW TCP tpmC %.0f above HW %.0f", sw.TpmC, hw.TpmC)
+	}
+	if sw.CPUUtil <= hw.CPUUtil {
+		t.Fatalf("SW TCP CPU %.2f not above HW %.2f", sw.CPUUtil, hw.CPUUtil)
+	}
+}
+
+func TestShapeOffloadIrrelevantAtAffinityOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	p := shapeParams()
+	p.Affinity = 1.0
+	hw := New(p).Run()
+	p.SWTCP = true
+	p.SWiSCSI = true
+	sw := New(p).Run()
+	// §3.3: with affinity 1.0 there is almost no IPC or iSCSI traffic, so
+	// the implementations barely differ (only client-server TCP remains).
+	if hw.TpmC == 0 {
+		t.Fatal("no throughput")
+	}
+	ratio := sw.TpmC / hw.TpmC
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("offload changed affinity-1.0 throughput by %.0f%%", (1-ratio)*100)
+	}
+}
+
+func TestShapeLatencyMildlyHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	p := shapeParams()
+	p.Nodes = 4
+	p.NodesPerLata = 2 // two LATAs so inter-LATA latency matters
+	base := New(p).Run()
+	q := p
+	q.ExtraLatency = sim.Time(1.0 / 2 * q.Scale * float64(sim.Millisecond)) // +1ms RTT
+	slow := New(q).Run()
+	if base.TpmC == 0 {
+		t.Fatal("no throughput")
+	}
+	ratio := slow.TpmC / base.TpmC
+	// §3.3: ~3.4% drop at +1ms; the model must show a small drop, never a
+	// collapse and never a gain beyond noise.
+	if ratio < 0.80 {
+		t.Fatalf("+1ms RTT collapsed throughput to %.0f%%", ratio*100)
+	}
+	if ratio > 1.06 {
+		t.Fatalf("+1ms RTT increased throughput to %.0f%%", ratio*100)
+	}
+	if slow.RespTimeMs <= base.RespTimeMs {
+		t.Fatalf("latency did not raise response time (%.0f vs %.0f ms)",
+			slow.RespTimeMs, base.RespTimeMs)
+	}
+}
+
+func TestShapePriorityCrossTrafficWorseThanBestEffort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	p := shapeParams()
+	p.NodesPerLata = 2
+	p.LowComputation = true
+	base := New(p).Run()
+
+	be := p
+	be.CrossTrafficBps = 400e6
+	mBE := New(be).Run()
+
+	prio := be
+	prio.CrossTrafficPriority = true
+	mPrio := New(prio).Run()
+
+	if base.TpmC == 0 {
+		t.Fatal("no throughput")
+	}
+	// §3.4: priority cross traffic hurts decidedly more than best-effort.
+	if mPrio.TpmC >= mBE.TpmC {
+		t.Fatalf("priority FTP (%.0f) not worse than best-effort (%.0f)",
+			mPrio.TpmC, mBE.TpmC)
+	}
+	// And it inflates DBMS message delay (threads barely move at this tiny
+	// configuration; the full-size effect is exercised by Fig 14/15).
+	if mPrio.MsgDelayMs <= base.MsgDelayMs {
+		t.Fatalf("priority FTP did not raise DBMS packet delay (%.2f vs %.2f)",
+			mPrio.MsgDelayMs, base.MsgDelayMs)
+	}
+	if mPrio.ActiveThreads < base.ActiveThreads*0.9 {
+		t.Fatalf("priority FTP reduced active threads (%.1f vs %.1f)",
+			mPrio.ActiveThreads, base.ActiveThreads)
+	}
+}
+
+func TestShapeCentralLoggingCostsThroughputAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	p := DefaultParams(8)
+	p.Warehouses = 6 * 8
+	p.Warmup = 60 * sim.Second
+	p.Measure = 150 * sim.Second
+	local := New(p).Run()
+	p.CentralLogging = true
+	central := New(p).Run()
+	// §3.2: centralized logging is consistently lower (or at minimum pays
+	// visible response-time cost at this scale).
+	if central.TpmC > local.TpmC*1.02 {
+		t.Fatalf("central logging tpmC %.0f above local %.0f", central.TpmC, local.TpmC)
+	}
+	if central.RespTimeMs <= local.RespTimeMs {
+		t.Fatalf("central logging did not raise response time (%.0f vs %.0f ms)",
+			central.RespTimeMs, local.RespTimeMs)
+	}
+}
+
+func TestShapeLowComputationFasterButLatencySensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run shape test")
+	}
+	p := shapeParams()
+	normal := New(p).Run()
+	p.LowComputation = true
+	low := New(p).Run()
+	// Quarter the computation: the same offered load consumes far less CPU.
+	if low.CPUUtil >= normal.CPUUtil {
+		t.Fatalf("low computation did not reduce CPU (%.2f vs %.2f)",
+			low.CPUUtil, normal.CPUUtil)
+	}
+	if low.TpmC < normal.TpmC*0.9 {
+		t.Fatalf("low computation lost throughput at fixed load (%.0f vs %.0f)",
+			low.TpmC, normal.TpmC)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"dclue/internal/db"
+	"dclue/internal/iscsi"
+	"dclue/internal/netsim"
+	"dclue/internal/tcp"
+)
+
+// ipcEnvelope frames a GCS message on the IPC TCP connection.
+type ipcEnvelope struct {
+	from int
+	msg  db.Msg
+}
+
+// ipcTransport implements db.Transport over the per-pair IPC connections.
+type ipcTransport struct {
+	cluster *Cluster
+	self    int
+	conns   [64]*tcp.Conn // indexed by peer node (clusters are small)
+}
+
+// Self returns this node's index.
+func (t *ipcTransport) Self() int { return t.self }
+
+// Send ships a GCS message to node `to` over the IPC connection. All DBMS
+// traffic is best-effort (§3.4); QoS experiments prioritize the cross
+// traffic, never the DBMS.
+func (t *ipcTransport) Send(to int, m db.Msg, size int, data bool) {
+	if to == t.self {
+		// Local shortcut (can happen for the central log node).
+		self := t.self
+		t.cluster.Sim.After(0, func() {
+			t.cluster.nodes[self].dbn.GCS.HandleMessage(self, m)
+		})
+		return
+	}
+	conn := t.conns[to]
+	if conn == nil {
+		panic("core: IPC send before mesh established")
+	}
+	conn.Enqueue(ipcEnvelope{from: t.self, msg: m}, size)
+}
+
+// bindIPC wires an established dialer-side IPC connection into both ends'
+// transports.
+func (c *Cluster) bindIPC(i, j int, conn *tcp.Conn) {
+	c.nodes[i].transport.conns[j] = conn
+	c.hookIPC(i, conn)
+	// The acceptor side hooks its direction in acceptIPC; conn here is the
+	// dialer's endpoint only.
+}
+
+// acceptIPC registers the acceptor-side endpoint of an IPC connection.
+func (c *Cluster) acceptIPC(self int, conn *tcp.Conn) {
+	peer := int(conn.Remote())
+	c.nodes[self].transport.conns[peer] = conn
+	c.hookIPC(self, conn)
+}
+
+// hookIPC delivers inbound envelopes to the node's GCS.
+func (c *Cluster) hookIPC(self int, conn *tcp.Conn) {
+	gcs := c.nodes[self].dbn.GCS
+	conn.SetOnMessage(func(m tcp.Message) {
+		env := m.Meta.(ipcEnvelope)
+		gcs.HandleMessage(env.from, env.msg)
+	})
+}
+
+// bindISCSI wires the dialer side of the per-pair storage connection:
+// node i's initiator targets j, and i's target serves j's commands arriving
+// on the same connection.
+func (c *Cluster) bindISCSI(i, j int, conn *tcp.Conn) {
+	c.nodes[i].initiator.RegisterConn(j, conn)
+	iscsi.Demux(conn, c.nodes[i].target, c.nodes[i].initiator)
+}
+
+// acceptISCSI wires the acceptor side.
+func (c *Cluster) acceptISCSI(self int, conn *tcp.Conn) {
+	peer := int(conn.Remote())
+	c.nodes[self].initiator.RegisterConn(peer, conn)
+	iscsi.Demux(conn, c.nodes[self].target, c.nodes[self].initiator)
+}
+
+// nodeAddrOf is a tiny helper for readability elsewhere.
+func nodeAddrOf(i int) netsim.Addr { return netsim.NodeAddr(i) }

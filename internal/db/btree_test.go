@@ -1,0 +1,160 @@
+package db
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dclue/internal/rng"
+)
+
+func TestBTreePutGet(t *testing.T) {
+	bt := NewBTree(8)
+	for i := int64(0); i < 1000; i++ {
+		bt.Put(i*7%1000, i)
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("len %d", bt.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		v, ok := bt.Get(i * 7 % 1000)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d/%v, want %d", i*7%1000, v, ok, i)
+		}
+	}
+	if _, ok := bt.Get(5000); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestBTreeReplace(t *testing.T) {
+	bt := NewBTree(8)
+	bt.Put(5, 1)
+	bt.Put(5, 2)
+	if bt.Len() != 1 {
+		t.Fatalf("len %d after replace", bt.Len())
+	}
+	if v, _ := bt.Get(5); v != 2 {
+		t.Fatalf("Get = %d", v)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree(8)
+	for i := int64(0); i < 500; i++ {
+		bt.Put(i, i)
+	}
+	for i := int64(0); i < 500; i += 2 {
+		if !bt.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if bt.Delete(1000) {
+		t.Fatal("deleted absent key")
+	}
+	if bt.Len() != 250 {
+		t.Fatalf("len %d", bt.Len())
+	}
+	for i := int64(0); i < 500; i++ {
+		_, ok := bt.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v", i, ok)
+		}
+	}
+}
+
+func TestBTreeScanOrdered(t *testing.T) {
+	bt := NewBTree(8)
+	r := rng.New(3)
+	inserted := map[int64]bool{}
+	for i := 0; i < 2000; i++ {
+		k := int64(r.Intn(10000))
+		bt.Put(k, k*2)
+		inserted[k] = true
+	}
+	var got []int64
+	bt.Scan(2500, func(k, v int64) bool {
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return len(got) < 100
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan not ordered")
+	}
+	for _, k := range got {
+		if k < 2500 {
+			t.Fatalf("scan returned key %d below start", k)
+		}
+		if !inserted[k] {
+			t.Fatalf("scan invented key %d", k)
+		}
+	}
+}
+
+func TestBTreeMin(t *testing.T) {
+	bt := NewBTree(8)
+	if _, ok := bt.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	bt.Put(42, 0)
+	bt.Put(7, 0)
+	bt.Put(99, 0)
+	if k, ok := bt.Min(); !ok || k != 7 {
+		t.Fatalf("Min = %d/%v", k, ok)
+	}
+}
+
+func TestBTreeHeightGrows(t *testing.T) {
+	bt := NewBTree(8)
+	if bt.Height() != 1 {
+		t.Fatalf("empty height %d", bt.Height())
+	}
+	for i := int64(0); i < 10000; i++ {
+		bt.Put(i, i)
+	}
+	if h := bt.Height(); h < 3 || h > 8 {
+		t.Fatalf("height %d for 10k keys at degree 8", h)
+	}
+}
+
+func TestBTreeMatchesMapProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed uint64, n uint8) bool {
+		r := rng.New(seed)
+		bt := NewBTree(6)
+		ref := map[int64]int64{}
+		for i := 0; i < int(n)*8; i++ {
+			k := int64(r.Intn(200))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := int64(r.Intn(1000))
+				bt.Put(k, v)
+				ref[k] = v
+			case 2:
+				want := false
+				if _, ok := ref[k]; ok {
+					want = true
+				}
+				if bt.Delete(k) != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := bt.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package db
+
+// OpCosts are the path lengths (instructions) charged for database
+// operations — the model's central calibration inputs, following the
+// paper's method of expressing everything as path lengths or path-length
+// equivalents so the 100x system scaling applies uniformly (§3.1). The
+// defaults make an average TPC-C transaction cost ~1 M instructions and a
+// new-order ~1.5 M, matching the unclustered path length quoted in §3.3,
+// with roughly 15% of it attached to disk I/O and buffer management.
+type OpCosts struct {
+	TxnBegin  float64 // initiation, parse, plan
+	TxnCommit float64 // commit processing excluding the log write
+
+	IndexLevel  float64 // per B+-tree level traversed
+	IndexInsert float64 // key insertion incl. occasional splits
+
+	RowRead   float64
+	RowWrite  float64 // update applied to a locked row
+	RowInsert float64
+	RowDelete float64
+	ScanEntry float64 // per index entry visited in a range scan
+
+	Latch         float64 // subpage latch acquire+release (phase 1)
+	VersionCreate float64
+	VersionHop    float64 // walking one version back for a snapshot read
+
+	DirLookup   float64 // local directory lookup
+	LockRequest float64 // local lock table operation
+
+	CtlMsgHandle  float64 // GCS control message processing (each end)
+	DataMsgHandle float64 // GCS data (block) message processing (each end)
+
+	DiskSetup float64 // issuing one disk I/O (driver + SCSI stack)
+
+	LogSetup   float64 // building the commit log record
+	LogPerByte float64
+
+	ResumeDispatch float64 // continuation work after any blocking wait
+}
+
+// DefaultOpCosts returns the calibrated cost table.
+func DefaultOpCosts() *OpCosts {
+	return &OpCosts{
+		TxnBegin:  72_000,
+		TxnCommit: 58_000,
+
+		IndexLevel:  2_200,
+		IndexInsert: 11_000,
+
+		RowRead:   7_500,
+		RowWrite:  15_000,
+		RowInsert: 18_000,
+		RowDelete: 12_000,
+		ScanEntry: 1_000,
+
+		Latch:         800,
+		VersionCreate: 5_000,
+		VersionHop:    1_500,
+
+		DirLookup:   3_000,
+		LockRequest: 4_000,
+
+		CtlMsgHandle:  3_500,
+		DataMsgHandle: 9_000,
+
+		DiskSetup: 10_000,
+
+		LogSetup:   10_000,
+		LogPerByte: 0.3,
+
+		ResumeDispatch: 2_000,
+	}
+}
+
+// Scale multiplies every computational path length by f; the paper's "low
+// computation" variant (§3.3) divides them by 4 to study workloads lighter
+// than TPC-C.
+func (c *OpCosts) Scale(f float64) *OpCosts {
+	s := *c
+	s.TxnBegin *= f
+	s.TxnCommit *= f
+	s.IndexLevel *= f
+	s.IndexInsert *= f
+	s.RowRead *= f
+	s.RowWrite *= f
+	s.RowInsert *= f
+	s.RowDelete *= f
+	s.ScanEntry *= f
+	s.Latch *= f
+	s.VersionCreate *= f
+	s.VersionHop *= f
+	return &s
+}

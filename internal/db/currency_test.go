@@ -1,0 +1,169 @@
+package db
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+// prewarmHome loads every block of the test table (data + index leaves)
+// into its home node's cache so remote accesses become fusion transfers
+// rather than disk reads (the loopback harness has no iSCSI path).
+func prewarmHome(cl *cluster) {
+	t := cl.tbl
+	for b := int64(0); b < t.IndexLeafBlocks(); b++ {
+		blk := t.IndexLeafBlock(b)
+		cl.nodes[cl.cat.Home(blk)].GCS.Prewarm(blk)
+	}
+	for b := int64(0); b < t.Blocks(); b++ {
+		blk := BlockID{t.ID, b}
+		cl.nodes[cl.cat.Home(blk)].GCS.Prewarm(blk)
+	}
+}
+
+// TestWritePingPong exercises the write-ownership (currency) protocol: two
+// nodes alternately updating the same row must transfer the current block
+// image back and forth even though both keep cached copies.
+func TestWritePingPong(t *testing.T) {
+	cl := buildCluster(2, 256)
+	// Rows homed on node 0; warm both caches.
+	for k := int64(0); k < 16; k++ {
+		cl.tbl.Insert(k, 0)
+	}
+	prewarmHome(cl)
+	n0, n1 := cl.nodes[0], cl.nodes[1]
+	cl.s.Spawn("warm", func(p *sim.Proc) {
+		for _, n := range []*Node{n0, n1} {
+			txn := n.Begin(p)
+			n.Read(p, txn, cl.tbl.ID, 3)
+			n.Commit(p, txn)
+		}
+	})
+	cl.s.Run(5 * sim.Second)
+
+	transfersBefore := n0.GCS.Stats.BlockTransfers + n1.GCS.Stats.BlockTransfers
+	currencyBefore := n0.GCS.Stats.CurrencyFetches + n1.GCS.Stats.CurrencyFetches
+
+	cl.s.Spawn("pingpong", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			n := n0
+			if i%2 == 1 {
+				n = n1
+			}
+			txn := n.Begin(p)
+			if _, err := n.Update(p, txn, cl.tbl.ID, 3); err != nil {
+				t.Errorf("update %d: %v", i, err)
+				return
+			}
+			n.Commit(p, txn)
+		}
+	})
+	cl.s.Run(60 * sim.Second)
+	cl.s.Shutdown()
+
+	currency := n0.GCS.Stats.CurrencyFetches + n1.GCS.Stats.CurrencyFetches - currencyBefore
+	if currency < 4 {
+		t.Fatalf("alternating writers triggered only %d currency fetches, want >=4", currency)
+	}
+	transfers := n0.GCS.Stats.BlockTransfers + n1.GCS.Stats.BlockTransfers - transfersBefore
+	if transfers < 4 {
+		t.Fatalf("ping-pong produced only %d block transfers", transfers)
+	}
+}
+
+// TestRepeatedLocalWritesNoTraffic: the write owner keeps writing its own
+// block without any fabric traffic.
+func TestRepeatedLocalWritesNoTraffic(t *testing.T) {
+	cl := buildCluster(2, 256)
+	for k := int64(0); k < 16; k++ {
+		cl.tbl.Insert(k, 0)
+	}
+	prewarmHome(cl)
+	n0 := cl.nodes[0]
+	cl.s.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			txn := n0.Begin(p)
+			n0.Update(p, txn, cl.tbl.ID, 3)
+			n0.Commit(p, txn)
+		}
+	})
+	cl.s.Run(30 * sim.Second)
+	cl.s.Shutdown()
+	if n0.GCS.Stats.CurrencyFetches != 0 {
+		t.Fatalf("sole writer did %d currency fetches", n0.GCS.Stats.CurrencyFetches)
+	}
+	if n0.GCS.Stats.CtlMsgsSent != 0 {
+		t.Fatalf("sole writer on own partition sent %d ctl msgs", n0.GCS.Stats.CtlMsgsSent)
+	}
+}
+
+// TestReadersUnaffectedByOwnership: snapshot readers use their cached copy
+// regardless of who owns the current image (MVCC, §2.1).
+func TestReadersUnaffectedByOwnership(t *testing.T) {
+	cl := buildCluster(2, 256)
+	for k := int64(0); k < 16; k++ {
+		cl.tbl.Insert(k, 0)
+	}
+	prewarmHome(cl)
+	n0, n1 := cl.nodes[0], cl.nodes[1]
+	// n1 reads once (caches the block), n0 then writes (takes ownership
+	// back), then n1 reads again: the second read must be a pure hit.
+	cl.s.Spawn("seq", func(p *sim.Proc) {
+		txn := n1.Begin(p)
+		n1.Read(p, txn, cl.tbl.ID, 3)
+		n1.Commit(p, txn)
+
+		txn0 := n0.Begin(p)
+		n0.Update(p, txn0, cl.tbl.ID, 3)
+		n0.Commit(p, txn0)
+
+		hitsBefore := n1.GCS.Stats.BlockHits
+		ctlBefore := n1.GCS.Stats.CtlMsgsSent
+		txn2 := n1.Begin(p)
+		n1.Read(p, txn2, cl.tbl.ID, 3)
+		n1.Commit(p, txn2)
+		if n1.GCS.Stats.BlockHits <= hitsBefore {
+			t.Error("second read was not a cache hit")
+		}
+		if n1.GCS.Stats.CtlMsgsSent != ctlBefore {
+			t.Error("snapshot read sent messages despite cached copy")
+		}
+	})
+	cl.s.Run(60 * sim.Second)
+	cl.s.Shutdown()
+}
+
+// TestOwnershipRevokeMessageFlows: when a remote node takes ownership, the
+// previous owner receives a revoke and its next write pays a currency
+// fetch.
+func TestOwnershipRevokeMessageFlows(t *testing.T) {
+	cl := buildCluster(2, 256)
+	for k := int64(0); k < 16; k++ {
+		cl.tbl.Insert(k, 0)
+	}
+	prewarmHome(cl)
+	n0, n1 := cl.nodes[0], cl.nodes[1]
+	cl.s.Spawn("seq", func(p *sim.Proc) {
+		// n0 (home) writes: becomes owner without traffic.
+		txn := n0.Begin(p)
+		n0.Update(p, txn, cl.tbl.ID, 5)
+		n0.Commit(p, txn)
+		// n1 writes: fetch + ownership move; n0 gets revoked.
+		txn1 := n1.Begin(p)
+		n1.Update(p, txn1, cl.tbl.ID, 5)
+		n1.Commit(p, txn1)
+		p.Sleep(1 * sim.Second) // let the revoke land
+		row, _ := cl.tbl.Lookup(5)
+		blk := cl.tbl.BlockOf(row)
+		f := n0.Cache.Peek(blk)
+		if f == nil {
+			t.Error("home lost its cached copy")
+			return
+		}
+		if f.WriteOwner {
+			t.Error("previous owner still flagged as write owner after revoke")
+		}
+	})
+	cl.s.Run(60 * sim.Second)
+	cl.s.Shutdown()
+}

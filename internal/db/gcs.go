@@ -1,0 +1,337 @@
+package db
+
+import (
+	"dclue/internal/sim"
+	"dclue/internal/stats"
+)
+
+// Transport carries IPC messages between nodes' GCS instances. The core
+// package implements it over the per-pair IPC TCP connections; tests use a
+// loopback. Control messages are CtlMsgBytes on the wire; data messages
+// carry a block plus version payload.
+type Transport interface {
+	Self() int
+	// Send delivers m to node to's GCS.HandleMessage. size is the wire
+	// payload; data distinguishes block transfers from control messages.
+	Send(to int, m Msg, size int, data bool)
+}
+
+// CtlMsgBytes is the size of IPC control messages (§3.2: "about 250 bytes").
+const CtlMsgBytes = 250
+
+// Msg is any inter-node GCS message.
+type Msg interface{ isMsg() }
+
+// Directory / cache-fusion messages (§2.1's numbered protocol).
+type (
+	// MsgBlkReq: A asks directory master B for block X. HaveCopy says A
+	// already holds a (stale) copy and only needs the current image for
+	// writing; a negative response then means "your copy is current
+	// enough", not "read from disk".
+	MsgBlkReq struct {
+		ReqID    uint64
+		Blk      BlockID
+		ForWrite bool
+		HaveCopy bool
+	}
+	// MsgBlkNeg: negative response; A must read from disk.
+	MsgBlkNeg struct{ ReqID uint64 }
+	// MsgBlkFwd: B asks holder C to supply the block to Requester. ReqID
+	// identifies B's forward state (echoed in MsgBlkFwdFail); DestReqID is
+	// the requester's own pending id, which must ride the MsgBlkXfer so A
+	// can match the arriving block to its wait.
+	MsgBlkFwd struct {
+		ReqID     uint64
+		DestReqID uint64
+		Blk       BlockID
+		Requester int
+	}
+	// MsgBlkFwdFail: C no longer holds the block; B retries.
+	MsgBlkFwdFail struct {
+		ReqID     uint64
+		Blk       BlockID
+		Requester int
+	}
+	// MsgBlkXfer: C ships the block (data message) to A.
+	MsgBlkXfer struct {
+		ReqID uint64
+		Blk   BlockID
+	}
+	// MsgBlkAck: A tells B it now holds the block (step 4).
+	MsgBlkAck struct {
+		Blk      BlockID
+		Holder   int
+		ForWrite bool
+	}
+	// MsgEvict: a node dropped its copy; master updates the directory.
+	MsgEvict struct {
+		Blk    BlockID
+		Holder int
+	}
+	// MsgOwnerRevoke: write ownership of a block moved to another node;
+	// the previous owner keeps its copy for snapshot reads but must fetch
+	// the current image before writing again.
+	MsgOwnerRevoke struct {
+		Blk BlockID
+	}
+)
+
+// Global lock messages.
+type (
+	// MsgLockReq asks the master for a lock.
+	MsgLockReq struct {
+		ReqID  uint64
+		Res    ResourceID
+		Txn    TxnRef
+		Mode   LockMode
+		NoWait bool
+	}
+	// MsgLockGrant grants a request; Waited says it queued first.
+	MsgLockGrant struct {
+		ReqID  uint64
+		Waited bool
+	}
+	// MsgLockDeny refuses a NoWait request that would queue.
+	MsgLockDeny struct{ ReqID uint64 }
+	// MsgLockCancel withdraws a waiting request (timeout at requester).
+	MsgLockCancel struct {
+		Res ResourceID
+		Txn TxnRef
+	}
+	// MsgLockRelease drops all of a transaction's locks mastered at the
+	// destination (sent once per master at commit).
+	MsgLockRelease struct {
+		Txn TxnRef
+		Res []ResourceID
+	}
+)
+
+// Centralized logging messages (Fig 9).
+type (
+	// MsgLogWrite carries a log record to the central log node.
+	MsgLogWrite struct {
+		ReqID uint64
+		From  int
+		Size  int
+	}
+	// MsgLogDone acknowledges durability.
+	MsgLogDone struct{ ReqID uint64 }
+)
+
+func (MsgBlkReq) isMsg()      {}
+func (MsgBlkNeg) isMsg()      {}
+func (MsgBlkFwd) isMsg()      {}
+func (MsgBlkFwdFail) isMsg()  {}
+func (MsgBlkXfer) isMsg()     {}
+func (MsgBlkAck) isMsg()      {}
+func (MsgEvict) isMsg()       {}
+func (MsgOwnerRevoke) isMsg() {}
+func (MsgLockReq) isMsg()     {}
+func (MsgLockGrant) isMsg()   {}
+func (MsgLockDeny) isMsg()    {}
+func (MsgLockCancel) isMsg()  {}
+func (MsgLockRelease) isMsg() {}
+func (MsgLogWrite) isMsg()    {}
+func (MsgLogDone) isMsg()     {}
+
+// dirEntry is the master-side directory record for one block.
+type dirEntry struct {
+	holders    map[int]bool
+	lastWriter int
+}
+
+// GCSStats aggregates one node's IPC and locking measurements.
+type GCSStats struct {
+	CtlMsgsSent  uint64
+	DataMsgsSent uint64
+	DataBytes    uint64
+
+	BlockHits       uint64 // local buffer cache hits
+	BlockTransfers  uint64 // blocks received via cache fusion
+	BlockDiskReads  uint64 // blocks fetched from disk
+	CurrencyFetches uint64 // current-image fetches for writes to stale copies
+
+	LockWaits    uint64
+	LockWaitTime stats.Tally // seconds per wait
+	LockFails    uint64
+
+	// Per-table contention breakdown (diagnostics).
+	WaitsByTable map[TableID]uint64
+	FailsByTable map[TableID]uint64
+}
+
+// noteWait records a lock wait on a table.
+func (s *GCSStats) noteWait(t TableID) {
+	if s.WaitsByTable == nil {
+		s.WaitsByTable = make(map[TableID]uint64)
+	}
+	s.WaitsByTable[t]++
+}
+
+// noteFail records a lock failure on a table.
+func (s *GCSStats) noteFail(t TableID) {
+	if s.FailsByTable == nil {
+		s.FailsByTable = make(map[TableID]uint64)
+	}
+	s.FailsByTable[t]++
+}
+
+// GCS is one node's global cache+lock service: the requester side used by
+// the executor, and the master side for blocks and locks homed here.
+type GCS struct {
+	sim   *sim.Sim
+	self  int
+	cat   *Catalog
+	host  Host
+	tr    Transport
+	cache *BufferCache
+	pager *Pager
+	vm    *VersionManager
+	locks *LockService
+	costs *OpCosts
+
+	dir        map[BlockID]*dirEntry
+	pendingFwd map[uint64]*fwdState
+
+	nextReq  uint64
+	pending  map[uint64]*sim.Mailbox
+	inflight map[BlockID][]*sim.Mailbox
+
+	// DeadlockTimeout bounds the blocking wait on a transaction's first
+	// contended lock; expiry is treated as a deadlock-suspected failure.
+	DeadlockTimeout sim.Time
+
+	// CentralLogNode >= 0 routes every commit's log write to that node
+	// (Fig 9); -1 logs locally.
+	CentralLogNode int
+	logDisk        LogDevice
+
+	Stats GCSStats
+}
+
+// LogDevice is the slice of disk.LogDisk the GCS needs (allows tests to
+// stub it).
+type LogDevice interface {
+	Submit(size int, done func())
+}
+
+// NewGCS assembles a node's global cache service.
+func NewGCS(s *sim.Sim, self int, cat *Catalog, host Host, cache *BufferCache,
+	pager *Pager, vm *VersionManager, costs *OpCosts, logDisk LogDevice) *GCS {
+	return &GCS{
+		sim:             s,
+		self:            self,
+		cat:             cat,
+		host:            host,
+		cache:           cache,
+		pager:           pager,
+		vm:              vm,
+		locks:           NewLockService(),
+		costs:           costs,
+		dir:             make(map[BlockID]*dirEntry),
+		pendingFwd:      make(map[uint64]*fwdState),
+		pending:         make(map[uint64]*sim.Mailbox),
+		inflight:        make(map[BlockID][]*sim.Mailbox),
+		DeadlockTimeout: 500 * sim.Millisecond,
+		CentralLogNode:  -1,
+		logDisk:         logDisk,
+	}
+}
+
+// SetTransport wires the IPC transport (done by the cluster assembly after
+// all nodes exist).
+func (g *GCS) SetTransport(tr Transport) { g.tr = tr }
+
+// Locks exposes the master-side lock service (tests, stats).
+func (g *GCS) Locks() *LockService { return g.locks }
+
+type fwdState struct {
+	requester int
+	blk       BlockID
+	forWrite  bool
+	tried     map[int]bool
+	reqID     uint64 // requester-side request id
+}
+
+// sendCtl charges send-side handling and ships a control message.
+func (g *GCS) sendCtl(to int, m Msg) {
+	g.Stats.CtlMsgsSent++
+	g.host.Process(g.costs.CtlMsgHandle, func() { g.tr.Send(to, m, CtlMsgBytes, false) })
+}
+
+// sendData charges send-side handling and ships a data message.
+func (g *GCS) sendData(to int, m Msg, size int) {
+	g.Stats.DataMsgsSent++
+	g.Stats.DataBytes += uint64(size)
+	g.host.Process(g.costs.DataMsgHandle, func() { g.tr.Send(to, m, size, true) })
+}
+
+// HandleMessage is the inbound entry point (kernel context); it charges
+// receive-side handling then dispatches.
+func (g *GCS) HandleMessage(from int, m Msg) {
+	cost := g.costs.CtlMsgHandle
+	if _, ok := m.(MsgBlkXfer); ok {
+		cost = g.costs.DataMsgHandle
+	}
+	if _, ok := m.(MsgLogWrite); ok {
+		cost = g.costs.DataMsgHandle
+	}
+	g.host.Process(cost, func() { g.dispatch(from, m) })
+}
+
+// dispatch routes one message after CPU processing.
+func (g *GCS) dispatch(from int, m Msg) {
+	switch msg := m.(type) {
+	case MsgBlkReq:
+		g.masterBlockReq(from, msg)
+	case MsgBlkNeg:
+		// Negative: requester reads from disk; wake it with "neg".
+		g.wake(msg.ReqID, "neg")
+	case MsgBlkFwd:
+		g.holderForward(from, msg)
+	case MsgBlkFwdFail:
+		g.masterFwdFail(from, msg)
+	case MsgBlkXfer:
+		g.wake(msg.ReqID, "xfer")
+	case MsgBlkAck:
+		g.masterRegisterHolder(msg.Blk, msg.Holder, msg.ForWrite)
+	case MsgEvict:
+		g.masterEvict(msg.Blk, msg.Holder)
+	case MsgOwnerRevoke:
+		g.revokeOwnership(msg.Blk)
+	case MsgLockReq:
+		g.masterLockReq(from, msg)
+	case MsgLockGrant:
+		g.wake(msg.ReqID, msg)
+	case MsgLockDeny:
+		g.wake(msg.ReqID, msg)
+	case MsgLockCancel:
+		g.locks.Cancel(msg.Res, msg.Txn)
+	case MsgLockRelease:
+		for _, r := range msg.Res {
+			g.locks.Release(r, msg.Txn)
+		}
+	case MsgLogWrite:
+		g.logDisk.Submit(msg.Size, func() {
+			g.sendCtl(msg.From, MsgLogDone{ReqID: msg.ReqID})
+		})
+	case MsgLogDone:
+		g.wake(msg.ReqID, "logged")
+	}
+}
+
+// wake completes a pending request.
+func (g *GCS) wake(reqID uint64, v any) {
+	if mb, ok := g.pending[reqID]; ok {
+		delete(g.pending, reqID)
+		mb.Send(v)
+	}
+}
+
+// newReq registers a pending request mailbox.
+func (g *GCS) newReq() (uint64, *sim.Mailbox) {
+	g.nextReq++
+	mb := sim.NewMailbox(g.sim)
+	g.pending[g.nextReq] = mb
+	return g.nextReq, mb
+}

@@ -1,0 +1,471 @@
+package db
+
+import "dclue/internal/sim"
+
+// ---- Block access (cache fusion, §2.1 steps 1-4) ----
+
+// GetBlock ensures blk is resident in the local buffer cache, pinned once.
+// The calling process blocks for the protocol's duration.
+func (g *GCS) GetBlock(p *sim.Proc, blk BlockID, forWrite bool) {
+	g.fetch(p, blk, forWrite, false)
+}
+
+// GetBlockCreate is GetBlock for a block that has no disk image yet (a
+// fresh append target): if nobody holds it, it is formatted in the cache
+// instead of being read from disk.
+func (g *GCS) GetBlockCreate(p *sim.Proc, blk BlockID) {
+	g.fetch(p, blk, true, true)
+}
+
+func (g *GCS) fetch(p *sim.Proc, blk BlockID, forWrite, create bool) {
+	if f := g.cache.Lookup(blk); f != nil {
+		if !forWrite || f.WriteOwner {
+			g.Stats.BlockHits++
+			return
+		}
+		// The copy is stale for writing: write ownership lives elsewhere.
+		// Fetch the current image from the last writer (the cache-fusion
+		// ping-pong that dominates clustered-DBMS IPC traffic). The frame
+		// is pinned, so it cannot vanish while we block.
+		g.Stats.CurrencyFetches++
+		g.currencyFetch(p, blk)
+		f.WriteOwner = true
+		return
+	}
+	// Coalesce concurrent fetches of the same block.
+	if waiters, busy := g.inflight[blk]; busy {
+		mb := sim.NewMailbox(g.sim)
+		g.inflight[blk] = append(waiters, mb)
+		mb.Recv(p)
+		g.host.Dispatch(p, g.costs.ResumeDispatch)
+		if f := g.cache.Lookup(blk); f != nil {
+			return
+		}
+		// Evicted between fill and wake (rare): fall through and fetch.
+	}
+	g.inflight[blk] = nil
+
+	master := g.cat.Home(blk)
+	if master == g.self {
+		g.localMasterFetch(p, blk, forWrite, create)
+	} else {
+		g.remoteFetch(p, blk, master, forWrite, create)
+	}
+
+	// Fill complete: admit, wake coalesced waiters.
+	f := g.cache.InsertPinned(blk)
+	if forWrite || create {
+		f.WriteOwner = true
+	}
+	for _, mb := range g.inflight[blk] {
+		mb.Send(nil)
+	}
+	delete(g.inflight, blk)
+}
+
+// currencyFetch obtains the current image of a block we already hold a
+// stale copy of: a directory exchange plus a data transfer from the last
+// writer, but never a disk read (our copy plus the log are current enough
+// if the writer is gone).
+func (g *GCS) currencyFetch(p *sim.Proc, blk BlockID) {
+	master := g.cat.Home(blk)
+	if master == g.self {
+		g.host.Execute(p, g.costs.DirLookup)
+		e := g.dir[blk]
+		supplier := -1
+		if e != nil && e.lastWriter >= 0 && e.lastWriter != g.self && e.holders[e.lastWriter] {
+			supplier = e.lastWriter
+		}
+		if supplier >= 0 {
+			reqID, mb := g.newReq()
+			g.sendCtl(supplier, MsgBlkFwd{ReqID: reqID, DestReqID: reqID, Blk: blk, Requester: g.self})
+			if v := mb.Recv(p); v != "neg" {
+				g.Stats.BlockTransfers++
+			}
+			g.host.Dispatch(p, g.costs.ResumeDispatch)
+		}
+		g.masterRegisterHolder(blk, g.self, true)
+		return
+	}
+	reqID, mb := g.newReq()
+	g.sendCtl(master, MsgBlkReq{ReqID: reqID, Blk: blk, ForWrite: true, HaveCopy: true})
+	if v := mb.Recv(p); v != "neg" {
+		g.Stats.BlockTransfers++
+	}
+	g.host.Dispatch(p, g.costs.ResumeDispatch)
+	g.sendCtl(master, MsgBlkAck{Blk: blk, Holder: g.self, ForWrite: true})
+}
+
+// revokeOwnership clears the local write-owner flag: another node now holds
+// the current image.
+func (g *GCS) revokeOwnership(blk BlockID) {
+	if f := g.cache.Peek(blk); f != nil {
+		f.WriteOwner = false
+	}
+}
+
+// localMasterFetch handles A == B: the directory is local.
+func (g *GCS) localMasterFetch(p *sim.Proc, blk BlockID, forWrite, create bool) {
+	g.host.Execute(p, g.costs.DirLookup)
+	supplier := g.pickSupplier(blk, g.self)
+	if supplier < 0 {
+		// No holder anywhere: disk read (step 2), local disk since we are
+		// the home — unless the block is brand new and formatted in place.
+		if !create {
+			g.Stats.BlockDiskReads++
+			g.pager.ReadBlock(p, blk, BlockBytes)
+			g.host.Dispatch(p, g.costs.ResumeDispatch)
+		}
+		g.masterRegisterHolder(blk, g.self, forWrite)
+		return
+	}
+	// Step 3 with B == A: ask C directly, wait for the data.
+	reqID, mb := g.newReq()
+	g.sendCtl(supplier, MsgBlkFwd{ReqID: reqID, DestReqID: reqID, Blk: blk, Requester: g.self})
+	v := mb.Recv(p)
+	g.host.Dispatch(p, g.costs.ResumeDispatch)
+	if v == "neg" {
+		// Supplier lost the block and we are the master: fall back to disk.
+		g.Stats.BlockDiskReads++
+		g.pager.ReadBlock(p, blk, BlockBytes)
+		g.host.Dispatch(p, g.costs.ResumeDispatch)
+	} else {
+		g.Stats.BlockTransfers++
+	}
+	g.masterRegisterHolder(blk, g.self, forWrite)
+}
+
+// remoteFetch handles A != B: full message protocol.
+func (g *GCS) remoteFetch(p *sim.Proc, blk BlockID, master int, forWrite, create bool) {
+	reqID, mb := g.newReq()
+	g.sendCtl(master, MsgBlkReq{ReqID: reqID, Blk: blk, ForWrite: forWrite})
+	v := mb.Recv(p)
+	g.host.Dispatch(p, g.costs.ResumeDispatch)
+	if v == "neg" {
+		// Step 2: read from the home node's disk over iSCSI — unless the
+		// block is brand new and formatted in place.
+		if !create {
+			g.Stats.BlockDiskReads++
+			g.pager.ReadBlock(p, blk, BlockBytes)
+			g.host.Dispatch(p, g.costs.ResumeDispatch)
+		}
+	} else {
+		g.Stats.BlockTransfers++
+	}
+	// Step 4: tell the directory we hold it now.
+	g.sendCtl(master, MsgBlkAck{Blk: blk, Holder: g.self, ForWrite: forWrite})
+}
+
+// pickSupplier chooses a current holder other than requester, preferring
+// the last writer (most recent copy), then the lowest node id for
+// determinism. Returns -1 if none.
+func (g *GCS) pickSupplier(blk BlockID, requester int) int {
+	e := g.dir[blk]
+	if e == nil {
+		return -1
+	}
+	if e.lastWriter != requester && e.holders[e.lastWriter] {
+		return e.lastWriter
+	}
+	best := -1
+	for h := range e.holders {
+		if h == requester {
+			continue
+		}
+		if best < 0 || h < best {
+			best = h
+		}
+	}
+	return best
+}
+
+// masterBlockReq serves step 1 at the directory master.
+func (g *GCS) masterBlockReq(from int, m MsgBlkReq) {
+	var supplier int
+	if m.HaveCopy {
+		// Currency fetch: only the last writer's image improves on the
+		// requester's own copy.
+		supplier = -1
+		if e := g.dir[m.Blk]; e != nil && e.lastWriter >= 0 &&
+			e.lastWriter != from && e.holders[e.lastWriter] {
+			supplier = e.lastWriter
+		}
+	} else {
+		supplier = g.pickSupplier(m.Blk, from)
+	}
+	if supplier < 0 {
+		g.sendCtl(from, MsgBlkNeg{ReqID: m.ReqID})
+		return
+	}
+	if supplier == g.self {
+		// Master itself supplies: ship data directly (C == B).
+		g.sendData(from, MsgBlkXfer{ReqID: m.ReqID, Blk: m.Blk},
+			BlockBytes+g.vm.VersionBytes(m.Blk))
+		return
+	}
+	g.nextReq++
+	fid := g.nextReq
+	g.pendingFwd[fid] = &fwdState{
+		requester: from, blk: m.Blk, forWrite: m.ForWrite,
+		tried: map[int]bool{supplier: true}, reqID: m.ReqID,
+	}
+	g.sendCtl(supplier, MsgBlkFwd{ReqID: fid, DestReqID: m.ReqID, Blk: m.Blk, Requester: from})
+}
+
+// holderForward serves step 3 at the supplier C.
+func (g *GCS) holderForward(from int, m MsgBlkFwd) {
+	if !g.cache.Contains(m.Blk) {
+		// Raced an eviction; tell the master (or the requester when the
+		// master asked on its own behalf).
+		if m.Requester == from {
+			g.sendCtl(from, MsgBlkNeg{ReqID: m.ReqID})
+		} else {
+			g.sendCtl(from, MsgBlkFwdFail{ReqID: m.ReqID, Blk: m.Blk, Requester: m.Requester})
+		}
+		return
+	}
+	size := BlockBytes + g.vm.VersionBytes(m.Blk)
+	g.sendData(m.Requester, MsgBlkXfer{ReqID: m.DestReqID, Blk: m.Blk}, size)
+}
+
+// masterFwdFail retries with another supplier or negs the requester.
+func (g *GCS) masterFwdFail(from int, m MsgBlkFwdFail) {
+	st, ok := g.pendingFwd[m.ReqID]
+	if !ok {
+		return
+	}
+	g.masterEvict(st.blk, from)
+	// Retry an untried holder.
+	e := g.dir[st.blk]
+	next := -1
+	if e != nil {
+		for h := range e.holders {
+			if h == st.requester || st.tried[h] {
+				continue
+			}
+			if next < 0 || h < next {
+				next = h
+			}
+		}
+	}
+	if next < 0 {
+		delete(g.pendingFwd, m.ReqID)
+		g.sendCtl(st.requester, MsgBlkNeg{ReqID: st.reqID})
+		return
+	}
+	st.tried[next] = true
+	if next == g.self {
+		delete(g.pendingFwd, m.ReqID)
+		g.sendData(st.requester, MsgBlkXfer{ReqID: st.reqID, Blk: st.blk},
+			BlockBytes+g.vm.VersionBytes(st.blk))
+		return
+	}
+	g.sendCtl(next, MsgBlkFwd{ReqID: m.ReqID, DestReqID: st.reqID, Blk: st.blk, Requester: st.requester})
+}
+
+// masterRegisterHolder records a new holder (step 4 / local fill), moving
+// write ownership when the access was a write: the previous owner is told
+// its image is no longer current. Also reaps any pendingFwd entries that
+// completed (XFER went straight to the requester, so the master learns
+// completion from the ack).
+func (g *GCS) masterRegisterHolder(blk BlockID, holder int, forWrite bool) {
+	e := g.dir[blk]
+	if e == nil {
+		e = &dirEntry{holders: make(map[int]bool), lastWriter: -1}
+		g.dir[blk] = e
+	}
+	e.holders[holder] = true
+	if forWrite && e.lastWriter != holder {
+		prev := e.lastWriter
+		e.lastWriter = holder
+		if prev >= 0 {
+			if prev == g.self {
+				g.revokeOwnership(blk)
+			} else {
+				g.sendCtl(prev, MsgOwnerRevoke{Blk: blk})
+			}
+		}
+	}
+	for id, st := range g.pendingFwd {
+		if st.blk == blk && st.requester == holder {
+			delete(g.pendingFwd, id)
+		}
+	}
+}
+
+// Prewarm admits a self-homed block into the local cache and directory at
+// build time (no messages involved); the home starts as write owner.
+// Returns false when the cache is full.
+func (g *GCS) Prewarm(blk BlockID) bool {
+	if g.cat.Home(blk) != g.self {
+		return false
+	}
+	if !g.cache.InsertWarm(blk) {
+		return false
+	}
+	if f := g.cache.Peek(blk); f != nil {
+		f.WriteOwner = true
+	}
+	g.masterRegisterHolder(blk, g.self, true)
+	return true
+}
+
+// masterEvict removes a holder from the directory.
+func (g *GCS) masterEvict(blk BlockID, holder int) {
+	e := g.dir[blk]
+	if e == nil {
+		return
+	}
+	delete(e.holders, holder)
+	if len(e.holders) == 0 {
+		delete(g.dir, blk)
+	}
+}
+
+// OnEvict is the buffer cache's eviction callback: write back dirty data
+// and notify the directory (§2.1: "if A had to evict a block ... it informs
+// B of that too").
+func (g *GCS) OnEvict(blk BlockID, dirty bool) {
+	if dirty {
+		g.pager.WriteBack(blk, BlockBytes)
+	}
+	master := g.cat.Home(blk)
+	if master == g.self {
+		g.masterEvict(blk, g.self)
+		return
+	}
+	g.sendCtl(master, MsgEvict{Blk: blk, Holder: g.self})
+}
+
+// ---- Global locks ----
+
+// AcquireLock requests an X/S lock on res for txn. If wait is true the
+// caller blocks until granted or the deadlock timeout expires; if false a
+// would-block request is denied immediately (the paper's
+// release-and-retry path for later locks in a sequence). Returns whether
+// the lock was granted and whether the caller had to wait for it.
+func (g *GCS) AcquireLock(p *sim.Proc, txn TxnRef, res ResourceID, mode LockMode, wait bool) (granted, waited bool) {
+	master := g.cat.Home(BlockID{res.Table, res.Block})
+	start := g.sim.Now()
+	if master == g.self {
+		g.host.Execute(p, g.costs.LockRequest)
+		done := false
+		syncWait := false
+		mb := sim.NewMailbox(g.sim)
+		g.locks.Request(res, txn, mode, func(w bool) {
+			done = true
+			syncWait = w
+			if w {
+				mb.Send(nil)
+			}
+		})
+		if done && !syncWait {
+			return true, false
+		}
+		if !wait {
+			g.locks.Cancel(res, txn)
+			g.Stats.LockFails++
+			g.Stats.noteFail(res.Table)
+			return false, false
+		}
+		g.Stats.LockWaits++
+		g.Stats.noteWait(res.Table)
+		if _, ok := mb.RecvTimeout(p, g.DeadlockTimeout); !ok {
+			g.locks.Cancel(res, txn)
+			g.Stats.LockFails++
+			g.Stats.noteFail(res.Table)
+			g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+			g.host.Dispatch(p, g.costs.ResumeDispatch)
+			return false, true
+		}
+		g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+		g.host.Dispatch(p, g.costs.ResumeDispatch)
+		return true, true
+	}
+
+	// Remote master.
+	reqID, mb := g.newReq()
+	g.sendCtl(master, MsgLockReq{ReqID: reqID, Res: res, Txn: txn, Mode: mode, NoWait: !wait})
+	v, ok := mb.RecvTimeout(p, g.DeadlockTimeout)
+	g.host.Dispatch(p, g.costs.ResumeDispatch)
+	if !ok {
+		delete(g.pending, reqID)
+		g.sendCtl(master, MsgLockCancel{Res: res, Txn: txn})
+		g.Stats.LockFails++
+		g.Stats.noteFail(res.Table)
+		g.Stats.LockWaits++
+		g.Stats.noteWait(res.Table)
+		g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+		return false, true
+	}
+	switch r := v.(type) {
+	case MsgLockGrant:
+		if r.Waited {
+			g.Stats.LockWaits++
+			g.Stats.noteWait(res.Table)
+			g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+		}
+		return true, r.Waited
+	case MsgLockDeny:
+		g.Stats.LockFails++
+		g.Stats.noteFail(res.Table)
+		return false, false
+	}
+	return false, false
+}
+
+// masterLockReq serves a remote lock request.
+func (g *GCS) masterLockReq(from int, m MsgLockReq) {
+	if m.NoWait {
+		granted := false
+		g.locks.Request(m.Res, m.Txn, m.Mode, func(w bool) { granted = true })
+		if granted {
+			g.sendCtl(from, MsgLockGrant{ReqID: m.ReqID})
+		} else {
+			g.locks.Cancel(m.Res, m.Txn)
+			g.sendCtl(from, MsgLockDeny{ReqID: m.ReqID})
+		}
+		return
+	}
+	g.locks.Request(m.Res, m.Txn, m.Mode, func(w bool) {
+		g.sendCtl(from, MsgLockGrant{ReqID: m.ReqID, Waited: w})
+	})
+}
+
+// ReleaseLocks drops every lock txn holds: local releases plus one batched
+// control message per remote master.
+func (g *GCS) ReleaseLocks(txn TxnRef, held []ResourceID) {
+	perMaster := make(map[int][]ResourceID)
+	for _, r := range held {
+		m := g.cat.Home(BlockID{r.Table, r.Block})
+		if m == g.self {
+			g.locks.Release(r, txn)
+		} else {
+			perMaster[m] = append(perMaster[m], r)
+		}
+	}
+	// Deterministic send order.
+	for m := 0; m < g.cat.Nodes(); m++ {
+		if rs, ok := perMaster[m]; ok {
+			g.sendCtl(m, MsgLockRelease{Txn: txn, Res: rs})
+		}
+	}
+}
+
+// ---- Logging ----
+
+// WriteLog makes size bytes of log durable before returning: on the local
+// log disk, or at the central log node over the fabric (Fig 9).
+func (g *GCS) WriteLog(p *sim.Proc, size int) {
+	if g.CentralLogNode < 0 || g.CentralLogNode == g.self {
+		mb := sim.NewMailbox(g.sim)
+		g.logDisk.Submit(size, func() { mb.Send(nil) })
+		mb.Recv(p)
+		g.host.Dispatch(p, g.costs.ResumeDispatch)
+		return
+	}
+	reqID, mb := g.newReq()
+	g.sendData(g.CentralLogNode, MsgLogWrite{ReqID: reqID, From: g.self, Size: size}, size)
+	mb.Recv(p)
+	g.host.Dispatch(p, g.costs.ResumeDispatch)
+}

@@ -1,0 +1,173 @@
+package db
+
+// LockMode is a lock strength. With multi-version concurrency control
+// reads never lock (§2.1), so the executor only requests X; S exists for
+// completeness and tests.
+type LockMode int
+
+// Lock modes.
+const (
+	LockS LockMode = iota
+	LockX
+)
+
+// TxnRef names a transaction cluster-wide.
+type TxnRef struct {
+	Node int
+	ID   uint64
+}
+
+// lockWaiter is a queued request at the master.
+type lockWaiter struct {
+	txn   TxnRef
+	mode  LockMode
+	grant func(waited bool)
+}
+
+// lockEntry is the master-side state of one resource.
+type lockEntry struct {
+	holders map[TxnRef]LockMode
+	queue   []*lockWaiter
+}
+
+// LockService is the lock master role of one node: it owns the lock tables
+// for every resource whose block it homes (partition-aware mastering, like
+// the directory).
+type LockService struct {
+	locks map[ResourceID]*lockEntry
+
+	Grants     uint64
+	Queued     uint64
+	Cancels    uint64
+	MaxQueue   int
+	ActiveLock int // resources with holders or waiters
+}
+
+// NewLockService returns an empty lock master.
+func NewLockService() *LockService {
+	return &LockService{locks: make(map[ResourceID]*lockEntry)}
+}
+
+// compatible reports whether a request mode coexists with a held mode.
+func compatible(held, req LockMode) bool { return held == LockS && req == LockS }
+
+// Request asks for res in mode on behalf of txn. grant is invoked exactly
+// once — immediately (waited=false) or later when the lock frees
+// (waited=true). Re-entrant requests by a holder are granted immediately;
+// an S holder sole on the resource upgrades to X in place.
+func (ls *LockService) Request(res ResourceID, txn TxnRef, mode LockMode, grant func(waited bool)) {
+	e := ls.locks[res]
+	if e == nil {
+		e = &lockEntry{holders: make(map[TxnRef]LockMode)}
+		ls.locks[res] = e
+		ls.ActiveLock++
+	}
+	if held, ok := e.holders[txn]; ok {
+		if mode == LockX && held == LockS {
+			if len(e.holders) == 1 {
+				e.holders[txn] = LockX
+				ls.Grants++
+				grant(false)
+				return
+			}
+			// Upgrade must queue behind other S holders.
+		} else {
+			ls.Grants++
+			grant(false)
+			return
+		}
+	}
+	if len(e.queue) == 0 && ls.fits(e, txn, mode) {
+		e.holders[txn] = mode
+		ls.Grants++
+		grant(false)
+		return
+	}
+	e.queue = append(e.queue, &lockWaiter{txn: txn, mode: mode, grant: grant})
+	ls.Queued++
+	if len(e.queue) > ls.MaxQueue {
+		ls.MaxQueue = len(e.queue)
+	}
+}
+
+// fits reports whether txn may take mode given current holders (ignoring
+// the queue).
+func (ls *LockService) fits(e *lockEntry, txn TxnRef, mode LockMode) bool {
+	for h, m := range e.holders {
+		if h == txn {
+			continue
+		}
+		if !compatible(m, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Release drops txn's hold on res and pumps the queue.
+func (ls *LockService) Release(res ResourceID, txn TxnRef) {
+	e := ls.locks[res]
+	if e == nil {
+		return
+	}
+	delete(e.holders, txn)
+	ls.pump(res, e)
+}
+
+// Cancel withdraws a queued request (requester gave up waiting). If the
+// request was already granted this is a release.
+func (ls *LockService) Cancel(res ResourceID, txn TxnRef) {
+	e := ls.locks[res]
+	if e == nil {
+		return
+	}
+	for i, w := range e.queue {
+		if w.txn == txn {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			ls.Cancels++
+			ls.pump(res, e)
+			return
+		}
+	}
+	// Not queued: grant must have raced the cancel; treat as release.
+	if _, ok := e.holders[txn]; ok {
+		delete(e.holders, txn)
+		ls.pump(res, e)
+	}
+}
+
+// pump grants queued requests in FIFO order while they fit.
+func (ls *LockService) pump(res ResourceID, e *lockEntry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if !ls.fits(e, w.txn, w.mode) {
+			break
+		}
+		e.queue = e.queue[1:]
+		e.holders[w.txn] = w.mode
+		ls.Grants++
+		w.grant(true)
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(ls.locks, res)
+		ls.ActiveLock--
+	}
+}
+
+// HeldBy reports whether txn currently holds res.
+func (ls *LockService) HeldBy(res ResourceID, txn TxnRef) bool {
+	e := ls.locks[res]
+	if e == nil {
+		return false
+	}
+	_, ok := e.holders[txn]
+	return ok
+}
+
+// QueueLen returns the waiter count on res.
+func (ls *LockService) QueueLen(res ResourceID) int {
+	if e := ls.locks[res]; e != nil {
+		return len(e.queue)
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+package db
+
+import "testing"
+
+var res1 = ResourceID{Table: 1, Block: 2, Subpage: 0}
+var res2 = ResourceID{Table: 1, Block: 2, Subpage: 1}
+
+func tx(n int, id uint64) TxnRef { return TxnRef{Node: n, ID: id} }
+
+func TestLockImmediateGrant(t *testing.T) {
+	ls := NewLockService()
+	granted := false
+	ls.Request(res1, tx(0, 1), LockX, func(w bool) {
+		granted = true
+		if w {
+			t.Error("uncontended grant reported waited")
+		}
+	})
+	if !granted {
+		t.Fatal("not granted")
+	}
+	if !ls.HeldBy(res1, tx(0, 1)) {
+		t.Fatal("holder not recorded")
+	}
+}
+
+func TestLockConflictQueuesThenGrants(t *testing.T) {
+	ls := NewLockService()
+	ls.Request(res1, tx(0, 1), LockX, func(bool) {})
+	got := false
+	ls.Request(res1, tx(1, 2), LockX, func(w bool) {
+		got = true
+		if !w {
+			t.Error("queued grant reported no wait")
+		}
+	})
+	if got {
+		t.Fatal("conflicting lock granted immediately")
+	}
+	if ls.QueueLen(res1) != 1 {
+		t.Fatalf("queue %d", ls.QueueLen(res1))
+	}
+	ls.Release(res1, tx(0, 1))
+	if !got {
+		t.Fatal("lock not granted after release")
+	}
+}
+
+func TestLockSharedCompatible(t *testing.T) {
+	ls := NewLockService()
+	g1, g2 := false, false
+	ls.Request(res1, tx(0, 1), LockS, func(bool) { g1 = true })
+	ls.Request(res1, tx(1, 2), LockS, func(bool) { g2 = true })
+	if !g1 || !g2 {
+		t.Fatal("shared locks not co-granted")
+	}
+}
+
+func TestLockSThenXQueues(t *testing.T) {
+	ls := NewLockService()
+	ls.Request(res1, tx(0, 1), LockS, func(bool) {})
+	got := false
+	ls.Request(res1, tx(1, 2), LockX, func(bool) { got = true })
+	if got {
+		t.Fatal("X granted alongside S")
+	}
+	ls.Release(res1, tx(0, 1))
+	if !got {
+		t.Fatal("X not granted after S release")
+	}
+}
+
+func TestLockReentrant(t *testing.T) {
+	ls := NewLockService()
+	n := 0
+	ls.Request(res1, tx(0, 1), LockX, func(bool) { n++ })
+	ls.Request(res1, tx(0, 1), LockX, func(bool) { n++ })
+	if n != 2 {
+		t.Fatalf("re-entrant request not granted: %d", n)
+	}
+}
+
+func TestLockUpgradeSoleHolder(t *testing.T) {
+	ls := NewLockService()
+	ls.Request(res1, tx(0, 1), LockS, func(bool) {})
+	upgraded := false
+	ls.Request(res1, tx(0, 1), LockX, func(w bool) { upgraded = true })
+	if !upgraded {
+		t.Fatal("sole-holder upgrade not granted")
+	}
+	// Now X is held: another S must queue.
+	blocked := true
+	ls.Request(res1, tx(1, 2), LockS, func(bool) { blocked = false })
+	if !blocked {
+		t.Fatal("S granted against upgraded X")
+	}
+}
+
+func TestLockFIFOOrder(t *testing.T) {
+	ls := NewLockService()
+	ls.Request(res1, tx(0, 1), LockX, func(bool) {})
+	var order []uint64
+	for i := uint64(2); i <= 4; i++ {
+		i := i
+		ls.Request(res1, tx(1, i), LockX, func(bool) { order = append(order, i) })
+	}
+	ls.Release(res1, tx(0, 1))
+	ls.Release(res1, tx(1, 2))
+	ls.Release(res1, tx(1, 3))
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 4 {
+		t.Fatalf("grant order %v", order)
+	}
+}
+
+func TestLockCancelQueued(t *testing.T) {
+	ls := NewLockService()
+	ls.Request(res1, tx(0, 1), LockX, func(bool) {})
+	granted := false
+	ls.Request(res1, tx(1, 2), LockX, func(bool) { granted = true })
+	ls.Cancel(res1, tx(1, 2))
+	ls.Release(res1, tx(0, 1))
+	if granted {
+		t.Fatal("cancelled waiter was granted")
+	}
+	if ls.QueueLen(res1) != 0 {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestLockCancelAfterGrantActsAsRelease(t *testing.T) {
+	ls := NewLockService()
+	ls.Request(res1, tx(0, 1), LockX, func(bool) {})
+	ls.Cancel(res1, tx(0, 1)) // raced grant: treated as release
+	granted := false
+	ls.Request(res1, tx(1, 2), LockX, func(bool) { granted = true })
+	if !granted {
+		t.Fatal("resource not freed by cancel-as-release")
+	}
+}
+
+func TestLockIndependentResources(t *testing.T) {
+	ls := NewLockService()
+	g2 := false
+	ls.Request(res1, tx(0, 1), LockX, func(bool) {})
+	ls.Request(res2, tx(1, 2), LockX, func(bool) { g2 = true })
+	if !g2 {
+		t.Fatal("different subpage blocked")
+	}
+}
+
+func TestLockEntryCleanup(t *testing.T) {
+	ls := NewLockService()
+	ls.Request(res1, tx(0, 1), LockX, func(bool) {})
+	ls.Release(res1, tx(0, 1))
+	if ls.ActiveLock != 0 {
+		t.Fatalf("active lock entries %d after release", ls.ActiveLock)
+	}
+}

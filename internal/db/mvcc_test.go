@@ -1,0 +1,153 @@
+package db
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+func testCatalog(nodes int) (*Catalog, *Table) {
+	cat := NewCatalog(nodes)
+	t := cat.AddTable(TableSpec{Name: "t", RowBytes: 256, Subpages: 4})
+	return cat, t
+}
+
+func TestVersionCreateAndHops(t *testing.T) {
+	cat, tbl := testCatalog(2)
+	bc := NewBufferCache(64, nil)
+	vm := NewVersionManager(cat, bc, 1<<20)
+	row := tbl.Insert(1, 0)
+
+	if vm.SnapshotHops(tbl.ID, row, 0) != 0 {
+		t.Fatal("hops on unversioned row")
+	}
+	vm.Create(tbl, row, 100)
+	vm.Create(tbl, row, 200)
+	vm.Create(tbl, row, 300)
+	// Snapshot at 150 must skip versions from 200 and 300.
+	if h := vm.SnapshotHops(tbl.ID, row, 150); h != 2 {
+		t.Fatalf("hops = %d, want 2", h)
+	}
+	// Current reader walks nothing.
+	if h := vm.SnapshotHops(tbl.ID, row, 400); h != 0 {
+		t.Fatalf("hops = %d, want 0", h)
+	}
+	if vm.Used() != 3*256 {
+		t.Fatalf("used %d", vm.Used())
+	}
+	if vm.VersionBytes(tbl.BlockOf(row)) != 3*256 {
+		t.Fatal("per-block version bytes wrong")
+	}
+}
+
+func TestVersionGC(t *testing.T) {
+	cat, tbl := testCatalog(2)
+	bc := NewBufferCache(64, nil)
+	vm := NewVersionManager(cat, bc, 1<<20)
+	row := tbl.Insert(1, 0)
+	for i := sim.Time(1); i <= 10; i++ {
+		vm.Create(tbl, row, i*100)
+	}
+	vm.GC(550) // versions before 550 collectable (newest always kept)
+	if vm.Collected == 0 {
+		t.Fatal("GC collected nothing")
+	}
+	// Versions at 600..1000 plus the newest survivor remain.
+	if h := vm.SnapshotHops(tbl.ID, row, 550); h != 5 {
+		t.Fatalf("hops after GC = %d, want 5", h)
+	}
+}
+
+func TestVersionStealsPages(t *testing.T) {
+	cat, tbl := testCatalog(2)
+	bc := NewBufferCache(64, nil)
+	for i := int64(0); i < 32; i++ {
+		bc.InsertPinned(blk(5, i))
+		bc.Unpin(blk(5, i))
+	}
+	// Tiny overflow area: creating versions must steal cache pages.
+	vm := NewVersionManager(cat, bc, 1024)
+	row := tbl.Insert(1, 0)
+	for i := sim.Time(0); i < 100; i++ {
+		vm.Create(tbl, row, i)
+	}
+	if vm.Steals == 0 {
+		t.Fatal("no pages stolen despite overflow pressure")
+	}
+	if bc.Capacity() >= 64 {
+		t.Fatal("cache capacity not reduced by steals")
+	}
+	// GC everything except the newest; stolen pages return.
+	vm.GC(1 << 60)
+	if bc.Capacity() != 64 {
+		t.Fatalf("capacity %d after GC, want 64", bc.Capacity())
+	}
+}
+
+func TestTablePlacementAndResources(t *testing.T) {
+	cat := NewCatalog(4)
+	tbl := cat.AddTable(TableSpec{Name: "x", RowBytes: 2048, Subpages: 2})
+	if tbl.RowsPerBlock != 4 {
+		t.Fatalf("rows/block %d", tbl.RowsPerBlock)
+	}
+	// Fill one block from node 2.
+	var rows []int64
+	for k := int64(0); k < 4; k++ {
+		rows = append(rows, tbl.Insert(k, 2))
+	}
+	b := tbl.BlockOf(rows[0])
+	if cat.Home(b) != 2 {
+		t.Fatalf("home %d, want 2", cat.Home(b))
+	}
+	// Subpages: 4 rows, 2 subpages -> rows 0,1 in subpage 0; rows 2,3 in 1.
+	if tbl.ResourceOf(rows[0]).Subpage != 0 || tbl.ResourceOf(rows[3]).Subpage != 1 {
+		t.Fatalf("subpage mapping: %+v %+v", tbl.ResourceOf(rows[0]), tbl.ResourceOf(rows[3]))
+	}
+	// Next insert from node 1 opens a new block homed there.
+	r2 := tbl.Insert(100, 1)
+	if cat.Home(tbl.BlockOf(r2)) != 1 {
+		t.Fatal("new block not homed on inserting node")
+	}
+}
+
+func TestTableHashedPlacement(t *testing.T) {
+	cat := NewCatalog(4)
+	tbl := cat.AddTable(TableSpec{Name: "item", RowBytes: 64, Subpages: 1, Placement: PlacementHashed})
+	for k := int64(0); k < 1000; k++ {
+		tbl.Insert(k, 0)
+	}
+	seen := map[int]bool{}
+	for b := int64(0); b < tbl.Blocks(); b++ {
+		seen[cat.Home(BlockID{tbl.ID, b})] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("hashed blocks touched %d nodes, want 4", len(seen))
+	}
+}
+
+func TestTableFreeListReuse(t *testing.T) {
+	cat := NewCatalog(1)
+	tbl := cat.AddTable(TableSpec{Name: "no", RowBytes: 64, Subpages: 1})
+	r1 := tbl.Insert(1, 0)
+	tbl.Delete(1)
+	r2 := tbl.Insert(2, 0)
+	if r1 != r2 {
+		t.Fatalf("slot not reused: %d vs %d", r1, r2)
+	}
+	if tbl.Rows() != 1 {
+		t.Fatalf("rows %d", tbl.Rows())
+	}
+}
+
+func TestIndexLeafHoming(t *testing.T) {
+	cat := NewCatalog(2)
+	tbl := cat.AddTable(TableSpec{Name: "x", RowBytes: 8192, Subpages: 1})
+	row := tbl.Insert(1, 1)
+	leaf := tbl.IndexLeafOf(row)
+	if !leaf.IsIndex() {
+		t.Fatal("leaf not flagged as index block")
+	}
+	if cat.Home(leaf) != cat.Home(tbl.BlockOf(row)) {
+		t.Fatal("index leaf homed away from its data")
+	}
+}

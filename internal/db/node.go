@@ -1,0 +1,332 @@
+package db
+
+import (
+	"errors"
+
+	"dclue/internal/sim"
+	"dclue/internal/stats"
+)
+
+// ErrLockFailed aborts the current transaction attempt: a lock could not be
+// acquired and the paper's protocol (§2.3) releases everything and retries
+// after a delay.
+var ErrLockFailed = errors.New("db: lock acquisition failed")
+
+// Txn is one transaction attempt executing on a node.
+type Txn struct {
+	Ref      TxnRef
+	Snapshot sim.Time
+	node     *Node
+
+	locks      []ResourceID
+	lockSet    map[ResourceID]bool
+	freed      []freedRow
+	waitedOnce bool
+	writeRows  int
+	logBytes   int
+	aborted    bool
+}
+
+type freedRow struct {
+	table TableID
+	row   int64
+}
+
+// NodeStats aggregates the executor-level measurements of one node.
+type NodeStats struct {
+	Commits      uint64
+	Aborts       uint64
+	RowsRead     uint64
+	RowsWritten  uint64
+	VersionsRead stats.Tally // snapshot hops per read
+}
+
+// Node is one cluster member's database engine: buffer cache, version
+// manager, lock client/master, fusion directory client/master, pager and
+// log — plus the executor API the workload drives.
+type Node struct {
+	Self  int
+	sim   *sim.Sim
+	cat   *Catalog
+	host  Host
+	Cache *BufferCache
+	VM    *VersionManager
+	GCS   *GCS
+	Pager *Pager
+	costs *OpCosts
+
+	nextTxn uint64
+	Stats   NodeStats
+}
+
+// NodeConfig sizes a node's memory structures.
+type NodeConfig struct {
+	BufferFrames  int      // buffer cache capacity in 8 KB frames
+	OverflowBytes int      // MVCC overflow area
+	GCInterval    sim.Time // version GC cadence (0 disables)
+	GCHorizon     sim.Time // versions older than now-horizon are reclaimable
+}
+
+// NewNode assembles a node engine. The caller wires the transport
+// afterwards via n.GCS.SetTransport.
+func NewNode(s *sim.Sim, self int, cat *Catalog, host Host, cfg NodeConfig,
+	pagerMk func(costs *OpCosts, cache *BufferCache) *Pager, costs *OpCosts, logDisk LogDevice) *Node {
+
+	n := &Node{Self: self, sim: s, cat: cat, host: host, costs: costs}
+	var gcs *GCS
+	n.Cache = NewBufferCache(cfg.BufferFrames, func(blk BlockID, dirty bool) {
+		if gcs != nil {
+			gcs.OnEvict(blk, dirty)
+		}
+	})
+	n.Pager = pagerMk(costs, n.Cache)
+	n.VM = NewVersionManager(cat, n.Cache, cfg.OverflowBytes)
+	gcs = NewGCS(s, self, cat, host, n.Cache, n.Pager, n.VM, costs, logDisk)
+	n.GCS = gcs
+
+	// Version garbage collection: reclaim versions no active snapshot can
+	// need. Snapshots live at most a transaction's lifetime; the horizon is
+	// a safe multiple of healthy response times.
+	if cfg.GCInterval > 0 {
+		s.Spawn("mvcc-gc", func(p *sim.Proc) {
+			for {
+				p.Sleep(cfg.GCInterval)
+				n.VM.GC(p.Now() - cfg.GCHorizon)
+			}
+		})
+	}
+	return n
+}
+
+// Costs exposes the node's cost table.
+func (n *Node) Costs() *OpCosts { return n.costs }
+
+// Begin starts a transaction attempt, charging initiation work.
+func (n *Node) Begin(p *sim.Proc) *Txn {
+	n.nextTxn++
+	n.host.Execute(p, n.costs.TxnBegin)
+	return &Txn{
+		Ref:      TxnRef{Node: n.Self, ID: n.nextTxn},
+		Snapshot: n.sim.Now(),
+		node:     n,
+		lockSet:  make(map[ResourceID]bool),
+	}
+}
+
+// access pins the index leaf and data block of a row (phase 1: latch and
+// bring missing data into the cache), charging traversal costs. The caller
+// unpins via release.
+func (n *Node) access(p *sim.Proc, t *Table, row int64, forWrite bool) {
+	n.host.Execute(p, float64(t.Index.Height())*n.costs.IndexLevel+n.costs.Latch)
+	ixBlk := t.IndexLeafOf(row)
+	n.GCS.GetBlock(p, ixBlk, false)
+	dataBlk := t.BlockOf(row)
+	n.GCS.GetBlock(p, dataBlk, forWrite)
+}
+
+// release unpins a row's blocks.
+func (n *Node) release(t *Table, row int64) {
+	n.Cache.Unpin(t.IndexLeafOf(row))
+	n.Cache.Unpin(t.BlockOf(row))
+}
+
+// Read performs a snapshot read of the row with the given key. With MVCC no
+// lock is taken (§2.1); the read charges version-walk work for versions
+// newer than the snapshot. Returns the row id, or ok=false if the key does
+// not exist.
+func (n *Node) Read(p *sim.Proc, txn *Txn, tid TableID, key int64) (int64, bool) {
+	t := n.cat.Table(tid)
+	row, ok := t.Lookup(key)
+	if !ok {
+		n.host.Execute(p, float64(t.Index.Height())*n.costs.IndexLevel)
+		return 0, false
+	}
+	n.access(p, t, row, false)
+	hops := n.VM.SnapshotHops(tid, row, txn.Snapshot)
+	n.host.Execute(p, n.costs.RowRead+float64(hops)*n.costs.VersionHop)
+	n.Stats.RowsRead++
+	n.Stats.VersionsRead.Add(float64(hops))
+	n.release(t, row)
+	return row, true
+}
+
+// Update write-locks and updates the row with the given key, creating a new
+// version. Returns ErrLockFailed when the lock cannot be acquired under the
+// paper's wait-once policy; the caller must abort and retry.
+func (n *Node) Update(p *sim.Proc, txn *Txn, tid TableID, key int64) (int64, error) {
+	t := n.cat.Table(tid)
+	row, ok := t.Lookup(key)
+	if !ok {
+		return 0, errors.New("db: update of missing key")
+	}
+	if err := n.lockRow(p, txn, t, row); err != nil {
+		return 0, err
+	}
+	n.access(p, t, row, true)
+	versions := n.VM.Create(t, row, n.sim.Now())
+	n.host.Execute(p, n.costs.RowWrite+n.costs.VersionCreate+float64(versions-1)*n.costs.VersionHop/4)
+	n.markDirty(t.BlockOf(row))
+	n.Stats.RowsWritten++
+	txn.writeRows++
+	txn.logBytes += t.Spec.RowBytes
+	n.release(t, row)
+	return row, nil
+}
+
+// Insert creates a row for key, homed (for fresh blocks) on homeNode — the
+// partition owner of the row's warehouse.
+func (n *Node) Insert(p *sim.Proc, txn *Txn, tid TableID, key int64, homeNode int) (int64, error) {
+	t := n.cat.Table(tid)
+	row, fresh := t.InsertFresh(key, homeNode)
+	if err := n.lockRow(p, txn, t, row); err != nil {
+		t.Delete(key) // undo placement
+		return 0, err
+	}
+	n.host.Execute(p, float64(t.Index.Height())*n.costs.IndexLevel+n.costs.Latch)
+	n.GCS.GetBlock(p, t.IndexLeafOf(row), false)
+	if fresh {
+		n.GCS.GetBlockCreate(p, t.BlockOf(row))
+	} else {
+		n.GCS.GetBlock(p, t.BlockOf(row), true)
+	}
+	n.host.Execute(p, n.costs.RowInsert+n.costs.IndexInsert+n.costs.VersionCreate)
+	n.VM.Create(t, row, n.sim.Now())
+	n.markDirty(t.BlockOf(row))
+	n.Stats.RowsWritten++
+	txn.writeRows++
+	txn.logBytes += t.Spec.RowBytes
+	n.release(t, row)
+	return row, nil
+}
+
+// TryDelete deletes the row for key if its lock is immediately available,
+// returning claimed=false (without aborting the transaction) when another
+// transaction holds it or the key is already gone. Deferred-mode delivery
+// uses it to skip a district whose oldest order is being delivered by
+// someone else.
+func (n *Node) TryDelete(p *sim.Proc, txn *Txn, tid TableID, key int64) (claimed bool) {
+	t := n.cat.Table(tid)
+	row, ok := t.Lookup(key)
+	if !ok {
+		return false
+	}
+	res := t.ResourceOf(row)
+	if !txn.lockSet[res] {
+		granted, _ := n.GCS.AcquireLock(p, txn.Ref, res, LockX, false)
+		if !granted {
+			return false
+		}
+		txn.locks = append(txn.locks, res)
+		txn.lockSet[res] = true
+	}
+	// The row could have been deleted while the lock message was in flight.
+	if _, still := t.Lookup(key); !still {
+		return false
+	}
+	n.access(p, t, row, true)
+	n.host.Execute(p, n.costs.RowDelete)
+	t.DeleteKeepSlot(key)
+	txn.freed = append(txn.freed, freedRow{tid, row})
+	n.markDirty(t.BlockOf(row))
+	txn.writeRows++
+	txn.logBytes += 64
+	n.release(t, row)
+	return true
+}
+
+// Delete removes the row with the given key under an X lock.
+func (n *Node) Delete(p *sim.Proc, txn *Txn, tid TableID, key int64) error {
+	t := n.cat.Table(tid)
+	row, ok := t.Lookup(key)
+	if !ok {
+		return errors.New("db: delete of missing key")
+	}
+	if err := n.lockRow(p, txn, t, row); err != nil {
+		return err
+	}
+	n.access(p, t, row, true)
+	n.host.Execute(p, n.costs.RowDelete)
+	t.DeleteKeepSlot(key)
+	txn.freed = append(txn.freed, freedRow{tid, row})
+	n.markDirty(t.BlockOf(row))
+	txn.writeRows++
+	txn.logBytes += 64 // delete log record
+	n.release(t, row)
+	return nil
+}
+
+// Scan visits index entries from key upward until fn returns false,
+// fetching each visited row's data block (snapshot reads, no locks).
+func (n *Node) Scan(p *sim.Proc, txn *Txn, tid TableID, from int64, fn func(k, row int64) bool) {
+	t := n.cat.Table(tid)
+	n.host.Execute(p, float64(t.Index.Height())*n.costs.IndexLevel)
+	type ent struct{ k, row int64 }
+	var batch []ent
+	t.Index.Scan(from, func(k, row int64) bool {
+		batch = append(batch, ent{k, row})
+		return fn(k, row)
+	})
+	for _, e := range batch {
+		n.GCS.GetBlock(p, t.BlockOf(e.row), false)
+		hops := n.VM.SnapshotHops(tid, e.row, txn.Snapshot)
+		n.host.Execute(p, n.costs.ScanEntry+float64(hops)*n.costs.VersionHop)
+		n.Cache.Unpin(t.BlockOf(e.row))
+		n.Stats.RowsRead++
+	}
+}
+
+// lockRow acquires the global X lock on a row's subpage (phase 2).
+// Contended locks wait in the master's queue; a wait that outlives the
+// deadlock-suspicion timeout is treated as a failure, on which the caller
+// releases everything and retries after a delay (§2.3's lock-wait /
+// release-and-delayed-retry scheme).
+func (n *Node) lockRow(p *sim.Proc, txn *Txn, t *Table, row int64) error {
+	res := t.ResourceOf(row)
+	if txn.lockSet[res] {
+		return nil // already held by this transaction
+	}
+	granted, waited := n.GCS.AcquireLock(p, txn.Ref, res, LockX, true)
+	if waited {
+		txn.waitedOnce = true
+	}
+	if !granted {
+		return ErrLockFailed
+	}
+	txn.locks = append(txn.locks, res)
+	txn.lockSet[res] = true
+	return nil
+}
+
+// markDirty flags a resident block dirty.
+func (n *Node) markDirty(blk BlockID) {
+	if f := n.Cache.Lookup(blk); f != nil {
+		f.Dirty = true
+		n.Cache.Unpin(blk)
+	}
+}
+
+// Commit makes the transaction durable: commit work, the forced log write,
+// then lock release (one batched message per remote master).
+func (n *Node) Commit(p *sim.Proc, txn *Txn) {
+	n.host.Execute(p, n.costs.TxnCommit+n.costs.LogSetup+float64(txn.logBytes)*n.costs.LogPerByte)
+	if txn.logBytes > 0 {
+		n.GCS.WriteLog(p, txn.logBytes+128)
+	}
+	n.GCS.ReleaseLocks(txn.Ref, txn.locks)
+	for _, f := range txn.freed {
+		n.cat.Table(f.table).Recycle(f.row)
+	}
+	n.Stats.Commits++
+}
+
+// Abort releases everything without logging; the caller retries after a
+// delay.
+func (n *Node) Abort(p *sim.Proc, txn *Txn) {
+	n.host.Execute(p, n.costs.TxnCommit/2)
+	n.GCS.ReleaseLocks(txn.Ref, txn.locks)
+	for _, f := range txn.freed {
+		n.cat.Table(f.table).Recycle(f.row)
+	}
+	txn.aborted = true
+	n.Stats.Aborts++
+}

@@ -1,0 +1,125 @@
+package db
+
+import (
+	"dclue/internal/disk"
+	"dclue/internal/iscsi"
+	"dclue/internal/sim"
+)
+
+// Host abstracts the node CPU (implemented by platform.CPU): blocking
+// execution of path lengths from process context and asynchronous
+// interrupt-priority work from kernel context.
+type Host interface {
+	Execute(p *sim.Proc, pathLen float64)
+	Dispatch(p *sim.Proc, pathLen float64)
+	Process(pathLen float64, done func())
+}
+
+// Pager routes block I/O. In the paper's primary "distributed storage"
+// model (§2.1) every block lives on the disks of its home
+// (partition-owning) node, accessed with plain SCSI locally and iSCSI
+// across the fabric. The alternative "shared IO" (SAN) model of §2.1 —
+// every node reaching a centralized I/O subsystem over an unmodeled SAN
+// fabric — is available via SetSAN.
+type Pager struct {
+	sim       *sim.Sim
+	self      int
+	cat       *Catalog
+	host      Host
+	drives    []*disk.Drive // local data drives (striped round-robin by block)
+	initiator *iscsi.Initiator
+	costs     *OpCosts
+	san       *SANArray
+
+	LocalReads   uint64
+	LocalWrites  uint64
+	RemoteReads  uint64
+	RemoteWrites uint64
+}
+
+// SANArray is the centralized I/O subsystem of the shared-IO model: a
+// pooled drive farm every node reaches with a fixed fabric latency (the
+// paper treats the Fibre Channel SAN fabric as unmodeled).
+type SANArray struct {
+	Sim     *sim.Sim
+	Drives  []*disk.Drive
+	Latency sim.Time // one-way SAN fabric latency
+}
+
+// drive stripes blocks across the pooled farm.
+func (sa *SANArray) drive(blk BlockID) *disk.Drive {
+	return sa.Drives[int(blk.Block&^indexRegion)%len(sa.Drives)]
+}
+
+// SetSAN switches the pager to the shared-IO model.
+func (pg *Pager) SetSAN(sa *SANArray) { pg.san = sa }
+
+// NewPager creates a node's pager.
+func NewPager(s *sim.Sim, self int, cat *Catalog, host Host, drives []*disk.Drive, ini *iscsi.Initiator, costs *OpCosts) *Pager {
+	return &Pager{sim: s, self: self, cat: cat, host: host, drives: drives, initiator: ini, costs: costs}
+}
+
+// drive picks the local drive for a block.
+func (pg *Pager) drive(blk BlockID) *disk.Drive {
+	return pg.drives[int(blk.Block&^indexRegion)%len(pg.drives)]
+}
+
+// ReadBlock fetches a block from its home disk (or the SAN), blocking the
+// caller. Size includes any version payload travelling with the block.
+func (pg *Pager) ReadBlock(p *sim.Proc, blk BlockID, size int) {
+	if pg.san != nil {
+		pg.LocalReads++
+		pg.host.Execute(p, pg.costs.DiskSetup)
+		p.Sleep(2 * pg.san.Latency) // command out, data back
+		pg.san.drive(blk).Access(p, int(blk.Table), blk.Block&^indexRegion, size, false)
+		return
+	}
+	home := pg.cat.Home(blk)
+	if home == pg.self {
+		pg.LocalReads++
+		pg.host.Execute(p, pg.costs.DiskSetup)
+		pg.drive(blk).Access(p, int(blk.Table), blk.Block&^indexRegion, size, false)
+		return
+	}
+	pg.RemoteReads++
+	pg.initiator.Read(p, home, int(blk.Table), blk.Block&^indexRegion, size)
+}
+
+// WriteBack lazily writes a dirty block to its home disk (kernel context,
+// fire-and-forget — the paper's disk writes "are lazy and could finish
+// after the transaction is done").
+func (pg *Pager) WriteBack(blk BlockID, size int) {
+	if pg.san != nil {
+		pg.LocalWrites++
+		pg.host.Process(pg.costs.DiskSetup, func() {
+			pg.sim.After(pg.san.Latency, func() {
+				pg.san.drive(blk).Submit(&disk.Request{
+					Table: int(blk.Table),
+					Block: blk.Block &^ indexRegion,
+					Size:  size,
+					Write: true,
+				})
+			})
+		})
+		return
+	}
+	home := pg.cat.Home(blk)
+	if home == pg.self {
+		pg.LocalWrites++
+		pg.host.Process(pg.costs.DiskSetup, func() {
+			pg.drive(blk).Submit(&disk.Request{
+				Table: int(blk.Table),
+				Block: blk.Block &^ indexRegion,
+				Size:  size,
+				Write: true,
+			})
+		})
+		return
+	}
+	pg.RemoteWrites++
+	// Remote lazy write rides a short-lived process so the initiator's
+	// blocking protocol can run without holding up the caller.
+	pg.sim.Spawn("writeback", func(p *sim.Proc) {
+		pg.initiator.Write(p, home, int(blk.Table), blk.Block&^indexRegion, size)
+	})
+}

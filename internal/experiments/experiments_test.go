@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dclue/internal/sim"
+	"dclue/internal/stats"
+)
+
+func TestAllFiguresRegistered(t *testing.T) {
+	figs := All()
+	if len(figs) != 15 {
+		t.Fatalf("registered %d figures, want 15 (Figs 2-16)", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure id %s", f.ID)
+		}
+		seen[f.ID] = true
+		if f.Run == nil || f.Title == "" {
+			t.Fatalf("figure %s incomplete", f.ID)
+		}
+	}
+}
+
+func TestLookupForms(t *testing.T) {
+	for _, id := range []string{"fig06", "06", "6"} {
+		f, ok := Lookup(id)
+		if !ok || f.ID != "fig06" {
+			t.Fatalf("Lookup(%q) = %v/%v", id, f.ID, ok)
+		}
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Fatal("Lookup accepted unknown figure")
+	}
+}
+
+func TestResultTableRendering(t *testing.T) {
+	s := &stats.Series{Name: "a"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	r := Result{ID: "figXX", Title: "demo", XLabel: "nodes",
+		Series: []*stats.Series{s}, Notes: "note"}
+	out := r.Table()
+	for _, want := range []string{"figXX", "demo", "nodes", "20", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	if len(o.nodeSweep()) < 4 {
+		t.Fatal("full sweep too small")
+	}
+	o.Quick = true
+	if len(o.nodeSweep()) > 4 {
+		t.Fatal("quick sweep too big")
+	}
+	if o.maxWhPerNode() >= (Options{}).maxWhPerNode() {
+		t.Fatal("quick search cap not smaller")
+	}
+	p := o.baseParams(2)
+	if p.Nodes != 2 {
+		t.Fatalf("baseParams nodes %d", p.Nodes)
+	}
+	if p.Warmup >= 150*sim.Second {
+		t.Fatal("quick warmup not reduced")
+	}
+	o.Seed = 42
+	if o.baseParams(2).Seed != 42 {
+		t.Fatal("seed not applied")
+	}
+}
+
+// TestFig2QuickShape runs the cheapest real figure end-to-end and checks
+// the paper's qualitative shape: IPC messages per transaction increase
+// with cluster size at affinity 0.8.
+func TestFig2QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r := Fig2(Options{Quick: true, Seed: 1})
+	if len(r.Series) != 2 {
+		t.Fatalf("series %d", len(r.Series))
+	}
+	ctl := r.Series[0].Points
+	if len(ctl) < 3 {
+		t.Fatalf("points %d", len(ctl))
+	}
+	if !(ctl[0].Y < ctl[len(ctl)-1].Y) {
+		t.Fatalf("ctl msgs/txn not increasing with nodes: %+v", ctl)
+	}
+	for _, p := range ctl {
+		if p.Y < 0 {
+			t.Fatalf("negative message count: %+v", p)
+		}
+	}
+}

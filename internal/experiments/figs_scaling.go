@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dclue/internal/core"
+	"dclue/internal/stats"
+)
+
+// ipcFigure implements Figs 2-3: control and data IPC messages per
+// transaction as the cluster grows, at a fixed per-node load well inside
+// capacity so the message counts are not polluted by retry storms.
+func ipcFigure(o Options, id string, affinity float64, whPerNode int) Result {
+	ctl := &stats.Series{Name: "ctl msgs/txn"}
+	data := &stats.Series{Name: "data msgs/txn"}
+	for _, n := range o.nodeSweep() {
+		p := o.baseParams(n)
+		p.Affinity = affinity
+		m := fixedLoad(p, whPerNode*n)
+		o.logf("%s nodes=%d: ctl=%.1f data=%.2f", id, n, m.CtlMsgsPerTxn, m.DataMsgsPerTxn)
+		ctl.Add(float64(n), m.CtlMsgsPerTxn)
+		data.Add(float64(n), m.DataMsgsPerTxn)
+	}
+	return Result{
+		ID:     id,
+		Title:  fmt.Sprintf("IPC messages per transaction, affinity %.1f", affinity),
+		XLabel: "nodes",
+		Series: []*stats.Series{ctl, data},
+		Notes:  "Paper shape: sharp rise then quick saturation with cluster size (§3.2).",
+	}
+}
+
+// Fig2 reproduces "IPC messages per trans for 0.8 affinity".
+func Fig2(o Options) Result { return ipcFigure(o, "fig02", 0.8, 8) }
+
+// Fig3 reproduces "IPC messages per trans for 0 affinity".
+func Fig3(o Options) Result { return ipcFigure(o, "fig03", 0.0, 5) }
+
+// lockFigure implements Figs 4-5 over two affinities.
+func lockFigure(o Options, id, title string, pick func(core.Metrics) float64, note string) Result {
+	var series []*stats.Series
+	for _, aff := range []float64{0.8, 0.5} {
+		s := &stats.Series{Name: fmt.Sprintf("aff=%.1f", aff)}
+		whPerNode := 8
+		if aff < 0.7 {
+			whPerNode = 5
+		}
+		for _, n := range o.nodeSweep() {
+			p := o.baseParams(n)
+			p.Affinity = aff
+			m := fixedLoad(p, whPerNode*n)
+			o.logf("%s nodes=%d aff=%.1f: %v", id, n, aff, pick(m))
+			s.Add(float64(n), pick(m))
+		}
+		series = append(series, s)
+	}
+	return Result{ID: id, Title: title, XLabel: "nodes", Series: series, Notes: note}
+}
+
+// Fig4 reproduces "Lock waits/trans vs #nodes and affinities".
+func Fig4(o Options) Result {
+	return lockFigure(o, "fig04", "Lock waits per transaction",
+		func(m core.Metrics) float64 { return m.LockWaitsPerTxn },
+		"Paper shape: steady increase with cluster size, high variability (§3.2).")
+}
+
+// Fig5 reproduces "Lock wait time vs #nodes and affinities".
+func Fig5(o Options) Result {
+	return lockFigure(o, "fig05", "Mean lock wait time (scaled ms)",
+		func(m core.Metrics) float64 { return m.LockWaitMs },
+		"Paper shape: average wait time increases steadily with cluster size (§3.2).")
+}
+
+// Fig6 reproduces "Scaling vs nodes and affinity": maximum sustainable
+// throughput (TPC-C self-sized) against cluster size for several
+// affinities. Affinity 1.0 is the perfect-scaling reference.
+func Fig6(o Options) Result {
+	affs := []float64{1.0, 0.8, 0.5, 0.2}
+	nodes := append([]int{1}, o.nodeSweep()...)
+	if o.Quick {
+		affs = []float64{1.0, 0.8}
+		nodes = []int{1, 2, 4}
+	}
+	var series []*stats.Series
+	for _, aff := range affs {
+		s := &stats.Series{Name: fmt.Sprintf("aff=%.1f", aff)}
+		for _, n := range nodes {
+			p := o.baseParams(n)
+			p.Affinity = aff
+			r := o.capacity(p)
+			o.logf("fig06 nodes=%d aff=%.1f: tpmC=%.0f (wh=%d feasible=%v)",
+				n, aff, r.Metrics.TpmC, r.Warehouses, r.Feasible)
+			s.Add(float64(n), r.Metrics.TpmC)
+		}
+		series = append(series, s)
+	}
+	return Result{
+		ID: "fig06", Title: "Throughput scaling vs cluster size (scaled tpm-C)",
+		XLabel: "nodes", Series: series,
+		Notes: "Paper shape: near-linear 2-10 nodes; slope falls with affinity; knee at the 12-node 2-LATA crossover; aff<=0.5 stops scaling beyond 12 (§3.2).",
+	}
+}
+
+// Fig7 reproduces "Scaling vs affinity and nodes".
+func Fig7(o Options) Result {
+	affs := []float64{0, 0.2, 0.5, 0.8, 1.0}
+	nodes := []int{4, 8, 16}
+	if o.Quick {
+		affs = []float64{0.5, 0.8, 1.0}
+		nodes = []int{4}
+	}
+	var series []*stats.Series
+	for _, n := range nodes {
+		s := &stats.Series{Name: fmt.Sprintf("%d nodes", n)}
+		for _, aff := range affs {
+			p := o.baseParams(n)
+			p.Affinity = aff
+			r := o.capacity(p)
+			o.logf("fig07 nodes=%d aff=%.1f: tpmC=%.0f", n, aff, r.Metrics.TpmC)
+			s.Add(aff, r.Metrics.TpmC)
+		}
+		series = append(series, s)
+	}
+	return Result{
+		ID: "fig07", Title: "Throughput vs affinity (scaled tpm-C)",
+		XLabel: "affinity", Series: series,
+		Notes: "Paper shape: scaling drops rapidly with affinity; sensitivity is highest near affinity 1 (§3.2).",
+	}
+}
+
+// Fig8 reproduces "Impact of router forwarding rate on scalability": a
+// single-LATA cluster with the inner router throttled from 10000 to 4000
+// packets/second saturates beyond ~8 nodes.
+func Fig8(o Options) Result {
+	nodes := []int{2, 4, 6, 8, 10, 12}
+	if o.Quick {
+		nodes = []int{2, 4, 8}
+	}
+	// The paper reduces the rate from 10000 to 4000 pkt/s, placing the
+	// saturation knee near 8 servers of *its* calibration (~21 control
+	// messages per transaction at affinity 0.8). This model produces fewer
+	// messages per transaction, so the throttled rate is rescaled to put
+	// the router at the same relative position: saturating around the
+	// 8-node traffic level.
+	rates := []float64{10000, 1600}
+	var series []*stats.Series
+	for _, rate := range rates {
+		s := &stats.Series{Name: fmt.Sprintf("%.0f pkt/s", rate)}
+		for _, n := range nodes {
+			p := o.baseParams(n)
+			p.NodesPerLata = 12 // single LATA
+			p.RouterFwdRate = rate * 100 / p.Scale
+			r := o.capacity(p)
+			o.logf("fig08 nodes=%d rate=%.0f: tpmC=%.0f", n, rate, r.Metrics.TpmC)
+			s.Add(float64(n), r.Metrics.TpmC)
+		}
+		series = append(series, s)
+	}
+	return Result{
+		ID: "fig08", Title: "Throughput vs nodes under reduced router forwarding rate",
+		XLabel: "nodes", Series: series,
+		Notes: "Paper shape: with the throttled forwarding rate the inner router saturates beyond ~8 servers and scaling stops (§3.2).",
+	}
+}
+
+// Fig9 reproduces "Impact of single node logging on scalability".
+func Fig9(o Options) Result {
+	nodes := o.nodeSweep()
+	var series []*stats.Series
+	for _, central := range []bool{false, true} {
+		name := "local logging"
+		if central {
+			name = "central logging"
+		}
+		s := &stats.Series{Name: name}
+		for _, n := range nodes {
+			p := o.baseParams(n)
+			p.CentralLogging = central
+			r := o.capacity(p)
+			o.logf("fig09 nodes=%d central=%v: tpmC=%.0f", n, central, r.Metrics.TpmC)
+			s.Add(float64(n), r.Metrics.TpmC)
+		}
+		series = append(series, s)
+	}
+	return Result{
+		ID: "fig09", Title: "Throughput vs nodes, local vs centralized logging",
+		XLabel: "nodes", Series: series,
+		Notes: "Paper shape: centralized logging consistently lower; scaling eventually stops as the log node saturates (§3.2).",
+	}
+}
+
+// Fig10 reproduces "Impact of slower growth in DB size": the same offered
+// load against a database whose warehouse count grows only with the square
+// root of throughput beyond the 90K tpm-C knee, increasing contention.
+func Fig10(o Options) Result {
+	nodes := o.nodeSweep()
+	linear := &stats.Series{Name: "TPC-C growth"}
+	slow := &stats.Series{Name: "sqrt growth"}
+	for _, n := range nodes {
+		// Affinity 1.0: the paper's knee sits at 90K tpm-C (72 scaled
+		// warehouses), which only well-scaling configurations pass.
+		p := o.baseParams(n)
+		p.Affinity = 1.0
+		r := o.capacity(p)
+		linear.Add(float64(n), r.Metrics.TpmC)
+		whLinear := r.Warehouses
+		whSlow := core.SqrtGrowthWarehouses(whLinear)
+		q := o.baseParams(n)
+		q.Affinity = 1.0
+		q.Warehouses = whSlow
+		// Same offered load on the smaller database: scale terminals.
+		q.TerminalsPerWarehouse = (10*whLinear + whSlow - 1) / whSlow
+		m := core.New(q).Run()
+		o.logf("fig10 nodes=%d: linear wh=%d tpmC=%.0f | sqrt wh=%d tpmC=%.0f",
+			n, whLinear, r.Metrics.TpmC, whSlow, m.TpmC)
+		slow.Add(float64(n), m.TpmC)
+	}
+	return Result{
+		ID: "fig10", Title: "Throughput vs nodes under sub-linear DB growth",
+		XLabel: "nodes", Series: []*stats.Series{linear, slow},
+		Notes: "Paper shape: with sub-linear warehouse growth, data contention rises with cluster size and throughput stops growing linearly (§3.2).",
+	}
+}

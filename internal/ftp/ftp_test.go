@@ -1,0 +1,119 @@
+package ftp
+
+import (
+	"testing"
+
+	"dclue/internal/netsim"
+	"dclue/internal/sim"
+	"dclue/internal/tcp"
+)
+
+// rig builds a client and server stack joined by one router.
+func rig(t *testing.T, bps float64) (*sim.Sim, *Generator, *Server) {
+	t.Helper()
+	s := sim.New()
+	n := netsim.New(s)
+	r := netsim.NewRouter(n, "r", 1e6, 0)
+	n.NIC(0).Attach(r, bps, sim.Microsecond)
+	n.NIC(1).Attach(r, bps, sim.Microsecond)
+	dom := tcp.NewDomain(n, tcp.DefaultConfig(1))
+	cli := dom.NewStack(0, tcp.InstantProcessor{}, tcp.CostModel{})
+	srvStack := dom.NewStack(1, tcp.InstantProcessor{}, tcp.CostModel{})
+	srv := NewServer(srvStack)
+	gen := NewGenerator(s, cli, 1, netsim.ClassBestEffort, 10e6, 7)
+	return s, gen, srv
+}
+
+func TestTransfersComplete(t *testing.T) {
+	s, gen, srv := rig(t, 1e9)
+	gen.Start()
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	if gen.Completed == 0 {
+		t.Fatal("no transfers completed")
+	}
+	if srv.Served == 0 {
+		t.Fatal("server served nothing")
+	}
+	if gen.Failed > gen.Completed/10 {
+		t.Fatalf("too many failures: %d of %d", gen.Failed, gen.Completed)
+	}
+}
+
+func TestOfferedLoadApproximatelyMet(t *testing.T) {
+	s, gen, _ := rig(t, 1e9) // plenty of bandwidth
+	gen.Start()
+	const horizon = 30 * sim.Second
+	s.Run(horizon)
+	s.Shutdown()
+	gotBps := float64(gen.BytesDelivered) * 8 / horizon.Seconds()
+	if gotBps < 0.7*10e6 || gotBps > 1.3*10e6 {
+		t.Fatalf("delivered %.1f Mb/s, offered 10 Mb/s", gotBps/1e6)
+	}
+}
+
+func TestBottleneckThrottlesDelivery(t *testing.T) {
+	// Offered 10 Mb/s over a 2 Mb/s path: delivery must be capped well
+	// below offered, without the generator deadlocking.
+	s, gen, _ := rig(t, 2e6)
+	gen.Start()
+	const horizon = 30 * sim.Second
+	s.Run(horizon)
+	s.Shutdown()
+	gotBps := float64(gen.BytesDelivered) * 8 / horizon.Seconds()
+	if gotBps > 2.5e6 {
+		t.Fatalf("delivered %.1f Mb/s over a 2 Mb/s link", gotBps/1e6)
+	}
+	if gen.Completed == 0 {
+		t.Fatal("nothing completed under congestion")
+	}
+}
+
+func TestFileSizesDBMSLike(t *testing.T) {
+	_, gen, _ := rig(t, 1e9)
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		sz := gen.fileSize()
+		switch {
+		case sz == 250:
+			small++
+		case sz >= 8*1024 && sz <= 32*1024:
+			large++
+		default:
+			t.Fatalf("file size %d outside DBMS-like ranges", sz)
+		}
+	}
+	if small < 2000 || small > 4000 {
+		t.Fatalf("control-sized fraction %d/10000, want ~30%%", small)
+	}
+	if large == 0 {
+		t.Fatal("no block-sized transfers")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s, gen, _ := rig(t, 1e9)
+	gen.Start()
+	s.Run(5 * sim.Second)
+	gen.ResetStats()
+	if gen.Completed != 0 || gen.BytesDelivered != 0 || gen.Started != 0 {
+		t.Fatal("stats not cleared")
+	}
+	s.Shutdown()
+}
+
+func TestZeroOfferedLoadIsIdle(t *testing.T) {
+	s := sim.New()
+	n := netsim.New(s)
+	r := netsim.NewRouter(n, "r", 1e6, 0)
+	n.NIC(0).Attach(r, 1e9, sim.Microsecond)
+	dom := tcp.NewDomain(n, tcp.DefaultConfig(1))
+	cli := dom.NewStack(0, tcp.InstantProcessor{}, tcp.CostModel{})
+	gen := NewGenerator(s, cli, 1, netsim.ClassBestEffort, 0, 7)
+	gen.Start()
+	s.Run(5 * sim.Second)
+	s.Shutdown()
+	if gen.Started != 0 {
+		t.Fatal("transfers started at zero offered load")
+	}
+}

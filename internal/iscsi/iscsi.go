@@ -1,0 +1,220 @@
+// Package iscsi models iSCSI block access between cluster nodes over the
+// dedicated per-pair storage TCP connection of the paper. Each node is both
+// an initiator (for remote partitions) and a target (serving its local
+// drives). Processing costs are path lengths on the host CPUs; the paper
+// notes iSCSI path lengths are small "except for the rather large overhead
+// of CRC calculations" in software, which the cost models reflect.
+package iscsi
+
+import (
+	"dclue/internal/disk"
+	"dclue/internal/sim"
+	"dclue/internal/tcp"
+)
+
+// Port is the iSCSI listener port.
+const Port = 3260
+
+// PDUBytes is the basic header segment size for command/status PDUs.
+const PDUBytes = 48
+
+// CostModel gives iSCSI processing path lengths (instructions).
+type CostModel struct {
+	PerPDU     float64 // command/status/data PDU handling
+	CRCPerByte float64 // header+data digest over payload bytes
+}
+
+// SWCosts returns the software-iSCSI cost model: modest per-PDU handling
+// with the dominant per-byte CRC.
+func SWCosts() CostModel { return CostModel{PerPDU: 4000, CRCPerByte: 1.2} }
+
+// HWCosts returns the offloaded cost model: a small host touch per PDU and
+// no host CRC.
+func HWCosts() CostModel { return CostModel{PerPDU: 600, CRCPerByte: 0} }
+
+// opcodes
+type op int
+
+const (
+	opRead op = iota
+	opWrite
+)
+
+// cmdPDU travels initiator -> target. For writes it is immediately followed
+// (same message) by the data, which we fold into the message size.
+type cmdPDU struct {
+	id    uint64
+	op    op
+	table int
+	block int64
+	size  int
+}
+
+// respPDU travels target -> initiator. For reads the data rides in the same
+// message (Data-In + status collapsed).
+type respPDU struct {
+	id uint64
+}
+
+// Target serves local drives to remote initiators.
+type Target struct {
+	sim    *sim.Sim
+	cpu    tcp.Processor
+	costs  CostModel
+	drive  func(table int) *disk.Drive
+	Served uint64
+}
+
+// NewTarget creates a target; drive selects the local drive for a table.
+func NewTarget(s *sim.Sim, cpu tcp.Processor, costs CostModel, drive func(table int) *disk.Drive) *Target {
+	return &Target{sim: s, cpu: cpu, costs: costs, drive: drive}
+}
+
+// SetCosts swaps the cost model (offload experiments).
+func (t *Target) SetCosts(c CostModel) { t.costs = c }
+
+// Attach serves one accepted connection.
+func (t *Target) Attach(conn *tcp.Conn) {
+	conn.SetOnMessage(func(m tcp.Message) { t.HandleMessage(conn, m) })
+}
+
+// HandleMessage processes one command PDU arriving on conn (exposed so a
+// shared per-pair storage connection can be demuxed between the local
+// target and initiator, keeping the paper's two-connections-per-pair
+// layout).
+func (t *Target) HandleMessage(conn *tcp.Conn, m tcp.Message) {
+	cmd := m.Meta.(*cmdPDU)
+	var inBytes int
+	if cmd.op == opWrite {
+		inBytes = cmd.size
+	}
+	t.cpu.Process(t.costs.PerPDU+t.costs.CRCPerByte*float64(inBytes), func() {
+		t.serve(conn, cmd)
+	})
+}
+
+// serve runs the disk operation and replies.
+func (t *Target) serve(conn *tcp.Conn, cmd *cmdPDU) {
+	d := t.drive(cmd.table)
+	d.Submit(&disk.Request{
+		Table: cmd.table,
+		Block: cmd.block,
+		Size:  cmd.size,
+		Write: cmd.op == opWrite,
+		Done: func() {
+			t.Served++
+			respSize := PDUBytes
+			var outBytes int
+			if cmd.op == opRead {
+				respSize += cmd.size
+				outBytes = cmd.size
+			}
+			t.cpu.Process(t.costs.PerPDU+t.costs.CRCPerByte*float64(outBytes), func() {
+				conn.Enqueue(&respPDU{id: cmd.id}, respSize)
+			})
+		},
+	})
+}
+
+// Initiator issues block requests to remote targets.
+type Initiator struct {
+	sim     *sim.Sim
+	cpu     tcp.Processor
+	costs   CostModel
+	conns   map[int]*tcp.Conn
+	pending map[uint64]*sim.Mailbox
+	nextID  uint64
+
+	Reads  uint64
+	Writes uint64
+}
+
+// NewInitiator creates an initiator charging work to cpu.
+func NewInitiator(s *sim.Sim, cpu tcp.Processor, costs CostModel) *Initiator {
+	return &Initiator{
+		sim:     s,
+		cpu:     cpu,
+		costs:   costs,
+		conns:   make(map[int]*tcp.Conn),
+		pending: make(map[uint64]*sim.Mailbox),
+	}
+}
+
+// SetCosts swaps the cost model (offload experiments).
+func (i *Initiator) SetCosts(c CostModel) { i.costs = c }
+
+// SetConn registers the storage connection toward a target node and hooks
+// response handling.
+func (i *Initiator) SetConn(node int, conn *tcp.Conn) {
+	i.conns[node] = conn
+	conn.SetOnMessage(func(m tcp.Message) { i.HandleMessage(m) })
+}
+
+// RegisterConn records the connection toward node without claiming its
+// OnMessage callback (for demuxed shared connections).
+func (i *Initiator) RegisterConn(node int, conn *tcp.Conn) { i.conns[node] = conn }
+
+// HandleMessage processes one response PDU.
+func (i *Initiator) HandleMessage(m tcp.Message) {
+	resp := m.Meta.(*respPDU)
+	var dataBytes int
+	if m.Size > PDUBytes {
+		dataBytes = m.Size - PDUBytes
+	}
+	i.cpu.Process(i.costs.PerPDU+i.costs.CRCPerByte*float64(dataBytes), func() {
+		if mb, ok := i.pending[resp.id]; ok {
+			delete(i.pending, resp.id)
+			mb.Send(nil)
+		}
+	})
+}
+
+// Demux routes PDUs on a shared per-pair storage connection: commands go to
+// the local target, responses to the local initiator.
+func Demux(conn *tcp.Conn, t *Target, i *Initiator) {
+	conn.SetOnMessage(func(m tcp.Message) {
+		switch m.Meta.(type) {
+		case *cmdPDU:
+			t.HandleMessage(conn, m)
+		case *respPDU:
+			i.HandleMessage(m)
+		}
+	})
+}
+
+// HasTarget reports whether a connection to node is registered.
+func (i *Initiator) HasTarget(node int) bool { return i.conns[node] != nil }
+
+// Read fetches size bytes of (table, block) from the target at node,
+// blocking the calling process until the data arrives.
+func (i *Initiator) Read(p *sim.Proc, node, table int, block int64, size int) {
+	i.Reads++
+	i.issue(p, node, &cmdPDU{op: opRead, table: table, block: block, size: size}, PDUBytes)
+}
+
+// Write sends size bytes to (table, block) on the target at node, blocking
+// until the status PDU returns.
+func (i *Initiator) Write(p *sim.Proc, node, table int, block int64, size int) {
+	i.Writes++
+	i.issue(p, node, &cmdPDU{op: opWrite, table: table, block: block, size: size}, PDUBytes+size)
+}
+
+// issue sends the command and waits for its response.
+func (i *Initiator) issue(p *sim.Proc, node int, cmd *cmdPDU, wireBytes int) {
+	conn, ok := i.conns[node]
+	if !ok {
+		panic("iscsi: no connection to target node")
+	}
+	i.nextID++
+	cmd.id = i.nextID
+	mb := sim.NewMailbox(i.sim)
+	i.pending[cmd.id] = mb
+	var outBytes int
+	if cmd.op == opWrite {
+		outBytes = cmd.size
+	}
+	i.cpu.Process(i.costs.PerPDU+i.costs.CRCPerByte*float64(outBytes), func() {
+		conn.Enqueue(cmd, wireBytes)
+	})
+	mb.Recv(p)
+}

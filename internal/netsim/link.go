@@ -1,0 +1,83 @@
+package netsim
+
+import "dclue/internal/sim"
+
+// Link is a unidirectional wire: it serializes packets at the configured
+// bandwidth, then delivers them to the far end after the propagation delay.
+// The transmit queue in front of the link is a Qdisc owned by the sending
+// device (NIC or router output port); Link itself holds at most the packet
+// currently on the wire.
+type Link struct {
+	net   *Network
+	bps   float64 // bandwidth, bits per second
+	prop  sim.Time
+	to    sink
+	qdisc *Qdisc
+
+	busy bool
+
+	// Statistics.
+	BytesSent uint64
+	PktsSent  uint64
+	busyTime  sim.Time
+	lastStart sim.Time
+}
+
+// NewLink creates a link of the given bandwidth (bits/s) and one-way
+// propagation delay, draining from q into to. The qdisc notifies the link
+// when work arrives.
+func NewLink(n *Network, bps float64, prop sim.Time, q *Qdisc, to sink) *Link {
+	l := &Link{net: n, bps: bps, prop: prop, to: to, qdisc: q}
+	q.link = l
+	return l
+}
+
+// SerializationDelay returns the wire time for a packet of the given size.
+func (l *Link) SerializationDelay(bytes int) sim.Time {
+	return sim.Time(float64(bytes*8) / l.bps * float64(sim.Second))
+}
+
+// Utilization returns the fraction of elapsed time the wire was busy.
+func (l *Link) Utilization() float64 {
+	now := l.net.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := l.busyTime
+	if l.busy {
+		busy += now - l.lastStart
+	}
+	return float64(busy) / float64(now)
+}
+
+// kick starts the transmit loop if the wire is idle. Called by the qdisc on
+// enqueue and by the link itself on transmit completion.
+func (l *Link) kick() {
+	if l.busy {
+		return
+	}
+	pkt := l.qdisc.dequeue()
+	if pkt == nil {
+		return
+	}
+	l.busy = true
+	l.lastStart = l.net.sim.Now()
+	ser := l.SerializationDelay(pkt.Size)
+	l.net.sim.After(ser, func() {
+		l.busyTime += l.net.sim.Now() - l.lastStart
+		l.BytesSent += uint64(pkt.Size)
+		l.PktsSent++
+		// Propagation: the wire is free for the next frame while this one
+		// flies.
+		l.net.sim.After(l.prop, func() { l.to.receive(pkt) })
+		l.busy = false
+		l.kick()
+	})
+}
+
+// SetPropagation adjusts the one-way propagation delay (used by the latency
+// experiments, which stretch the inter-LATA links).
+func (l *Link) SetPropagation(d sim.Time) { l.prop = d }
+
+// Propagation returns the current one-way propagation delay.
+func (l *Link) Propagation() sim.Time { return l.prop }

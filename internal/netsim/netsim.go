@@ -1,0 +1,135 @@
+// Package netsim models the unified Ethernet fabric of the paper at packet
+// granularity: full-duplex links with serialization and propagation delay,
+// store-and-forward routers with a finite forwarding rate, and diff-serv
+// output queues (strict priority across classes, tail drop, ECN marking).
+//
+// The topology mirrors the paper's Fig 1: one or more subclusters ("LATAs"),
+// each with an inner router connecting its server nodes, joined by an outer
+// router where the client population (and any cross-traffic endpoints) also
+// home in.
+package netsim
+
+import (
+	"fmt"
+
+	"dclue/internal/sim"
+)
+
+// Addr identifies an endpoint (a server node, the client cloud, or an
+// extra cross-traffic host) on the fabric.
+type Addr int
+
+// Class is a diff-serv traffic class. Higher classes get strict priority at
+// router output ports (the paper maps FTP to AF21 in its priority
+// experiments, with DBMS traffic left best-effort).
+type Class int
+
+// Traffic classes used by the model.
+const (
+	ClassBestEffort Class = 0
+	ClassAF21       Class = 1
+
+	NumClasses = 2
+)
+
+// Packet is one frame on the wire. Size includes all headers.
+type Packet struct {
+	ID      uint64
+	Src     Addr
+	Dst     Addr
+	Size    int // bytes on the wire
+	Class   Class
+	ECN     bool // ECN-capable transport
+	Marked  bool // congestion experienced
+	Payload any  // opaque to the network (a TCP segment)
+
+	sent sim.Time // enqueue time at the source NIC, for delay stats
+}
+
+// Endpoint consumes packets addressed to it.
+type Endpoint interface {
+	// Deliver is called in kernel context when a packet arrives.
+	Deliver(pkt *Packet)
+}
+
+// sink is anything a link can feed: a router input or an endpoint NIC.
+type sink interface {
+	receive(pkt *Packet)
+}
+
+// Network is the assembled fabric: endpoints, NICs, routers and links.
+type Network struct {
+	sim       *sim.Sim
+	nextPktID uint64
+
+	nics      map[Addr]*NIC
+	routers   []*Router
+	portSetup func(*Qdisc) // applied to each router port at creation
+
+	// Delay statistics by class (end-to-end, NIC enqueue to delivery).
+	DelayByClass [NumClasses]DelayTally
+
+	// Drop and mark counters, fabric-wide.
+	Drops uint64
+	Marks uint64
+}
+
+// DelayTally accumulates end-to-end packet delays for one class.
+type DelayTally struct {
+	N   uint64
+	Sum sim.Time
+}
+
+// Mean returns the mean recorded delay.
+func (d DelayTally) Mean() sim.Time {
+	if d.N == 0 {
+		return 0
+	}
+	return d.Sum / sim.Time(d.N)
+}
+
+// New returns an empty network on s.
+func New(s *sim.Sim) *Network {
+	return &Network{sim: s, nics: make(map[Addr]*NIC)}
+}
+
+// Sim returns the simulation the network is bound to.
+func (n *Network) Sim() *sim.Sim { return n.sim }
+
+// NIC returns the NIC for addr, creating it if needed.
+func (n *Network) NIC(addr Addr) *NIC {
+	nic, ok := n.nics[addr]
+	if !ok {
+		nic = &NIC{net: n, addr: addr}
+		n.nics[addr] = nic
+	}
+	return nic
+}
+
+// Send injects a packet from src's NIC toward its destination. It is the
+// single entry point used by the transport layer.
+func (n *Network) Send(pkt *Packet) {
+	n.nextPktID++
+	pkt.ID = n.nextPktID
+	pkt.sent = n.sim.Now()
+	nic, ok := n.nics[pkt.Src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: send from unknown addr %d", pkt.Src))
+	}
+	nic.transmit(pkt)
+}
+
+// deliver hands a packet that reached its destination NIC to the endpoint.
+func (n *Network) deliver(pkt *Packet) {
+	nic := n.nics[pkt.Dst]
+	if nic == nil || nic.endpoint == nil {
+		// Destination has no listener; count as a drop.
+		n.Drops++
+		return
+	}
+	d := n.sim.Now() - pkt.sent
+	t := &n.DelayByClass[pkt.Class]
+	t.N++
+	t.Sum += d
+	nic.endpoint.Deliver(pkt)
+}

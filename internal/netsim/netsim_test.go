@@ -1,0 +1,349 @@
+package netsim
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+// collector is a test endpoint recording deliveries.
+type collector struct {
+	pkts  []*Packet
+	times []sim.Time
+	s     *sim.Sim
+}
+
+func (c *collector) Deliver(pkt *Packet) {
+	c.pkts = append(c.pkts, pkt)
+	c.times = append(c.times, c.s.Now())
+}
+
+// buildPair wires two endpoints through one router with the given
+// forwarding rate and link speed.
+func buildPair(s *sim.Sim, bps float64, fwdRate float64) (*Network, *collector, *collector) {
+	n := New(s)
+	r := NewRouter(n, "r", fwdRate, 0)
+	a := n.NIC(0)
+	b := n.NIC(1)
+	a.Attach(r, bps, sim.Microsecond)
+	b.Attach(r, bps, sim.Microsecond)
+	ca := &collector{s: s}
+	cb := &collector{s: s}
+	a.SetEndpoint(ca)
+	b.SetEndpoint(cb)
+	return n, ca, cb
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e9, 1e6)
+	n.Send(&Packet{Src: 0, Dst: 1, Size: 1500})
+	s.RunAll()
+	if len(cb.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(cb.pkts))
+	}
+	if cb.pkts[0].Size != 1500 {
+		t.Fatalf("size %d", cb.pkts[0].Size)
+	}
+}
+
+func TestSerializationAndPropagationTiming(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e8, 1e9) // 100 Mb/s, effectively infinite fwd rate
+	// 1250 bytes at 100 Mb/s = 100us serialization per hop; two hops
+	// (NIC->router, router->NIC); props 1us each; router service ~1ns.
+	n.Send(&Packet{Src: 0, Dst: 1, Size: 1250})
+	s.RunAll()
+	want := sim.Time(2*100*sim.Microsecond + 2*sim.Microsecond)
+	got := cb.times[0]
+	if got < want || got > want+10*sim.Microsecond {
+		t.Fatalf("delivery at %v, want ~%v", got, want)
+	}
+}
+
+func TestFIFOWithinClass(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e6, 1e9) // slow link forces queueing
+	for i := 0; i < 10; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Size: 1000, Payload: i})
+	}
+	s.RunAll()
+	if len(cb.pkts) != 10 {
+		t.Fatalf("delivered %d", len(cb.pkts))
+	}
+	for i, p := range cb.pkts {
+		if p.Payload.(int) != i {
+			t.Fatalf("out of order at %d: %v", i, p.Payload)
+		}
+	}
+}
+
+func TestPriorityClassJumpsQueue(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	q := NewQdisc(n, DefaultQdiscConfig())
+	be1 := &Packet{Size: 100, Class: ClassBestEffort, Payload: "be1"}
+	be2 := &Packet{Size: 100, Class: ClassBestEffort, Payload: "be2"}
+	af := &Packet{Size: 100, Class: ClassAF21, Payload: "af"}
+	q.Enqueue(be1)
+	q.Enqueue(be2)
+	q.Enqueue(af)
+	if got := q.dequeue().Payload; got != "af" {
+		t.Fatalf("first dequeue %v, want af", got)
+	}
+	if got := q.dequeue().Payload; got != "be1" {
+		t.Fatalf("second dequeue %v, want be1", got)
+	}
+}
+
+func TestTailDrop(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	cfg := QdiscConfig{LimitBytes: [NumClasses]int{1000, 1000}}
+	q := NewQdisc(n, cfg)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(&Packet{Size: 400, Class: ClassBestEffort})
+	}
+	// Only 2 fit (800 bytes; third would exceed 1000).
+	if q.Len() != 2 {
+		t.Fatalf("queued %d packets, want 2", q.Len())
+	}
+	if q.DropsByClass[ClassBestEffort] != 3 {
+		t.Fatalf("drops %d, want 3", q.DropsByClass[ClassBestEffort])
+	}
+	if n.Drops != 3 {
+		t.Fatalf("network drops %d", n.Drops)
+	}
+}
+
+func TestPerClassLimitsIndependent(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	cfg := QdiscConfig{LimitBytes: [NumClasses]int{500, 2000}}
+	q := NewQdisc(n, cfg)
+	for i := 0; i < 4; i++ {
+		q.Enqueue(&Packet{Size: 400, Class: ClassBestEffort})
+		q.Enqueue(&Packet{Size: 400, Class: ClassAF21})
+	}
+	if q.DropsByClass[ClassBestEffort] != 3 {
+		t.Fatalf("BE drops %d, want 3", q.DropsByClass[ClassBestEffort])
+	}
+	if q.DropsByClass[ClassAF21] != 0 {
+		t.Fatalf("AF drops %d, want 0 (larger queue)", q.DropsByClass[ClassAF21])
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	cfg := QdiscConfig{
+		LimitBytes:        [NumClasses]int{10000, 10000},
+		ECNThresholdBytes: 1000,
+	}
+	q := NewQdisc(n, cfg)
+	for i := 0; i < 3; i++ {
+		q.Enqueue(&Packet{Size: 600, Class: ClassBestEffort, ECN: true})
+	}
+	// Third packet sees 1200 queued > 1000 threshold: marked.
+	marked := 0
+	for {
+		p := q.dequeue()
+		if p == nil {
+			break
+		}
+		if p.Marked {
+			marked++
+		}
+	}
+	if marked != 1 {
+		t.Fatalf("marked %d packets, want 1", marked)
+	}
+	if n.Marks != 1 {
+		t.Fatalf("network marks %d", n.Marks)
+	}
+}
+
+func TestECNNotMarkedWithoutCapability(t *testing.T) {
+	s := sim.New()
+	n := New(s)
+	cfg := QdiscConfig{
+		LimitBytes:        [NumClasses]int{10000, 10000},
+		ECNThresholdBytes: 100,
+	}
+	q := NewQdisc(n, cfg)
+	q.Enqueue(&Packet{Size: 600})
+	q.Enqueue(&Packet{Size: 600})
+	if n.Marks != 0 {
+		t.Fatal("non-ECN packet was marked")
+	}
+}
+
+func TestRouterForwardingRateBottleneck(t *testing.T) {
+	s := sim.New()
+	// 1000 pkt/s forwarding: 50 packets take ~50ms regardless of link speed.
+	n, _, cb := buildPair(s, 1e9, 1000)
+	for i := 0; i < 50; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Size: 100})
+	}
+	s.RunAll()
+	if len(cb.pkts) != 50 {
+		t.Fatalf("delivered %d", len(cb.pkts))
+	}
+	last := cb.times[len(cb.times)-1]
+	if last < 49*sim.Millisecond {
+		t.Fatalf("50 packets at 1000 pkt/s finished in %v, want >=49ms", last)
+	}
+}
+
+func TestLoopbackBypassesFabric(t *testing.T) {
+	s := sim.New()
+	n, ca, _ := buildPair(s, 1e9, 1e6)
+	n.Send(&Packet{Src: 0, Dst: 0, Size: 100})
+	s.RunAll()
+	if len(ca.pkts) != 1 {
+		t.Fatalf("loopback delivered %d", len(ca.pkts))
+	}
+	if ca.times[0] > 2*sim.Microsecond {
+		t.Fatalf("loopback took %v", ca.times[0])
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e6, 1e9) // 1 Mb/s
+	// 12500 bytes = 100ms of wire time at 1 Mb/s.
+	for i := 0; i < 10; i++ {
+		n.Send(&Packet{Src: 0, Dst: 1, Size: 1250})
+	}
+	s.RunAll()
+	_ = cb
+	nic := n.NIC(0)
+	u := nic.Link().Utilization()
+	if u < 0.9 {
+		t.Fatalf("utilization %v, want ~1.0 while saturated", u)
+	}
+}
+
+func TestDelayStatsByClass(t *testing.T) {
+	s := sim.New()
+	n, _, _ := buildPair(s, 1e9, 1e6)
+	n.Send(&Packet{Src: 0, Dst: 1, Size: 100, Class: ClassAF21})
+	s.RunAll()
+	if n.DelayByClass[ClassAF21].N != 1 {
+		t.Fatal("AF21 delay not recorded")
+	}
+	if n.DelayByClass[ClassAF21].Mean() <= 0 {
+		t.Fatal("mean delay not positive")
+	}
+}
+
+func TestTopologyIntraLata(t *testing.T) {
+	s := sim.New()
+	topo := BuildTopology(s, testTopoConfig([]int{4}))
+	c := &collector{s: s}
+	topo.Net.NIC(NodeAddr(1)).SetEndpoint(c)
+	topo.Net.Send(&Packet{Src: NodeAddr(0), Dst: NodeAddr(1), Size: 500})
+	s.RunAll()
+	if len(c.pkts) != 1 {
+		t.Fatal("intra-LATA packet not delivered")
+	}
+	// Must not have crossed the outer router.
+	if topo.Outer.Forwarded != 0 {
+		t.Fatalf("outer router forwarded %d packets for intra-LATA traffic", topo.Outer.Forwarded)
+	}
+}
+
+func TestTopologyInterLata(t *testing.T) {
+	s := sim.New()
+	topo := BuildTopology(s, testTopoConfig([]int{2, 2}))
+	c := &collector{s: s}
+	topo.Net.NIC(NodeAddr(3)).SetEndpoint(c)
+	topo.Net.Send(&Packet{Src: NodeAddr(0), Dst: NodeAddr(3), Size: 500})
+	s.RunAll()
+	if len(c.pkts) != 1 {
+		t.Fatal("inter-LATA packet not delivered")
+	}
+	if topo.Outer.Forwarded != 1 {
+		t.Fatalf("outer router forwarded %d, want 1", topo.Outer.Forwarded)
+	}
+	if topo.Inner[0].Forwarded != 1 || topo.Inner[1].Forwarded != 1 {
+		t.Fatal("both inner routers should forward the packet once")
+	}
+}
+
+func TestTopologyClientCloud(t *testing.T) {
+	s := sim.New()
+	topo := BuildTopology(s, testTopoConfig([]int{2}))
+	c := &collector{s: s}
+	topo.Net.NIC(AddrClientCloud).SetEndpoint(c)
+	topo.Net.Send(&Packet{Src: NodeAddr(0), Dst: AddrClientCloud, Size: 500})
+	s.RunAll()
+	if len(c.pkts) != 1 {
+		t.Fatal("client-bound packet not delivered")
+	}
+}
+
+func TestTopologyExtraHostsCrossLatas(t *testing.T) {
+	s := sim.New()
+	cfg := testTopoConfig([]int{2, 2})
+	cfg.WithExtraHosts = true
+	topo := BuildTopology(s, cfg)
+	c := &collector{s: s}
+	topo.Net.NIC(AddrExtraServer).SetEndpoint(c)
+	topo.Net.Send(&Packet{Src: AddrExtraClient, Dst: AddrExtraServer, Size: 500})
+	s.RunAll()
+	if len(c.pkts) != 1 {
+		t.Fatal("extra-host packet not delivered")
+	}
+	if topo.Outer.Forwarded != 1 {
+		t.Fatal("FTP path must cross the outer router (inter-LATA)")
+	}
+}
+
+func TestExtraInterLataLatency(t *testing.T) {
+	run := func(extra sim.Time) sim.Time {
+		s := sim.New()
+		cfg := testTopoConfig([]int{1, 1})
+		cfg.ExtraInterLataLatency = extra
+		topo := BuildTopology(s, cfg)
+		c := &collector{s: s}
+		topo.Net.NIC(NodeAddr(1)).SetEndpoint(c)
+		topo.Net.Send(&Packet{Src: NodeAddr(0), Dst: NodeAddr(1), Size: 500})
+		s.RunAll()
+		return c.times[0]
+	}
+	base := run(0)
+	slow := run(1 * sim.Millisecond)
+	diff := slow - base
+	// Two inter-LATA hops, each +0.5ms: +1ms total.
+	if diff < 990*sim.Microsecond || diff > 1010*sim.Microsecond {
+		t.Fatalf("extra latency delta %v, want ~1ms", diff)
+	}
+}
+
+func TestLataOfNode(t *testing.T) {
+	s := sim.New()
+	topo := BuildTopology(s, testTopoConfig([]int{3, 2}))
+	cases := map[int]int{0: 0, 2: 0, 3: 1, 4: 1}
+	for node, want := range cases {
+		if got := topo.LataOfNode(node); got != want {
+			t.Errorf("LataOfNode(%d) = %d, want %d", node, got, want)
+		}
+	}
+	if topo.TotalNodes() != 5 {
+		t.Errorf("TotalNodes = %d", topo.TotalNodes())
+	}
+}
+
+func testTopoConfig(nodesPerLata []int) TopologyConfig {
+	return TopologyConfig{
+		NodesPerLata: nodesPerLata,
+		NodeLinkBps:  1e9,
+		InterLataBps: 1e9,
+		ClientBps:    1e9,
+		NodeProp:     sim.Microsecond,
+		InterProp:    5 * sim.Microsecond,
+		InnerFwdRate: 1e6,
+		OuterFwdRate: 1e6,
+	}
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import "dclue/internal/rng"
+
+// QdiscConfig sets the per-class queue limits of an output queue.
+type QdiscConfig struct {
+	// LimitBytes is the per-class tail-drop limit. Classes beyond the slice
+	// reuse the last entry. The paper notes OPNET gives higher AF classes a
+	// larger queue in addition to priority treatment.
+	LimitBytes [NumClasses]int
+	// ECNThresholdBytes marks (rather than drops) ECN-capable packets once
+	// a class queue exceeds this depth. Zero disables marking.
+	ECNThresholdBytes int
+}
+
+// DefaultQdiscConfig returns the configuration used for router ports:
+// best-effort gets a 128 KB queue, AF21 a 256 KB queue (the paper notes
+// OPNET gives higher AF classes larger queues), and ECN marking starts at
+// 48 KB — below the 64 KB TCP receive window so even a single bulk flow is
+// signalled before it fills the port.
+func DefaultQdiscConfig() QdiscConfig {
+	return QdiscConfig{
+		LimitBytes:        [NumClasses]int{128 * 1024, 256 * 1024},
+		ECNThresholdBytes: 48 * 1024,
+	}
+}
+
+// Qdisc is the output queue at every NIC and router output port. The
+// default configuration matches the paper: strict priority across classes
+// with tail drop and optional ECN marking; WFQ scheduling and (W)RED
+// dropping are available for the QoS ablations (see qos.go).
+type Qdisc struct {
+	net  *Network
+	cfg  QdiscConfig
+	q    [NumClasses][]*Packet
+	size [NumClasses]int // queued bytes per class
+	link *Link
+
+	discipline Discipline
+	weights    [NumClasses]float64
+	deficit    [NumClasses]float64
+	dropPolicy DropPolicy
+	red        REDConfig
+	rnd        *rng.Stream
+
+	// Statistics.
+	DropsByClass [NumClasses]uint64
+	MaxDepth     int
+}
+
+// NewQdisc returns an empty queue with the given limits, in the paper's
+// default arrangement (strict priority, tail drop).
+func NewQdisc(n *Network, cfg QdiscConfig) *Qdisc {
+	q := &Qdisc{net: n, cfg: cfg}
+	for c := range q.weights {
+		q.weights[c] = 1
+	}
+	return q
+}
+
+// Enqueue adds pkt, applying tail drop and ECN marking, and kicks the
+// attached link.
+func (q *Qdisc) Enqueue(pkt *Packet) {
+	c := pkt.Class
+	if c < 0 || c >= NumClasses {
+		c = ClassBestEffort
+		pkt.Class = c
+	}
+	if !q.admit(pkt, c) {
+		q.DropsByClass[c]++
+		q.net.Drops++
+		return
+	}
+	if q.cfg.ECNThresholdBytes > 0 && pkt.ECN && !pkt.Marked &&
+		q.size[c] > q.cfg.ECNThresholdBytes {
+		pkt.Marked = true
+		q.net.Marks++
+	}
+	q.q[c] = append(q.q[c], pkt)
+	q.size[c] += pkt.Size
+	if d := q.Depth(); d > q.MaxDepth {
+		q.MaxDepth = d
+	}
+	if q.link != nil {
+		q.link.kick()
+	}
+}
+
+// dequeue removes the next packet under the configured discipline.
+func (q *Qdisc) dequeue() *Packet {
+	if q.discipline == DiscWFQ {
+		return q.wfqDequeue()
+	}
+	// Strict priority: highest class first, FIFO within class.
+	for c := NumClasses - 1; c >= 0; c-- {
+		if len(q.q[c]) > 0 {
+			pkt := q.q[c][0]
+			q.q[c] = q.q[c][1:]
+			q.size[c] -= pkt.Size
+			return pkt
+		}
+	}
+	return nil
+}
+
+// Depth returns the total queued bytes across classes.
+func (q *Qdisc) Depth() int {
+	total := 0
+	for _, s := range q.size {
+		total += s
+	}
+	return total
+}
+
+// Len returns the total queued packet count across classes.
+func (q *Qdisc) Len() int {
+	total := 0
+	for _, l := range q.q {
+		total += len(l)
+	}
+	return total
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dclue/internal/sim"
+)
+
+// Router is a store-and-forward router. All arriving packets pass through a
+// single forwarding engine with a finite rate (packets/second) — the
+// resource the paper throttles in its Fig 8 experiment — then are placed on
+// the output port toward their destination. Output ports run the diff-serv
+// Qdisc, so priority traffic receives priority treatment "only at the
+// router", as §3.4 notes.
+type Router struct {
+	net     *Network
+	name    string
+	fwdRate float64  // packets per second through the forwarding engine
+	latency sim.Time // fixed per-packet forwarding latency
+
+	fwdQ     []*Packet
+	fwdBusy  bool
+	fwdLimit int // max queued packets in the forwarding engine
+
+	routes      map[Addr]*Qdisc
+	defaultPort *Qdisc
+	ports       []*port
+
+	// Statistics.
+	Forwarded uint64
+	FwdDrops  uint64
+	maxFwdQ   int
+}
+
+type port struct {
+	q    *Qdisc
+	link *Link
+}
+
+// NewRouter creates a router with the given forwarding rate (pkt/s) and
+// fixed forwarding latency, registered on the network.
+func NewRouter(n *Network, name string, fwdRate float64, latency sim.Time) *Router {
+	r := &Router{
+		net:      n,
+		name:     name,
+		fwdRate:  fwdRate,
+		latency:  latency,
+		fwdLimit: 4096,
+		routes:   make(map[Addr]*Qdisc),
+	}
+	n.routers = append(n.routers, r)
+	return r
+}
+
+// SetForwardingRate changes the forwarding rate (pkt/s).
+func (r *Router) SetForwardingRate(pps float64) { r.fwdRate = pps }
+
+// AddPort attaches an output link to the router: packets routed to this
+// port are queued in a fresh Qdisc with cfg and drained onto a link of the
+// given bandwidth and propagation delay toward 'to'. The returned port
+// handle is used in route entries.
+func (r *Router) AddPort(bps float64, prop sim.Time, cfg QdiscConfig, to sink) *Qdisc {
+	q := NewQdisc(r.net, cfg)
+	if r.net.portSetup != nil {
+		r.net.portSetup(q)
+	}
+	l := NewLink(r.net, bps, prop, q, to)
+	r.ports = append(r.ports, &port{q: q, link: l})
+	return q
+}
+
+// PortLink returns the link behind a port queue (for utilization stats and
+// the latency experiments). It panics if q is not one of r's ports.
+func (r *Router) PortLink(q *Qdisc) *Link {
+	for _, p := range r.ports {
+		if p.q == q {
+			return p.link
+		}
+	}
+	panic(fmt.Sprintf("netsim: %s: unknown port", r.name))
+}
+
+// Route directs packets for addr to the given port.
+func (r *Router) Route(addr Addr, q *Qdisc) { r.routes[addr] = q }
+
+// DefaultRoute directs packets with no specific route to the given port.
+func (r *Router) DefaultRoute(q *Qdisc) { r.defaultPort = q }
+
+// receive implements sink: a packet arrives from some link.
+func (r *Router) receive(pkt *Packet) {
+	if len(r.fwdQ) >= r.fwdLimit {
+		r.FwdDrops++
+		r.net.Drops++
+		return
+	}
+	r.fwdQ = append(r.fwdQ, pkt)
+	if len(r.fwdQ) > r.maxFwdQ {
+		r.maxFwdQ = len(r.fwdQ)
+	}
+	r.pump()
+}
+
+// pump drives the forwarding engine.
+func (r *Router) pump() {
+	if r.fwdBusy || len(r.fwdQ) == 0 {
+		return
+	}
+	r.fwdBusy = true
+	pkt := r.fwdQ[0]
+	r.fwdQ = r.fwdQ[1:]
+	service := sim.Time(float64(sim.Second)/r.fwdRate) + r.latency
+	r.net.sim.After(service, func() {
+		r.Forwarded++
+		r.forward(pkt)
+		r.fwdBusy = false
+		r.pump()
+	})
+}
+
+// forward places the packet on its output port.
+func (r *Router) forward(pkt *Packet) {
+	q, ok := r.routes[pkt.Dst]
+	if !ok {
+		q = r.defaultPort
+	}
+	if q == nil {
+		panic(fmt.Sprintf("netsim: %s: no route to %d", r.name, pkt.Dst))
+	}
+	q.Enqueue(pkt)
+}
+
+// MaxForwardQueue returns the deepest forwarding backlog seen (packets).
+func (r *Router) MaxForwardQueue() int { return r.maxFwdQ }

@@ -1,0 +1,280 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+func testCfg() Config { return DefaultConfig(1) }
+
+func TestPressureAnchors(t *testing.T) {
+	// The calibration must reproduce the paper's published context-switch
+	// costs: ~17.7K cycles at 20 active threads, ~69.7K at 75.
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	cost := func(n float64) float64 {
+		return c.cfg.CtxSwitchBase + c.cfg.CtxRefillMax*c.pressure(n)
+	}
+	if got := cost(20); math.Abs(got-17700) > 1000 {
+		t.Errorf("ctx cost at 20 threads = %v cycles, want ~17700", got)
+	}
+	if got := cost(75); math.Abs(got-69700) > 3000 {
+		t.Errorf("ctx cost at 75 threads = %v cycles, want ~69700", got)
+	}
+	if got := cost(5); got != c.cfg.CtxSwitchBase {
+		t.Errorf("ctx cost below cache fit = %v, want base %v", got, c.cfg.CtxSwitchBase)
+	}
+}
+
+func TestPressureMonotone(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	prev := -1.0
+	for n := 0.0; n <= 200; n += 5 {
+		p := c.pressure(n)
+		if p < prev {
+			t.Fatalf("pressure not monotone at n=%v", n)
+		}
+		if p < 0 || p >= 1 {
+			t.Fatalf("pressure out of range at n=%v: %v", n, p)
+		}
+		prev = p
+	}
+}
+
+func TestCPIRisesWithRemoteFraction(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	base := c.CPI()
+	c.SetRemoteFraction(0.2)
+	mid := c.CPI()
+	c.SetRemoteFraction(0.8)
+	high := c.CPI()
+	if !(base < mid && mid < high) {
+		t.Fatalf("CPI not increasing with remote fraction: %v %v %v", base, mid, high)
+	}
+	if base < c.cfg.BaseCPI {
+		t.Fatalf("CPI %v below core CPI %v", base, c.cfg.BaseCPI)
+	}
+}
+
+func TestCPIRatioAnchor(t *testing.T) {
+	// CPI(n=75)/CPI(n=20) at the paper's cross-traffic operating point
+	// should approximate 16.9/11.5. We test the stall-term ratio
+	// (1+g*P(75))/(1+g*P(20)) ~= 1.5.
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	g := c.cfg.ThrashMPIFactor
+	r := (1 + g*c.pressure(75)) / (1 + g*c.pressure(20))
+	want := (16.9 - 0.8) / (11.5 - 0.8) // stall-term ratio implied by the paper
+	if math.Abs(r-want) > 0.1 {
+		t.Fatalf("stall ratio %v, want ~%v", r, want)
+	}
+}
+
+func TestExecuteTiming(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	var took sim.Time
+	s.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		c.Execute(p, 3.2e6) // 1M cycles at CPI~? : at least BaseCPI*1M/3.2GHz
+		took = p.Now() - start
+	})
+	s.Run(1 * sim.Second)
+	s.Shutdown()
+	min := sim.Time(float64(3.2e6) * c.cfg.BaseCPI / c.cfg.ClockHz * float64(sim.Second))
+	if took < min {
+		t.Fatalf("execute took %v, below core-CPI floor %v", took, min)
+	}
+	if took > 100*min {
+		t.Fatalf("execute took %v, absurdly long", took)
+	}
+}
+
+func TestTwoCPUsRunInParallel(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		s.Spawn("w", func(p *sim.Proc) {
+			c.Execute(p, 3.2e7)
+			done = append(done, p.Now())
+		})
+	}
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	if len(done) != 2 {
+		t.Fatalf("completed %d", len(done))
+	}
+	// Both finish at the same time if they ran in parallel.
+	if done[0] != done[1] {
+		t.Fatalf("2 threads on 2 CPUs finished at %v and %v; expected parallel", done[0], done[1])
+	}
+}
+
+func TestThirdThreadQueues(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	var done []sim.Time
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", func(p *sim.Proc) {
+			c.Execute(p, 3.2e7)
+			done = append(done, p.Now())
+		})
+	}
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	if len(done) != 3 {
+		t.Fatalf("completed %d", len(done))
+	}
+	if done[2] <= done[0] {
+		t.Fatal("third thread did not queue behind the two processors")
+	}
+}
+
+func TestDispatchChargesContextSwitch(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	var t1, t2 sim.Time
+	s.Spawn("a", func(p *sim.Proc) {
+		start := p.Now()
+		c.Execute(p, 1e6)
+		t1 = p.Now() - start
+	})
+	s.Run(1 * sim.Second)
+	s.Shutdown()
+	s2 := sim.New()
+	c2 := NewCPU(s2, testCfg())
+	s2.Spawn("b", func(p *sim.Proc) {
+		start := p.Now()
+		c2.Dispatch(p, 1e6)
+		t2 = p.Now() - start
+	})
+	s2.Run(1 * sim.Second)
+	s2.Shutdown()
+	if t2 <= t1 {
+		t.Fatalf("Dispatch (%v) not slower than Execute (%v)", t2, t1)
+	}
+	if c2.MeanCtxSwitchCycles() < c2.cfg.CtxSwitchBase {
+		t.Fatalf("ctx cycles %v below base", c2.MeanCtxSwitchCycles())
+	}
+}
+
+func TestInterruptPriority(t *testing.T) {
+	// With both CPUs busy and a thread queued, interrupt work must still be
+	// served before the queued thread.
+	s := sim.New()
+	cfg := testCfg()
+	cfg.NumCPUs = 1
+	c := NewCPU(s, cfg)
+	var order []string
+	s.Spawn("hog", func(p *sim.Proc) {
+		c.Execute(p, 3.2e7) // long burst
+		order = append(order, "hog")
+	})
+	s.Spawn("queued", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		c.Execute(p, 1e5)
+		order = append(order, "thread")
+	})
+	s.At(2*sim.Millisecond, func() {
+		c.Process(1e5, func() { order = append(order, "irq") })
+	})
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	if len(order) != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if order[0] != "hog" || order[1] != "irq" || order[2] != "thread" {
+		t.Fatalf("interrupt did not preempt queue: %v", order)
+	}
+}
+
+func TestProcessFromKernelContext(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	ran := false
+	s.At(0, func() { c.Process(1000, func() { ran = true }) })
+	s.Run(1 * sim.Second)
+	s.Shutdown()
+	if !ran {
+		t.Fatal("interrupt work never completed")
+	}
+	if c.IRQInstr() != 1000 {
+		t.Fatalf("irq instr %v", c.IRQInstr())
+	}
+}
+
+func TestActiveThreadAccounting(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", func(p *sim.Proc) {
+			c.Execute(p, 3.2e7)
+		})
+	}
+	var snapshot float64
+	s.At(sim.Millisecond, func() { snapshot = c.ActiveThreadsNow() })
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	if snapshot != 4 {
+		t.Fatalf("active threads %v at 1ms, want 4 (2 running + 2 queued)", snapshot)
+	}
+}
+
+func TestUtilizationUnderLoad(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	// Keep both processors saturated for the whole run.
+	for i := 0; i < 8; i++ {
+		s.Spawn("w", func(p *sim.Proc) {
+			for {
+				c.Execute(p, 1e6)
+			}
+		})
+	}
+	s.Run(100 * sim.Millisecond)
+	u := c.Utilization()
+	s.Shutdown()
+	if u < 0.95 {
+		t.Fatalf("utilization %v under saturation", u)
+	}
+}
+
+func TestCPIReactsToMemoryTraffic(t *testing.T) {
+	// Driving lots of instructions raises the measured instruction rate,
+	// which raises bus utilization and hence CPI, after a stat tick.
+	s := sim.New()
+	cfg := testCfg()
+	cfg.MemBandwidth = 1e8 // tiny bus so the effect is visible
+	c := NewCPU(s, cfg)
+	idleCPI := c.CPI()
+	for i := 0; i < 8; i++ {
+		s.Spawn("w", func(p *sim.Proc) {
+			for {
+				c.Execute(p, 1e6)
+			}
+		})
+	}
+	s.Run(1 * sim.Second)
+	loaded := c.CPI()
+	s.Shutdown()
+	if loaded <= idleCPI {
+		t.Fatalf("CPI %v did not rise from idle %v under memory load", loaded, idleCPI)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s := sim.New()
+	c := NewCPU(s, testCfg())
+	s.Spawn("w", func(p *sim.Proc) { c.Dispatch(p, 1e6) })
+	s.Run(1 * sim.Second)
+	c.ResetStats(s.Now())
+	s.Shutdown()
+	if c.InstrTotal() != 0 || c.MeanCtxSwitchCycles() != 0 {
+		t.Fatal("stats not reset")
+	}
+}

@@ -1,0 +1,148 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between differently seeded streams", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(7, "tcp")
+	b := Derive(7, "disk")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("derived streams with different labels produced same first draw")
+	}
+	c := Derive(7, "tcp")
+	a2 := Derive(7, "tcp")
+	if c.Uint64() != a2.Uint64() {
+		t.Fatal("same-label derivation not reproducible")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if m := sum / n; math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("mean %v, want ~0.5", m)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered only %d values", len(seen))
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 1000; i++ {
+		v := s.IntRange(5, 7)
+		if v < 5 || v > 7 {
+			t.Fatalf("IntRange(5,7) = %d", v)
+		}
+	}
+	if v := s.IntRange(3, 3); v != 3 {
+		t.Fatalf("IntRange(3,3) = %d", v)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(7)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2.5)
+	}
+	if m := sum / n; math.Abs(m-2.5) > 0.05 {
+		t.Fatalf("Exp mean %v, want ~2.5", m)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10000; i++ {
+		v := s.Pareto(1.2, 100, 100000)
+		if v < 100 || v > 100000 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + int(seed%32)
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", frac)
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	t    Time
+	seq  uint64 // tie-breaker for determinism
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ e *event }
+
+// Sim is a discrete-event simulation. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Process bookkeeping (see proc.go).
+	procs    map[*Proc]struct{}
+	current  *Proc
+	handback chan struct{}
+
+	// nEvents counts executed events, for diagnostics.
+	nEvents uint64
+
+	tracer Tracer
+}
+
+// New returns an empty simulation positioned at time zero.
+func New() *Sim {
+	return &Sim{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// EventCount returns the number of events executed so far.
+func (s *Sim) EventCount() uint64 { return s.nEvents }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// that is always a model bug.
+func (s *Sim) At(t Time, fn func()) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &event{t: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return EventID{e}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel cancels a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(id EventID) {
+	if id.e == nil || id.e.dead {
+		return
+	}
+	id.e.dead = true
+	if id.e.idx >= 0 {
+		heap.Remove(&s.events, id.e.idx)
+	}
+	id.e.fn = nil
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events in time order until the calendar is empty, the
+// horizon is passed, or Stop is called. It returns the time of the last
+// executed event (or the horizon if it was reached). Run must not be called
+// from inside an event or process.
+func (s *Sim) Run(horizon Time) Time {
+	return s.run(horizon, true)
+}
+
+// RunAll executes events until the calendar is empty or Stop is called,
+// leaving the clock at the last executed event.
+func (s *Sim) RunAll() Time {
+	const forever = Time(1) << 62
+	return s.run(forever, false)
+}
+
+func (s *Sim) run(horizon Time, advance bool) Time {
+	if s.current != nil {
+		panic("sim: Run called from inside a process")
+	}
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		e := s.events[0]
+		if e.t > horizon {
+			s.now = horizon
+			return s.now
+		}
+		heap.Pop(&s.events)
+		if e.dead {
+			continue
+		}
+		s.now = e.t
+		s.nEvents++
+		if s.tracer != nil {
+			s.tracer.Event(e.t, e.seq)
+		}
+		fn := e.fn
+		e.fn = nil
+		fn()
+	}
+	if advance && !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+	return s.now
+}

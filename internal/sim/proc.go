@@ -1,0 +1,194 @@
+package sim
+
+import "fmt"
+
+// killSentinel is the panic value used to unwind a killed process.
+type killPanic struct{}
+
+// resumeMsg is what the kernel hands a parked process when waking it.
+type resumeMsg struct {
+	kill bool
+	val  any
+}
+
+// Proc is a simulated process: a Go function running on its own goroutine
+// under strict hand-off with the kernel. Exactly one goroutine — either the
+// kernel or one process — runs at any instant, so process code needs no
+// locking and the simulation stays deterministic.
+//
+// All Proc methods must be called from the process's own function.
+type Proc struct {
+	sim         *Sim
+	name        string
+	resume      chan resumeMsg
+	done        bool
+	goroutineUp bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Spawn creates a process that will start (via the event calendar) at the
+// current simulated time. fn runs until it returns, blocks on a kernel
+// primitive, or the process is killed.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan resumeMsg)}
+	s.procs[p] = struct{}{}
+	s.After(0, func() { p.start(fn) })
+	return p
+}
+
+// handback lazily creates the kernel hand-back channel.
+func (s *Sim) handbackCh() chan struct{} {
+	if s.handback == nil {
+		s.handback = make(chan struct{})
+	}
+	return s.handback
+}
+
+// start launches the process goroutine and runs it until its first yield.
+// Called from kernel context (an event).
+func (p *Proc) start(fn func(*Proc)) {
+	if p.done {
+		return // killed before its start event fired
+	}
+	s := p.sim
+	hb := s.handbackCh()
+	p.goroutineUp = true
+	s.current = p
+	if s.tracer != nil {
+		s.tracer.ProcStart(s.now, p.name)
+	}
+	go func() {
+		defer func() {
+			r := recover()
+			p.done = true
+			delete(s.procs, p)
+			_, killed := r.(killPanic)
+			if r != nil && !killed {
+				// A real model bug: crash loudly with context.
+				panic(fmt.Sprintf("sim: process %q panicked at %v: %v", p.name, s.now, r))
+			}
+			if s.tracer != nil {
+				s.tracer.ProcEnd(s.now, p.name, killed)
+			}
+			hb <- struct{}{}
+		}()
+		fn(p)
+	}()
+	<-hb
+	s.current = nil
+}
+
+// park yields control to the kernel and blocks until some event calls wake.
+// Returns the value passed to wake.
+func (p *Proc) park() any {
+	s := p.sim
+	if s.current != p {
+		panic(fmt.Sprintf("sim: process %q parking while not current", p.name))
+	}
+	s.current = nil
+	s.handbackCh() <- struct{}{}
+	msg := <-p.resume
+	if msg.kill {
+		panic(killPanic{})
+	}
+	return msg.val
+}
+
+// wake resumes a parked process, handing it val. Must be called from kernel
+// context (inside an event, never from another process); primitives ensure
+// this by scheduling wakes on the calendar.
+func (p *Proc) wake(val any) {
+	s := p.sim
+	if s.current != nil {
+		panic("sim: wake from non-kernel context")
+	}
+	if p.done {
+		return
+	}
+	s.current = p
+	p.resume <- resumeMsg{val: val}
+	<-s.handbackCh()
+	s.current = nil
+}
+
+// wakeKill resumes a parked process with the kill flag, unwinding it.
+func (p *Proc) wakeKill() {
+	s := p.sim
+	if p.done {
+		return
+	}
+	s.current = p
+	p.resume <- resumeMsg{kill: true}
+	<-s.handbackCh()
+	s.current = nil
+}
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	p.sim.After(d, func() { p.wake(nil) })
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute time t (no-op if t is in
+// the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.sim.now {
+		return
+	}
+	p.Sleep(t - p.sim.now)
+}
+
+// Yield reschedules the process at the current time, letting other pending
+// events at this instant run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// LiveProcs returns the number of processes that have started or are
+// scheduled and have not finished.
+func (s *Sim) LiveProcs() int { return len(s.procs) }
+
+// Shutdown kills every live process. Parked processes unwind immediately
+// (their deferred functions run); processes whose start event has not fired
+// yet are marked so they terminate on their first yield. Shutdown must be
+// called from kernel context (i.e., not from inside a process), typically
+// after Run returns.
+func (s *Sim) Shutdown() {
+	if s.current != nil {
+		panic("sim: Shutdown called from inside a process")
+	}
+	// Kill until no live procs remain. A dying process's defers could in
+	// principle spawn more work; loop defensively.
+	for len(s.procs) > 0 {
+		var victims []*Proc
+		for p := range s.procs {
+			victims = append(victims, p)
+		}
+		for _, p := range victims {
+			if p.done {
+				continue
+			}
+			if !p.started() {
+				// Start event has not fired; run it as a killed start.
+				p.done = true
+				delete(s.procs, p)
+				continue
+			}
+			p.wakeKill()
+		}
+	}
+}
+
+// started reports whether the process goroutine exists. A process whose
+// start event has not yet fired has no goroutine; its resume channel has
+// never been handed to one. We track this with a flag set in start.
+func (p *Proc) started() bool { return p.goroutineUp }

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fmt"
+)
+
+// TestStressDeterminism runs a randomized mix of processes, mailboxes and
+// resources twice and requires bit-identical traces — the property every
+// experiment in this repository rests on.
+func TestStressDeterminism(t *testing.T) {
+	run := func(seed int64) (trace string, events uint64) {
+		s := New()
+		res := NewResource(s, 2)
+		mb := NewMailbox(s)
+		x := uint64(uint64(seed)*2654435761 + 12345)
+		next := func(n int) int {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return int(x % uint64(n))
+		}
+		for i := 0; i < 20; i++ {
+			i := i
+			d := Time(next(1000)+1) * Microsecond
+			s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(d)
+					res.Acquire(p, next(3))
+					p.Sleep(Time(next(100)+1) * Microsecond)
+					res.Release()
+					if i%3 == 0 {
+						mb.Send(i*100 + j)
+					} else if i%3 == 1 {
+						if v, ok := mb.RecvTimeout(p, 2*Millisecond); ok {
+							trace += fmt.Sprintf("r%v;", v)
+						}
+					}
+					trace += fmt.Sprintf("%d@%d;", i, int64(p.Now()))
+				}
+			})
+		}
+		s.Run(5 * Second)
+		s.Shutdown()
+		return trace, s.EventCount()
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		t1, e1 := run(seed)
+		t2, e2 := run(seed)
+		if t1 != t2 || e1 != e2 {
+			t.Fatalf("seed %d: nondeterministic (events %d vs %d)", seed, e1, e2)
+		}
+	}
+}
+
+// TestResourceConservation: under arbitrary interleavings the resource
+// never exceeds capacity and never leaks servers.
+func TestResourceConservation(t *testing.T) {
+	err := quick.Check(func(seed uint16, nProcs uint8) bool {
+		s := New()
+		cap := 1 + int(seed%3)
+		res := NewResource(s, cap)
+		over := false
+		n := 1 + int(nProcs%16)
+		for i := 0; i < n; i++ {
+			d := Time(int(seed)%50+1+i) * Microsecond
+			s.Spawn("w", func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					res.Acquire(p, j%2)
+					if res.InUse() > cap {
+						over = true
+					}
+					p.Sleep(d)
+					res.Release()
+				}
+			})
+		}
+		s.Run(10 * Second)
+		s.Shutdown()
+		return !over && res.InUse() == 0 && res.QueueLen() == 0
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMailboxConservation: every value sent is received exactly once.
+func TestMailboxConservation(t *testing.T) {
+	s := New()
+	mb := NewMailbox(s)
+	const senders, msgs = 8, 25
+	got := map[int]int{}
+	for i := 0; i < senders; i++ {
+		i := i
+		s.Spawn("snd", func(p *Proc) {
+			for j := 0; j < msgs; j++ {
+				p.Sleep(Time(i+1) * Microsecond)
+				mb.Send(i*1000 + j)
+			}
+		})
+	}
+	for r := 0; r < 3; r++ {
+		s.Spawn("rcv", func(p *Proc) {
+			for {
+				v, ok := mb.RecvTimeout(p, 100*Millisecond)
+				if !ok {
+					return
+				}
+				got[v.(int)]++
+			}
+		})
+	}
+	s.Run(10 * Second)
+	s.Shutdown()
+	if len(got) != senders*msgs {
+		t.Fatalf("received %d distinct values, want %d", len(got), senders*msgs)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Fatalf("value %d received %d times", v, n)
+		}
+	}
+}
+
+// TestManyProcsScale sanity-checks kernel throughput: ten thousand
+// processes sleeping in a loop complete without issue.
+func TestManyProcsScale(t *testing.T) {
+	s := New()
+	done := 0
+	for i := 0; i < 10000; i++ {
+		s.Spawn("p", func(p *Proc) {
+			for j := 0; j < 3; j++ {
+				p.Sleep(Millisecond)
+			}
+			done++
+		})
+	}
+	s.RunAll()
+	if done != 10000 {
+		t.Fatalf("completed %d of 10000", done)
+	}
+	if s.LiveProcs() != 0 {
+		t.Fatalf("%d leaked procs", s.LiveProcs())
+	}
+}

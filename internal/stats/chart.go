@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders one or more series as an ASCII scatter/line chart sized
+// width x height characters (plot area), with a y-axis scale and a legend.
+// It is deliberately simple — enough to see the shape of a paper figure in
+// a terminal without any plotting dependency.
+func Chart(title, xlabel string, width, height int, series ...*Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y-axis anchored at zero: these are magnitudes
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			any = true
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if !any {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	marks := []rune{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		var prevC, prevR int = -1, -1
+		for _, p := range pts {
+			c := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			r := height - 1 - int(math.Round((p.Y-minY)/(maxY-minY)*float64(height-1)))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			// Connect with a crude line (horizontal interpolation).
+			if prevC >= 0 {
+				steps := c - prevC
+				for i := 1; i < steps; i++ {
+					ic := prevC + i
+					ir := prevR + (r-prevR)*i/steps
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			grid[r][c] = m
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for r := 0; r < height; r++ {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", yVal, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g  (%s)\n", "", width/2, minX, width-width/2, maxX, xlabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	a := &Series{Name: "alpha"}
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i), float64(i*i))
+	}
+	b := &Series{Name: "beta"}
+	b.Add(0, 50)
+	b.Add(9, 10)
+	out := Chart("demo", "nodes", 40, 10, a, b)
+	for _, want := range []string{"demo", "alpha", "beta", "nodes", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabel + 2 legend lines
+	if len(lines) != 1+10+2+2 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("t", "x", 40, 10, &Series{Name: "e"})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	s := &Series{Name: "one"}
+	s.Add(5, 42)
+	out := Chart("", "x", 30, 8, s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	s := &Series{Name: "tiny"}
+	s.Add(0, 1)
+	s.Add(1, 2)
+	out := Chart("", "x", 1, 1, s) // clamped up internally
+	if len(out) == 0 {
+		t.Fatal("no output at clamped dimensions")
+	}
+}

@@ -1,0 +1,146 @@
+package tcp
+
+import (
+	"testing"
+
+	"dclue/internal/netsim"
+	"dclue/internal/sim"
+)
+
+func TestSRTTConverges(t *testing.T) {
+	s, sa, sb, _ := testNet(t, 1e9, 1e6)
+	sb.Listen(99, func(c *Conn) {
+		c.SetOnMessage(func(m Message) { c.Enqueue("pong", 100) })
+	})
+	var srtt sim.Time
+	s.Spawn("client", func(p *sim.Proc) {
+		c := Dial(p, sa, 1, 99, DialOptions{})
+		inbox := sim.NewMailbox(s)
+		c.SetOnMessage(func(m Message) { inbox.Send(nil) })
+		for i := 0; i < 20; i++ {
+			c.Enqueue("ping", 100)
+			inbox.Recv(p)
+		}
+		srtt = c.SRTT()
+	})
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	if srtt <= 0 {
+		t.Fatal("no RTT estimate after 20 exchanges")
+	}
+	// Path: two 1 Gb/s hops + ~1us props + router: well under 1ms.
+	if srtt > sim.Millisecond {
+		t.Fatalf("srtt %v implausibly large", srtt)
+	}
+}
+
+func TestConnStatsCount(t *testing.T) {
+	s, sa, sb, _ := testNet(t, 1e9, 1e6)
+	var server *Conn
+	sb.Listen(99, func(c *Conn) { server = c })
+	var client *Conn
+	s.Spawn("c", func(p *sim.Proc) {
+		client = Dial(p, sa, 1, 99, DialOptions{})
+		client.Enqueue("a", 3000)
+		client.Enqueue("b", 5000)
+	})
+	s.Run(2 * sim.Second)
+	s.Shutdown()
+	if client.MsgsSent != 2 || client.BytesSent != 8000 {
+		t.Fatalf("client sent %d msgs / %d bytes", client.MsgsSent, client.BytesSent)
+	}
+	if server.MsgsRecv != 2 || server.BytesRecv != 8000 {
+		t.Fatalf("server got %d msgs / %d bytes", server.MsgsRecv, server.BytesRecv)
+	}
+}
+
+func TestZeroByteMessage(t *testing.T) {
+	s, sa, sb, _ := testNet(t, 1e9, 1e6)
+	var got *Message
+	sb.Listen(99, func(c *Conn) {
+		c.SetOnMessage(func(m Message) { got = &m })
+	})
+	s.Spawn("c", func(p *sim.Proc) {
+		c := Dial(p, sa, 1, 99, DialOptions{})
+		c.Enqueue("empty", 0)
+	})
+	s.Run(1 * sim.Second)
+	s.Shutdown()
+	if got == nil || got.Meta != "empty" {
+		t.Fatal("zero-byte message not delivered")
+	}
+}
+
+func TestEnqueueAfterCloseDropsQuietly(t *testing.T) {
+	s, sa, sb, _ := testNet(t, 1e9, 1e6)
+	sb.Listen(99, func(c *Conn) {})
+	s.Spawn("c", func(p *sim.Proc) {
+		c := Dial(p, sa, 1, 99, DialOptions{})
+		c.Close()
+		c.WaitClosed(p)
+		c.Enqueue("late", 100) // closed: silently ignored
+	})
+	s.Run(5 * sim.Second)
+	s.Shutdown()
+}
+
+func TestManyConcurrentConnections(t *testing.T) {
+	s := sim.New()
+	n := netsim.New(s)
+	r := netsim.NewRouter(n, "r", 1e6, 0)
+	n.NIC(0).Attach(r, 1e9, sim.Microsecond)
+	n.NIC(1).Attach(r, 1e9, sim.Microsecond)
+	dom := NewDomain(n, DefaultConfig(1))
+	sa := dom.NewStack(0, InstantProcessor{}, CostModel{})
+	sb := dom.NewStack(1, InstantProcessor{}, CostModel{})
+	served := 0
+	sb.Listen(7, func(c *Conn) {
+		c.SetOnMessage(func(m Message) {
+			served++
+			c.Enqueue("ok", 100)
+		})
+	})
+	const conns = 50
+	completed := 0
+	for i := 0; i < conns; i++ {
+		s.Spawn("cli", func(p *sim.Proc) {
+			c := Dial(p, sa, 1, 7, DialOptions{})
+			if c == nil {
+				return
+			}
+			inbox := sim.NewMailbox(s)
+			c.SetOnMessage(func(m Message) { inbox.Send(nil) })
+			c.Enqueue("req", 2000)
+			if _, ok := inbox.RecvTimeout(p, 30*sim.Second); ok {
+				completed++
+			}
+			c.Close()
+		})
+	}
+	s.Run(60 * sim.Second)
+	s.Shutdown()
+	if completed != conns {
+		t.Fatalf("completed %d of %d concurrent connections", completed, conns)
+	}
+	if served != conns {
+		t.Fatalf("server served %d", served)
+	}
+}
+
+func TestDomainCounters(t *testing.T) {
+	s, sa, sb, _ := testNet(t, 1e9, 1e6)
+	sb.Listen(99, func(c *Conn) {})
+	s.Spawn("c", func(p *sim.Proc) {
+		c := Dial(p, sa, 1, 99, DialOptions{})
+		c.Enqueue("m", 10000)
+	})
+	s.Run(2 * sim.Second)
+	s.Shutdown()
+	dom := sa.Domain()
+	if dom.SegsSent == 0 || dom.SegsRecv == 0 {
+		t.Fatal("segment counters not incremented")
+	}
+	if dom.Handshakes != 2 {
+		t.Fatalf("handshakes %d", dom.Handshakes)
+	}
+}

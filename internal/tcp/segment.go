@@ -1,0 +1,57 @@
+package tcp
+
+import "dclue/internal/netsim"
+
+// segment kinds.
+type segKind int
+
+const (
+	segSYN segKind = iota
+	segSYNACK
+	segACK // pure acknowledgement
+	segData
+	segFIN
+	segRST
+)
+
+func (k segKind) String() string {
+	switch k {
+	case segSYN:
+		return "SYN"
+	case segSYNACK:
+		return "SYNACK"
+	case segACK:
+		return "ACK"
+	case segData:
+		return "DATA"
+	case segFIN:
+		return "FIN"
+	case segRST:
+		return "RST"
+	}
+	return "?"
+}
+
+// segment is the model's TCP segment. Sequence numbers count segments, not
+// bytes: every data segment of a connection gets the next integer. This
+// keeps the congestion/loss machinery exact while avoiding byte-range
+// bookkeeping; cwnd and windows are tracked in segments.
+type segment struct {
+	conn    uint64
+	kind    segKind
+	port    int // SYN only: destination port
+	class   netsim.Class
+	ecnOn   bool
+	maxRetx int // SYN only: propagates connection policy
+
+	seq     int   // data/FIN: segment sequence number
+	ack     int   // cumulative ack: next expected seq
+	sacks   []int // out-of-order segments held by receiver
+	ecnEcho bool  // receiver saw CE mark
+	marked  bool  // set by the fabric (CE)
+
+	payload int // payload bytes (data segments)
+	meta    any // non-nil on the last segment of a message
+	msgSize int // total message size, on the last segment
+	rtx     bool
+}

@@ -1,0 +1,171 @@
+package tpcc
+
+import (
+	"testing"
+
+	"dclue/internal/db"
+	"dclue/internal/rng"
+	"dclue/internal/sim"
+)
+
+func TestNuRandAScaling(t *testing.T) {
+	// Spec pairs: 8191 for 100K items (ratio 12), 1023 for 3000 customers
+	// (ratio 3). The scaled A must preserve the ratio and stay a 2^k-1.
+	cases := []struct {
+		size, ratio, want int
+	}{
+		{100000, 12, 8191}, // the spec's item pairing exactly
+		{3000, 3, 511},     // conservative power-of-two floor of the 1023 pairing
+		{1000, 12, 63},
+		{120, 3, 31},
+		{10, 3, 3},
+		{1, 3, 1},
+	}
+	for _, c := range cases {
+		if got := nuRandA(c.size, c.ratio); got != c.want {
+			t.Errorf("nuRandA(%d,%d) = %d, want %d", c.size, c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentDeliveriesSkipNotBlock(t *testing.T) {
+	// Two deliveries on the same warehouse race for the same oldest orders:
+	// deferred-mode semantics say the loser skips districts, never queueing
+	// behind the winner.
+	h := build(t, 1, smallCfg())
+	n := h.nodes[0]
+	backlogBefore := h.eng.Tables[TNewOrder].Rows()
+	finished := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		h.s.Spawn("dlv", func(p *sim.Proc) {
+			r := rng.Derive(uint64(i+100), "dlv")
+			if err := h.eng.Execute(p, n, Request{Type: TxnDelivery, Warehouse: 0}, r); err != nil {
+				t.Errorf("delivery %d: %v", i, err)
+			}
+			finished++
+		})
+	}
+	h.s.Run(600 * sim.Second)
+	h.s.Shutdown()
+	if finished != 2 {
+		t.Fatalf("finished %d deliveries", finished)
+	}
+	drained := backlogBefore - h.eng.Tables[TNewOrder].Rows()
+	// Between them the two deliveries must have drained more than one
+	// delivery's worth... at minimum something, and at most 2 x districts.
+	if drained < 1 || drained > 2*Districts {
+		t.Fatalf("drained %d new-orders", drained)
+	}
+	if n.Stats.Aborts != 0 {
+		t.Fatalf("deliveries aborted %d times; skip-locked should avoid retries", n.Stats.Aborts)
+	}
+}
+
+func TestPaymentRemoteCustomerTouchesOtherWarehouse(t *testing.T) {
+	// With 2 warehouses and the 15% remote-customer rule, enough payments
+	// eventually update a customer of the other warehouse.
+	h := build(t, 1, smallCfg())
+	n := h.nodes[0]
+	r := rng.New(31)
+	h.s.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 60; i++ {
+			if err := h.eng.Execute(p, n, Request{Type: TxnPayment, Warehouse: 0, District: i % 10}, r); err != nil {
+				t.Errorf("payment: %v", err)
+				return
+			}
+		}
+	})
+	h.s.Run(3600 * sim.Second)
+	h.s.Shutdown()
+	if n.Stats.Commits != 60 {
+		t.Fatalf("commits %d", n.Stats.Commits)
+	}
+	// History grew by exactly one row per payment.
+	if h.eng.Tables[THistory].Rows() != 60 {
+		t.Fatalf("history rows %d", h.eng.Tables[THistory].Rows())
+	}
+}
+
+func TestStockLevelCountsLowStock(t *testing.T) {
+	h := build(t, 1, smallCfg())
+	n := h.nodes[0]
+	// Force every stock of warehouse 0 to a low quantity.
+	for i := 0; i < h.eng.Cfg.Items; i++ {
+		h.eng.stockQty[i] = 1
+	}
+	reads := n.Stats.RowsRead
+	if err := h.run(t, Request{Type: TxnStockLevel, Warehouse: 0, District: 0}, 55); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats.RowsRead <= reads {
+		t.Fatal("stock-level read nothing")
+	}
+	h.s.Shutdown()
+}
+
+func TestNewOrderRemoteStockSupply(t *testing.T) {
+	// Run enough new-orders that the 1% remote-warehouse stock rule fires;
+	// the other warehouse's stock quantities must change.
+	cfg := Config{Warehouses: 2, Items: 50, CustomersPerDist: 30}
+	h := build(t, 1, cfg)
+	n := h.nodes[0]
+	var w1Before []int32
+	w1Before = append(w1Before, h.eng.stockQty[cfg.Items:]...)
+	r := rng.New(77)
+	h.s.Spawn("driver", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			h.eng.Execute(p, n, Request{Type: TxnNewOrder, Warehouse: 0, District: i % 10}, r)
+		}
+	})
+	h.s.Run(7200 * sim.Second)
+	h.s.Shutdown()
+	changed := false
+	for i, q := range h.eng.stockQty[cfg.Items:] {
+		if q != w1Before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("300 new-orders never touched remote warehouse stock (1% rule)")
+	}
+}
+
+func TestRespAndReqSizes(t *testing.T) {
+	if ReqBytes <= 0 {
+		t.Fatal("request size")
+	}
+	for ty := TxnType(0); ty < NumTxnTypes; ty++ {
+		if RespBytes(ty) <= 0 {
+			t.Fatalf("response size for %v", ty)
+		}
+	}
+	if RespBytes(TxnOrderStatus) <= RespBytes(TxnDelivery) {
+		t.Fatal("order-status response should be the largest-ish (it carries an order)")
+	}
+}
+
+func TestTxnTypeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for ty := TxnType(0); ty < NumTxnTypes; ty++ {
+		s := ty.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad name for type %d: %q", ty, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCoarseSubpagesKnob(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CoarseSubpages = true
+	e := New(db.NewCatalog(1), cfg, 1)
+	if sp := e.Tables[TDistrict].Spec.Subpages; sp != 8 {
+		t.Fatalf("coarse district subpages %d, want 8", sp)
+	}
+	fine := New(db.NewCatalog(1), smallCfg(), 1)
+	if fine.Tables[TDistrict].Spec.Subpages <= 8 {
+		t.Fatal("default district granularity should be row-level")
+	}
+}
