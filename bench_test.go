@@ -83,7 +83,10 @@ func BenchmarkSingleRun(b *testing.B) {
 		p.Warehouses = 8 * 4
 		p.Warmup = 60 * dclue.Second
 		p.Measure = 120 * dclue.Second
-		m := dclue.Run(p)
+		m, err := dclue.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == 0 {
 			b.ReportMetric(m.TpmC, "tpmC")
 			b.ReportMetric(m.CtlMsgsPerTxn, "ctlMsgs/txn")

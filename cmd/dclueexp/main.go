@@ -22,6 +22,8 @@ func main() {
 		all       = flag.Bool("all", false, "reproduce every figure")
 		ablation  = flag.String("ablation", "", "ablation to run (see -list)")
 		ablations = flag.Bool("ablations", false, "run every ablation")
+		fault     = flag.String("fault", "", "fault experiment to run (see -list)")
+		faultsAll = flag.Bool("faults", false, "run every fault experiment")
 		list      = flag.Bool("list", false, "list available figures and ablations")
 		quick     = flag.Bool("quick", false, "reduced sweeps and shorter runs")
 		chart     = flag.Bool("chart", false, "render ASCII charts instead of tables")
@@ -45,6 +47,21 @@ func main() {
 		for _, f := range dclue.AblationList() {
 			fmt.Printf("%-16s %s\n", f.ID, f.Title)
 		}
+		for _, f := range dclue.FaultList() {
+			fmt.Printf("%-16s %s\n", f.ID, f.Title)
+		}
+	case *faultsAll:
+		for _, f := range dclue.FaultList() {
+			fmt.Print(render(f.Run(opts)))
+			fmt.Println()
+		}
+	case *fault != "":
+		r, ok := dclue.RunFault(*fault, opts)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown fault experiment %q; try -list\n", *fault)
+			os.Exit(2)
+		}
+		fmt.Print(render(r))
 	case *ablations:
 		for _, f := range dclue.AblationList() {
 			fmt.Print(render(f.Run(opts)))

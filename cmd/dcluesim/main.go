@@ -7,6 +7,7 @@
 //	dcluesim -nodes 8 -affinity 0.5 -swtcp -swiscsi
 //	dcluesim -nodes 8 -lata 4 -crosstraffic 100e6 -priority
 //	dcluesim -nodes 4 -capacity
+//	dcluesim -nodes 4 -faults "linkdown:node:1@200+20" -timeline 5
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		warmup     = flag.Float64("warmup", 150, "warm-up, simulated seconds")
 		measure    = flag.Float64("measure", 240, "measurement window, simulated seconds")
+		faultSpec  = flag.String("faults", "", `fault schedule, e.g. "linkdown:node:1@200+20;loss:interlata:0@250+30=0.3"`)
+		timeline   = flag.Float64("timeline", 0, "print a throughput timeline at this bucket size, simulated seconds")
 	)
 	flag.Parse()
 
@@ -53,6 +56,8 @@ func main() {
 	p.Seed = *seed
 	p.Warmup = dclue.Time(*warmup * float64(dclue.Second))
 	p.Measure = dclue.Time(*measure * float64(dclue.Second))
+	p.FaultSpec = *faultSpec
+	p.TimelineBucket = dclue.Time(*timeline * float64(dclue.Second))
 
 	if *capacity {
 		r := dclue.MeasureCapacity(p, 48)
@@ -63,5 +68,13 @@ func main() {
 		}
 		return
 	}
-	fmt.Print(dclue.Run(p))
+	m, err := dclue.Run(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcluesim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(m)
+	for _, pt := range m.Timeline {
+		fmt.Printf("  t=%6.1fs  %7.1f txn/s\n", pt.T.Seconds(), pt.TxnRate)
+	}
 }

@@ -16,7 +16,10 @@
 //
 //	p := dclue.DefaultParams(4) // a 4-node cluster at the paper's defaults
 //	p.Affinity = 0.8
-//	m := dclue.Run(p)
+//	m, err := dclue.Run(p)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(m)
 //
 // Experiments reproducing the paper's figures live behind Figures and
@@ -26,6 +29,7 @@ package dclue
 import (
 	"dclue/internal/core"
 	"dclue/internal/experiments"
+	"dclue/internal/faults"
 	"dclue/internal/sim"
 )
 
@@ -54,8 +58,19 @@ const (
 func DefaultParams(nodes int) Params { return core.DefaultParams(nodes) }
 
 // Run builds the cluster, simulates warmup plus the measurement window, and
-// returns the metrics.
-func Run(p Params) Metrics { return core.New(p).Run() }
+// returns the metrics. It returns an error for an invalid fault schedule,
+// a setup failure, or a wedged simulation (kernel deadlock watchdog).
+func Run(p Params) (Metrics, error) { return core.Run(p) }
+
+// FaultSchedule validates a fault-injection schedule in the compact syntax
+// accepted by Params.FaultSpec, returning its normalized form.
+func FaultSchedule(spec string) (string, error) {
+	sch, err := faults.ParseSchedule(spec)
+	if err != nil {
+		return "", err
+	}
+	return sch.String(), nil
+}
 
 // MeasureCapacity finds the largest TPC-C configuration (warehouses, at
 // 12.5 tpm-C offered per warehouse) the cluster sustains with healthy
@@ -91,6 +106,22 @@ func RunFigure(id string, o ExperimentOptions) (ExperimentResult, bool) {
 // (WFQ), shared-SAN storage, subpage granularity, group commit, elevator
 // scheduling, and warm start.
 func AblationList() []Figure { return experiments.Ablations() }
+
+// FaultList returns the graceful-degradation experiments driven by the
+// fault-injection subsystem (an extension beyond the paper's fault-free
+// scope): loss-intensity sweep, fault-window recovery timeline, and a
+// per-layer (network/node/storage) comparison.
+func FaultList() []Figure { return experiments.FaultFigures() }
+
+// RunFault runs the fault experiment with the given id ("flt-loss" or
+// "loss").
+func RunFault(id string, o ExperimentOptions) (ExperimentResult, bool) {
+	f, ok := experiments.LookupFault(id)
+	if !ok {
+		return ExperimentResult{}, false
+	}
+	return f.Run(o), true
+}
 
 // RunAblation runs the ablation with the given id ("abl-qos" or "qos").
 func RunAblation(id string, o ExperimentOptions) (ExperimentResult, bool) {

@@ -15,7 +15,10 @@ func TestFacadeSmoke(t *testing.T) {
 	p.Items = 200
 	p.Warmup = 40 * dclue.Second
 	p.Measure = 100 * dclue.Second
-	m := dclue.Run(p)
+	m, err := dclue.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.TpmC <= 0 {
 		t.Fatalf("no throughput: %+v", m)
 	}
@@ -49,7 +52,11 @@ func TestFacadeDeterminism(t *testing.T) {
 		p.Items = 100
 		p.Warmup = 30 * dclue.Second
 		p.Measure = 60 * dclue.Second
-		return dclue.Run(p)
+		m, err := dclue.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
 	}
 	a, b := run(), run()
 	if a.TpmC != b.TpmC || a.RespTimeMs != b.RespTimeMs {

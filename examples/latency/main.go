@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dclue"
 )
@@ -27,7 +28,10 @@ func main() {
 		p := base
 		// Half the extra latency on each of the two inter-LATA links.
 		p.ExtraLatency = dclue.Time(rttMs / 2 * p.Scale * float64(dclue.Millisecond))
-		m := dclue.Run(p)
+		m, err := dclue.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if rttMs == 0 {
 			t0 = m.TpmC
 		}

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dclue"
 )
@@ -27,7 +28,10 @@ func main() {
 		p := base
 		p.CrossTrafficBps = ftpBps
 		p.CrossTrafficPriority = priority
-		m := dclue.Run(p)
+		m, err := dclue.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-28s %10.0f %10.1f %8.2f %11.1fK\n",
 			name, m.TpmC, m.ActiveThreads, m.CPI, m.CtxSwitchK)
 	}

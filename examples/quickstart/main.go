@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dclue"
 )
@@ -21,7 +22,10 @@ func main() {
 	p.Warmup = 60 * dclue.Second
 	p.Measure = 120 * dclue.Second
 
-	m := dclue.Run(p)
+	m, err := dclue.Run(p)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("4-node cluster, affinity 0.8")
 	fmt.Printf("  throughput:        %.0f scaled tpm-C (~%.0f unscaled)\n", m.TpmC, m.TpmC*p.Scale)

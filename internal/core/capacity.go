@@ -25,6 +25,8 @@ type CapacityResult struct {
 // with healthy response times — the paper's scaling experiments follow this
 // self-sizing rule (§2.2). The search is a binary search over warehouses
 // per node (1..maxPerNode), each probe being a deterministic full run.
+// A probe that fails outright (construction or mid-run error) is treated
+// as infeasible.
 func MeasureCapacity(p Params, maxPerNode int) CapacityResult {
 	if maxPerNode <= 0 {
 		maxPerNode = 48
@@ -37,7 +39,11 @@ func MeasureCapacity(p Params, maxPerNode int) CapacityResult {
 		mid := (lo + hi) / 2
 		q := p
 		q.Warehouses = mid * p.Nodes
-		m := New(q).Run()
+		m, err := Run(q)
+		if err != nil {
+			hi = mid - 1
+			continue
+		}
 		if feasible(m, q.Warehouses) {
 			best, bestW, found = m, q.Warehouses, true
 			lo = mid + 1

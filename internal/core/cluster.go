@@ -5,6 +5,7 @@ import (
 
 	"dclue/internal/db"
 	"dclue/internal/disk"
+	"dclue/internal/faults"
 	"dclue/internal/iscsi"
 	"dclue/internal/netsim"
 	"dclue/internal/platform"
@@ -52,6 +53,8 @@ type Cluster struct {
 	nodes       []*node
 	clientStack *tcp.Stack
 	ftp         *ftpApp
+	san         *db.SANArray
+	inj         *faults.Injector
 
 	// Post-warmup counters.
 	commits   [tpcc.NumTxnTypes]uint64
@@ -60,6 +63,17 @@ type Cluster struct {
 	failures  uint64
 	respTally respTimes
 	measuring bool
+
+	// allCommits counts every commit from t=0 (warmup included) so the
+	// throughput timeline can show degradation and recovery around fault
+	// windows that straddle the warmup boundary.
+	allCommits      uint64
+	timeline        []TimelinePoint
+	timelineCommits uint64
+
+	// runErr records a fatal condition detected mid-run (setup dial failure,
+	// kernel deadlock); Run stops the simulation and returns it.
+	runErr error
 }
 
 type respTimes struct {
@@ -68,7 +82,9 @@ type respTimes struct {
 }
 
 // New builds a cluster per the parameters. Run must be called to simulate.
-func New(p Params) *Cluster {
+// It returns an error when the parameters are unusable — today that means a
+// fault schedule that does not parse or names an unknown target.
+func New(p Params) (*Cluster, error) {
 	if p.Scale <= 0 {
 		panic("core: Params.Scale must be positive; start from DefaultParams")
 	}
@@ -127,6 +143,7 @@ func New(p Params) *Cluster {
 			san.Drives = append(san.Drives, disk.NewDrive(s, disk.DefaultParams(p.Scale),
 				rng.Derive(p.Seed, fmt.Sprintf("san-%d", d))))
 		}
+		c.san = san
 	}
 
 	opCosts := p.opCosts()
@@ -154,9 +171,117 @@ func New(p Params) *Cluster {
 		c.ftp = newFTPApp(c)
 	}
 
+	// Fault injection: parse and bind the schedule, then bound every
+	// protocol wait so injected losses surface as retries or aborted
+	// transactions rather than hung workers.
+	if p.FaultSpec != "" {
+		sch, err := faults.ParseSchedule(p.FaultSpec)
+		if err != nil {
+			return nil, err
+		}
+		c.inj = faults.NewInjector(s, p.Seed)
+		c.registerFaultTargets()
+		if err := c.inj.Apply(sch); err != nil {
+			return nil, err
+		}
+	}
+	if ft := c.fetchTimeout(); ft > 0 {
+		for _, n := range c.nodes {
+			n.dbn.GCS.FetchTimeout = ft
+			n.initiator.Timeout = ft
+			n.initiator.MaxRetries = 2
+		}
+	}
+
+	// Throughput timeline for degradation/recovery plots.
+	if p.TimelineBucket > 0 {
+		c.startTimeline()
+	}
+
 	// Establish the static connection mesh, then the workload.
 	s.Spawn("setup", c.setup)
-	return c
+	return c, nil
+}
+
+// fetchTimeout resolves the protocol-wait bound: explicit param wins; a
+// fault schedule with no explicit bound gets a default comfortably above
+// healthy fetch latency (which is sub-millisecond at any scale) yet short
+// enough to ride out fault windows via retries.
+func (c *Cluster) fetchTimeout() sim.Time {
+	if c.P.FetchTimeout > 0 {
+		return c.P.FetchTimeout
+	}
+	if c.P.FaultSpec == "" {
+		return 0
+	}
+	return sim.Time(0.02 * float64(sim.Second) * c.P.Scale)
+}
+
+// registerFaultTargets names every injectable component for the schedule.
+func (c *Cluster) registerFaultTargets() {
+	for i, n := range c.nodes {
+		name := fmt.Sprintf("node:%d", i)
+		up, down := c.Topo.NodeLinks(i)
+		c.inj.RegisterLinks(name, up, down)
+		c.inj.RegisterCPU(name, n.cpu)
+		c.inj.RegisterDrives(name, n.drives...)
+	}
+	for l := range c.Topo.Config.NodesPerLata {
+		up, down := c.Topo.InterLataLinkPair(l)
+		c.inj.RegisterLinks(fmt.Sprintf("interlata:%d", l), up, down)
+	}
+	up, down := c.Topo.ClientLinks()
+	c.inj.RegisterLinks("client", up, down)
+	if c.san != nil {
+		c.inj.RegisterDrives("san", c.san.Drives...)
+	}
+}
+
+// startTimeline samples committed-transaction throughput once per bucket
+// from t=0 to the end of the run.
+func (c *Cluster) startTimeline() {
+	end := c.P.Warmup + c.P.Measure
+	bucket := c.P.TimelineBucket
+	var sample func()
+	sample = func() {
+		cur := c.allCommits
+		c.timeline = append(c.timeline, TimelinePoint{
+			T:       c.Sim.Now(),
+			TxnRate: float64(cur-c.timelineCommits) / bucket.Seconds(),
+		})
+		c.timelineCommits = cur
+		if c.Sim.Now() < end {
+			c.Sim.After(bucket, sample)
+		}
+	}
+	c.Sim.After(bucket, sample)
+}
+
+// Run builds a cluster from p and simulates it to completion.
+func Run(p Params) (Metrics, error) {
+	c, err := New(p)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return c.Run()
+}
+
+// MustRun is Run for known-good parameter sets (the figure drivers, whose
+// configurations are fixed): any error is a bug, so it panics.
+func MustRun(p Params) Metrics {
+	m, err := Run(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// fail records the first fatal mid-run condition and stops the simulation.
+func (c *Cluster) fail(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+	}
+	c.Sim.Stop()
 }
 
 // buildNode assembles one server.
@@ -226,12 +351,14 @@ func (c *Cluster) setup(p *sim.Proc) {
 		for j := i + 1; j < c.P.Nodes; j++ {
 			ipc := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), PortIPC, ipcOpts)
 			if ipc == nil {
-				panic("core: IPC dial failed during setup")
+				c.fail(fmt.Errorf("core: IPC dial %d->%d failed during setup", i, j))
+				return
 			}
 			c.bindIPC(i, j, ipc)
 			sto := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), iscsi.Port, ipcOpts)
 			if sto == nil {
-				panic("core: iSCSI dial failed during setup")
+				c.fail(fmt.Errorf("core: iSCSI dial %d->%d failed during setup", i, j))
+				return
 			}
 			c.bindISCSI(i, j, sto)
 		}
@@ -257,13 +384,18 @@ func (c *Cluster) startTerminals() {
 	}
 }
 
-// Run simulates warmup plus measurement and returns the metrics.
-func (c *Cluster) Run() Metrics {
+// Run simulates warmup plus measurement and returns the metrics. It fails —
+// rather than hanging or silently truncating — when setup cannot establish
+// the connection mesh or when the kernel watchdog finds the simulation
+// wedged (every remaining process parked with an empty calendar, which a
+// protocol bug under fault injection would otherwise cause).
+func (c *Cluster) Run() (Metrics, error) {
+	c.Sim.OnDeadlock(func(e *sim.DeadlockError) { c.fail(e) })
 	end := c.P.Warmup + c.P.Measure
 	c.Sim.Run(end)
 	m := c.collect()
 	c.Sim.Shutdown()
-	return m
+	return m, c.runErr
 }
 
 // prewarm fills every node's buffer cache with its own partition, hottest
@@ -310,8 +442,19 @@ func (c *Cluster) resetStats() {
 		n.dbn.GCS.Stats = db.GCSStats{}
 		n.cpu.ResetStats(now)
 		n.dbn.Cache.Hits, n.dbn.Cache.Misses = 0, 0
+		n.initiator.Timeouts, n.initiator.IOErrors, n.initiator.Failed = 0, 0, 0
+		n.dbn.Pager.DiskRetries, n.dbn.Pager.DiskFailures, n.dbn.Pager.WriteBackErrors = 0, 0, 0
+		for _, d := range n.drives {
+			d.FaultErrors = 0
+		}
+	}
+	if c.san != nil {
+		for _, d := range c.san.Drives {
+			d.FaultErrors = 0
+		}
 	}
 	c.Topo.Net.Drops, c.Topo.Net.Marks = 0, 0
+	c.Topo.Net.FaultDrops, c.Topo.Net.CorruptDrops = 0, 0
 	for i := range c.Topo.Net.DelayByClass {
 		c.Topo.Net.DelayByClass[i] = netsim.DelayTally{}
 	}

@@ -7,6 +7,32 @@ import (
 	"dclue/internal/tpcc"
 )
 
+// mustNew builds a cluster, failing the test on a construction error.
+func mustNew(t testing.TB, p Params) *Cluster {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runOK runs a cluster to completion, failing the test on any run error.
+func runOK(t testing.TB, c *Cluster) Metrics {
+	t.Helper()
+	m, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mustRun is mustNew + runOK.
+func mustRun(t testing.TB, p Params) Metrics {
+	t.Helper()
+	return runOK(t, mustNew(t, p))
+}
+
 // quickParams returns a small, fast configuration for tests.
 func quickParams(nodes int) Params {
 	p := DefaultParams(nodes)
@@ -20,8 +46,8 @@ func quickParams(nodes int) Params {
 }
 
 func TestSingleNodeCommitsTransactions(t *testing.T) {
-	c := New(quickParams(1))
-	m := c.Run()
+	c := mustNew(t, quickParams(1))
+	m := runOK(t, c)
 	if m.TpmC <= 0 {
 		t.Fatalf("no new-orders committed: %+v", m)
 	}
@@ -36,8 +62,8 @@ func TestSingleNodeCommitsTransactions(t *testing.T) {
 func TestTwoNodeClusterRuns(t *testing.T) {
 	p := quickParams(2)
 	p.Affinity = 0.8
-	c := New(p)
-	m := c.Run()
+	c := mustNew(t, p)
+	m := runOK(t, c)
 	if m.TpmC <= 0 {
 		t.Fatal("no throughput")
 	}
@@ -52,8 +78,8 @@ func TestTwoNodeClusterRuns(t *testing.T) {
 func TestAffinityOneMeansNoIPC(t *testing.T) {
 	p := quickParams(2)
 	p.Affinity = 1.0
-	c := New(p)
-	m := c.Run()
+	c := mustNew(t, p)
+	m := runOK(t, c)
 	// §3.3: at affinity 1.0 there is almost no IPC traffic (only the odd
 	// shared item-table block).
 	if m.CtlMsgsPerTxn > 2 {
@@ -68,7 +94,7 @@ func TestLowerAffinityMoreIPC(t *testing.T) {
 	run := func(aff float64) Metrics {
 		p := quickParams(2)
 		p.Affinity = aff
-		return New(p).Run()
+		return mustRun(t, p)
 	}
 	high := run(0.9)
 	low := run(0.2)
@@ -80,8 +106,8 @@ func TestLowerAffinityMoreIPC(t *testing.T) {
 
 func TestDeterministicRuns(t *testing.T) {
 	p := quickParams(2)
-	a := New(p).Run()
-	b := New(p).Run()
+	a := mustRun(t, p)
+	b := mustRun(t, p)
 	if a.TpmC != b.TpmC || a.CtlMsgsPerTxn != b.CtlMsgsPerTxn {
 		t.Fatalf("nondeterministic: %.3f/%.3f vs %.3f/%.3f",
 			a.TpmC, a.CtlMsgsPerTxn, b.TpmC, b.CtlMsgsPerTxn)
@@ -89,8 +115,8 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestMixRoughlyNominal(t *testing.T) {
-	c := New(quickParams(1))
-	m := c.Run()
+	c := mustNew(t, quickParams(1))
+	m := runOK(t, c)
 	total := float64(0)
 	for _, n := range m.Commits {
 		total += float64(n)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"dclue/internal/netsim"
@@ -48,6 +49,37 @@ type Metrics struct {
 	ConnResets    uint64
 
 	FTPDeliveredMbps float64 // scaled
+
+	// Fault-injection observability (all zero on a healthy run).
+	FaultDrops    uint64 // packets lost on down/lossy links
+	CorruptDrops  uint64 // packets discarded by receiver checksum
+	FetchTimeouts uint64 // GCS protocol waits that expired
+	FetchFails    uint64 // block fetches abandoned after retries
+	LogFallbacks  uint64 // central-log writes that fell back to local
+	IscsiTimeouts uint64 // iSCSI commands that timed out (then retried)
+	IscsiFailed   uint64 // iSCSI commands abandoned after retries
+	DiskErrors    uint64 // injected drive-level I/O errors
+	DiskRetries   uint64 // pager retries after drive errors
+	DiskFailures  uint64 // pager reads abandoned after retries
+
+	// Timeline is the committed-transaction rate per TimelineBucket from
+	// t=0 (warmup included; empty unless Params.TimelineBucket > 0).
+	Timeline []TimelinePoint
+}
+
+// TimelinePoint is one bucket of the throughput timeline.
+type TimelinePoint struct {
+	T       sim.Time // bucket end
+	TxnRate float64  // commits/s (all types) during the bucket
+}
+
+// Fingerprint hashes every reported number (timeline included) into one
+// value: two runs with the same seed and schedule must produce the same
+// fingerprint — the determinism regression the fault subsystem is held to.
+func (m Metrics) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", m)
+	return h.Sum64()
 }
 
 // collect gathers metrics at the end of the measurement window.
@@ -121,6 +153,28 @@ func (c *Cluster) collect() Metrics {
 	if c.ftp != nil {
 		m.FTPDeliveredMbps = float64(c.ftp.gen.BytesDelivered) * 8 / meas / 1e6
 	}
+
+	m.FaultDrops = c.Topo.Net.FaultDrops
+	m.CorruptDrops = c.Topo.Net.CorruptDrops
+	for _, n := range c.nodes {
+		st := n.dbn.GCS.Stats
+		m.FetchTimeouts += st.FetchTimeouts
+		m.FetchFails += st.FetchFails
+		m.LogFallbacks += st.LogFallbacks
+		m.IscsiTimeouts += n.initiator.Timeouts
+		m.IscsiFailed += n.initiator.Failed
+		m.DiskRetries += n.dbn.Pager.DiskRetries
+		m.DiskFailures += n.dbn.Pager.DiskFailures
+		for _, d := range n.drives {
+			m.DiskErrors += d.FaultErrors
+		}
+	}
+	if c.san != nil {
+		for _, d := range c.san.Drives {
+			m.DiskErrors += d.FaultErrors
+		}
+	}
+	m.Timeline = c.timeline
 	return m
 }
 
@@ -135,5 +189,10 @@ func (m Metrics) String() string {
 		m.ActiveThreads, m.CtxSwitchK, m.CPI, m.CPUUtil, m.BufferHitRatio, m.DiskReadsPerTxn, m.RespTimeMs)
 	fmt.Fprintf(&b, "  net: delay=%.3fms interLataUtil=%.2f drops=%d marks=%d retx=%d resets=%d ftp=%.1fMbps\n",
 		m.MsgDelayMs, m.InterLataUtil, m.NetDrops, m.NetMarks, m.Retransmits, m.ConnResets, m.FTPDeliveredMbps)
+	if m.FaultDrops+m.CorruptDrops+m.FetchTimeouts+m.FetchFails+m.IscsiTimeouts+m.DiskErrors > 0 {
+		fmt.Fprintf(&b, "  faults: drops=%d corrupt=%d fetchTO=%d fetchFail=%d logFB=%d iscsiTO=%d iscsiFail=%d diskErr=%d diskRetry=%d diskFail=%d\n",
+			m.FaultDrops, m.CorruptDrops, m.FetchTimeouts, m.FetchFails, m.LogFallbacks,
+			m.IscsiTimeouts, m.IscsiFailed, m.DiskErrors, m.DiskRetries, m.DiskFailures)
+	}
 	return b.String()
 }

@@ -109,6 +109,24 @@ type Params struct {
 	// MaxTxnRetries bounds the delayed-retry loop on lock failure.
 	MaxTxnRetries int
 	RetryDelay    sim.Time
+
+	// FaultSpec is a fault-injection schedule in the faults package's
+	// compact syntax ("linkdown:node:1@60+10;loss:interlata:0@80+20=0.3");
+	// empty disables injection. Targets: node:<i> (access link pair, CPU and
+	// drives of server i), interlata:<l> (LATA l's uplink pair), client (the
+	// client cloud's access pair), san (the pooled array, CentralSAN only).
+	FaultSpec string
+
+	// FetchTimeout bounds each GCS protocol wait and iSCSI command (0 picks
+	// a default when FaultSpec is set, and disables timeouts otherwise — on
+	// a fault-free fabric every reply eventually arrives).
+	FetchTimeout sim.Time
+
+	// TimelineBucket, when positive, records a throughput timeline at that
+	// granularity (committed transactions per second per bucket, warmup
+	// included) into Metrics.Timeline — the degradation/recovery view the
+	// fault experiments plot.
+	TimelineBucket sim.Time
 }
 
 // DefaultParams returns the paper's baseline configuration at scale 100

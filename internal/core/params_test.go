@@ -166,7 +166,7 @@ func TestExtraLatencyKnobReachesTopology(t *testing.T) {
 	p := quickParams(2)
 	p.NodesPerLata = 1
 	p.ExtraLatency = 3 * sim.Millisecond
-	c := New(p)
+	c := mustNew(t, p)
 	defer c.Sim.Shutdown()
 	if c.Topo.Config.ExtraInterLataLatency != 3*sim.Millisecond {
 		t.Fatal("extra latency not plumbed to topology")

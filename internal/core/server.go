@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dclue/internal/db"
+	"dclue/internal/iscsi"
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
 	"dclue/internal/tpcc"
@@ -39,22 +40,28 @@ func (c *Cluster) acceptClient(self int, conn *tcp.Conn) {
 
 // executeWithRetry runs one transaction to completion: commits count toward
 // throughput; lock failures abort, wait the retry delay, and re-execute
-// (§2.3); the spec's intentional rollbacks are terminal.
+// (§2.3); the spec's intentional rollbacks are terminal. Fault-induced
+// aborts — a block fetch that kept timing out, a disk read that kept
+// failing — take the same release-and-delayed-retry path as lock failures:
+// the transaction's effects were rolled back, and the fault window may have
+// passed by the time the retry runs.
 func (c *Cluster) executeWithRetry(p *sim.Proc, n *node, req tpcc.Request) bool {
 	for attempt := 0; ; attempt++ {
 		err := c.Eng.Execute(p, n.dbn, req, n.workerRnd)
 		switch err {
 		case nil:
+			c.allCommits++
 			if c.measuring {
 				c.commits[req.Type]++
 			}
 			return true
 		case tpcc.ErrRollback:
+			c.allCommits++
 			if c.measuring {
 				c.rollbacks++
 			}
 			return true // executed per spec; not an error
-		case db.ErrLockFailed:
+		case db.ErrLockFailed, db.ErrFetchFailed, db.ErrDiskFailed, iscsi.ErrIO:
 			if attempt >= c.P.MaxTxnRetries {
 				if c.measuring {
 					c.failures++

@@ -25,10 +25,10 @@ func TestShapeSWTCPSlower(t *testing.T) {
 	}
 	p := shapeParams()
 	p.Affinity = 0.8
-	hw := New(p).Run()
+	hw := mustRun(t, p)
 	p.SWTCP = true
 	p.SWiSCSI = true
-	sw := New(p).Run()
+	sw := mustRun(t, p)
 	// §3.3: at affinity 0.8, HW TCP gives roughly twice the throughput of
 	// SW TCP. At this fixed sub-capacity load the effect shows as CPU and
 	// response-time inflation at least — and tpmC must not be higher.
@@ -46,10 +46,10 @@ func TestShapeOffloadIrrelevantAtAffinityOne(t *testing.T) {
 	}
 	p := shapeParams()
 	p.Affinity = 1.0
-	hw := New(p).Run()
+	hw := mustRun(t, p)
 	p.SWTCP = true
 	p.SWiSCSI = true
-	sw := New(p).Run()
+	sw := mustRun(t, p)
 	// §3.3: with affinity 1.0 there is almost no IPC or iSCSI traffic, so
 	// the implementations barely differ (only client-server TCP remains).
 	if hw.TpmC == 0 {
@@ -68,10 +68,10 @@ func TestShapeLatencyMildlyHurts(t *testing.T) {
 	p := shapeParams()
 	p.Nodes = 4
 	p.NodesPerLata = 2 // two LATAs so inter-LATA latency matters
-	base := New(p).Run()
+	base := mustRun(t, p)
 	q := p
 	q.ExtraLatency = sim.Time(1.0 / 2 * q.Scale * float64(sim.Millisecond)) // +1ms RTT
-	slow := New(q).Run()
+	slow := mustRun(t, q)
 	if base.TpmC == 0 {
 		t.Fatal("no throughput")
 	}
@@ -97,15 +97,15 @@ func TestShapePriorityCrossTrafficWorseThanBestEffort(t *testing.T) {
 	p := shapeParams()
 	p.NodesPerLata = 2
 	p.LowComputation = true
-	base := New(p).Run()
+	base := mustRun(t, p)
 
 	be := p
 	be.CrossTrafficBps = 400e6
-	mBE := New(be).Run()
+	mBE := mustRun(t, be)
 
 	prio := be
 	prio.CrossTrafficPriority = true
-	mPrio := New(prio).Run()
+	mPrio := mustRun(t, prio)
 
 	if base.TpmC == 0 {
 		t.Fatal("no throughput")
@@ -135,9 +135,9 @@ func TestShapeCentralLoggingCostsThroughputAtScale(t *testing.T) {
 	p.Warehouses = 6 * 8
 	p.Warmup = 60 * sim.Second
 	p.Measure = 150 * sim.Second
-	local := New(p).Run()
+	local := mustRun(t, p)
 	p.CentralLogging = true
-	central := New(p).Run()
+	central := mustRun(t, p)
 	// §3.2: centralized logging is consistently lower (or at minimum pays
 	// visible response-time cost at this scale).
 	if central.TpmC > local.TpmC*1.02 {
@@ -154,9 +154,9 @@ func TestShapeLowComputationFasterButLatencySensitive(t *testing.T) {
 		t.Skip("multi-run shape test")
 	}
 	p := shapeParams()
-	normal := New(p).Run()
+	normal := mustRun(t, p)
 	p.LowComputation = true
-	low := New(p).Run()
+	low := mustRun(t, p)
 	// Quarter the computation: the same offered load consumes far less CPU.
 	if low.CPUUtil >= normal.CPUUtil {
 		t.Fatalf("low computation did not reduce CPU (%.2f vs %.2f)",

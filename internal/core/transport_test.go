@@ -13,7 +13,7 @@ import (
 // grant back.
 func TestIPCTransportRoundTrip(t *testing.T) {
 	p := quickParams(2)
-	c := New(p)
+	c := mustNew(t, p)
 	var granted, waited bool
 	done := false
 	c.Sim.At(10*sim.Second, func() { // mesh established well before this
@@ -47,7 +47,7 @@ func TestIPCTransportRoundTrip(t *testing.T) {
 func TestIPCSelfSendShortCircuits(t *testing.T) {
 	p := quickParams(1)
 	p.CentralLogging = true // node 0 logs at node 0
-	c := New(p)
+	c := mustNew(t, p)
 	done := false
 	c.Sim.At(5*sim.Second, func() {
 		c.Sim.Spawn("w", func(pr *sim.Proc) {
@@ -67,8 +67,8 @@ func TestIPCSelfSendShortCircuits(t *testing.T) {
 // rollbacks must stay ~1% of new-orders even with retries enabled.
 func TestWorkerRollbackRate(t *testing.T) {
 	p := quickParams(1)
-	c := New(p)
-	m := c.Run()
+	c := mustNew(t, p)
+	m := runOK(t, c)
 	no := float64(m.Commits[tpcc.TxnNewOrder])
 	if no < 50 {
 		t.Skip("too few new-orders for a rate check")

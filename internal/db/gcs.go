@@ -1,9 +1,17 @@
 package db
 
 import (
+	"errors"
+
 	"dclue/internal/sim"
 	"dclue/internal/stats"
 )
+
+// ErrFetchFailed aborts the current transaction attempt: a block fetch kept
+// timing out or failing (lost XFER, unreachable supplier, failing disk)
+// after exhausting the bounded retries. Like ErrLockFailed, the caller
+// releases everything and retries after a delay.
+var ErrFetchFailed = errors.New("db: block fetch failed")
 
 // Transport carries IPC messages between nodes' GCS instances. The core
 // package implements it over the per-pair IPC TCP connections; tests use a
@@ -155,6 +163,13 @@ type GCSStats struct {
 	LockWaitTime stats.Tally // seconds per wait
 	LockFails    uint64
 
+	// Fault-tolerance counters: protocol replies that timed out, fetches
+	// abandoned after exhausting retries, and commits whose central log
+	// write fell back to the local log device.
+	FetchTimeouts uint64
+	FetchFails    uint64
+	LogFallbacks  uint64
+
 	// Per-table contention breakdown (diagnostics).
 	WaitsByTable map[TableID]uint64
 	FailsByTable map[TableID]uint64
@@ -201,6 +216,13 @@ type GCS struct {
 	// contended lock; expiry is treated as a deadlock-suspected failure.
 	DeadlockTimeout sim.Time
 
+	// FetchTimeout bounds each wait for a block-protocol or log reply; 0
+	// waits forever (safe only on a fault-free fabric). MaxFetchRetries is
+	// how many times a timed-out exchange is reissued before the fetch
+	// fails with ErrFetchFailed.
+	FetchTimeout    sim.Time
+	MaxFetchRetries int
+
 	// CentralLogNode >= 0 routes every commit's log write to that node
 	// (Fig 9); -1 logs locally.
 	CentralLogNode int
@@ -233,6 +255,7 @@ func NewGCS(s *sim.Sim, self int, cat *Catalog, host Host, cache *BufferCache,
 		pending:         make(map[uint64]*sim.Mailbox),
 		inflight:        make(map[BlockID][]*sim.Mailbox),
 		DeadlockTimeout: 500 * sim.Millisecond,
+		MaxFetchRetries: 2,
 		CentralLogNode:  -1,
 		logDisk:         logDisk,
 	}

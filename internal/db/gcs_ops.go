@@ -5,32 +5,38 @@ import "dclue/internal/sim"
 // ---- Block access (cache fusion, §2.1 steps 1-4) ----
 
 // GetBlock ensures blk is resident in the local buffer cache, pinned once.
-// The calling process blocks for the protocol's duration.
-func (g *GCS) GetBlock(p *sim.Proc, blk BlockID, forWrite bool) {
-	g.fetch(p, blk, forWrite, false)
+// The calling process blocks for the protocol's duration. A non-nil error
+// (ErrFetchFailed) means the protocol kept failing under injected faults;
+// nothing is left pinned and the caller aborts the transaction attempt.
+func (g *GCS) GetBlock(p *sim.Proc, blk BlockID, forWrite bool) error {
+	return g.fetch(p, blk, forWrite, false)
 }
 
 // GetBlockCreate is GetBlock for a block that has no disk image yet (a
 // fresh append target): if nobody holds it, it is formatted in the cache
 // instead of being read from disk.
-func (g *GCS) GetBlockCreate(p *sim.Proc, blk BlockID) {
-	g.fetch(p, blk, true, true)
+func (g *GCS) GetBlockCreate(p *sim.Proc, blk BlockID) error {
+	return g.fetch(p, blk, true, true)
 }
 
-func (g *GCS) fetch(p *sim.Proc, blk BlockID, forWrite, create bool) {
+func (g *GCS) fetch(p *sim.Proc, blk BlockID, forWrite, create bool) error {
 	if f := g.cache.Lookup(blk); f != nil {
 		if !forWrite || f.WriteOwner {
 			g.Stats.BlockHits++
-			return
+			return nil
 		}
 		// The copy is stale for writing: write ownership lives elsewhere.
 		// Fetch the current image from the last writer (the cache-fusion
 		// ping-pong that dominates clustered-DBMS IPC traffic). The frame
 		// is pinned, so it cannot vanish while we block.
 		g.Stats.CurrencyFetches++
-		g.currencyFetch(p, blk)
+		if err := g.currencyFetch(p, blk); err != nil {
+			g.cache.Unpin(blk)
+			g.Stats.FetchFails++
+			return ErrFetchFailed
+		}
 		f.WriteOwner = true
-		return
+		return nil
 	}
 	// Coalesce concurrent fetches of the same block.
 	if waiters, busy := g.inflight[blk]; busy {
@@ -39,17 +45,29 @@ func (g *GCS) fetch(p *sim.Proc, blk BlockID, forWrite, create bool) {
 		mb.Recv(p)
 		g.host.Dispatch(p, g.costs.ResumeDispatch)
 		if f := g.cache.Lookup(blk); f != nil {
-			return
+			return nil
 		}
-		// Evicted between fill and wake (rare): fall through and fetch.
+		// Evicted between fill and wake (rare), or the fill failed under
+		// faults: fall through and fetch on our own behalf.
 	}
 	g.inflight[blk] = nil
 
 	master := g.cat.Home(blk)
+	var err error
 	if master == g.self {
-		g.localMasterFetch(p, blk, forWrite, create)
+		err = g.localMasterFetch(p, blk, forWrite, create)
 	} else {
-		g.remoteFetch(p, blk, master, forWrite, create)
+		err = g.remoteFetch(p, blk, master, forWrite, create)
+	}
+	if err != nil {
+		// Failed fill: wake coalesced waiters so they retry (or fail) on
+		// their own behalf instead of parking forever.
+		for _, mb := range g.inflight[blk] {
+			mb.Send(nil)
+		}
+		delete(g.inflight, blk)
+		g.Stats.FetchFails++
+		return ErrFetchFailed
 	}
 
 	// Fill complete: admit, wake coalesced waiters.
@@ -61,13 +79,30 @@ func (g *GCS) fetch(p *sim.Proc, blk BlockID, forWrite, create bool) {
 		mb.Send(nil)
 	}
 	delete(g.inflight, blk)
+	return nil
+}
+
+// recvReply waits for the reply to a pending request, bounded by
+// FetchTimeout when one is configured. On timeout the pending entry is
+// dropped so a late reply is ignored harmlessly (wake on an unknown id is a
+// no-op).
+func (g *GCS) recvReply(p *sim.Proc, reqID uint64, mb *sim.Mailbox) (any, bool) {
+	if g.FetchTimeout <= 0 {
+		return mb.Recv(p), true
+	}
+	v, ok := mb.RecvTimeout(p, g.FetchTimeout)
+	if !ok {
+		delete(g.pending, reqID)
+		g.Stats.FetchTimeouts++
+	}
+	return v, ok
 }
 
 // currencyFetch obtains the current image of a block we already hold a
 // stale copy of: a directory exchange plus a data transfer from the last
 // writer, but never a disk read (our copy plus the log are current enough
 // if the writer is gone).
-func (g *GCS) currencyFetch(p *sim.Proc, blk BlockID) {
+func (g *GCS) currencyFetch(p *sim.Proc, blk BlockID) error {
 	master := g.cat.Home(blk)
 	if master == g.self {
 		g.host.Execute(p, g.costs.DirLookup)
@@ -77,23 +112,43 @@ func (g *GCS) currencyFetch(p *sim.Proc, blk BlockID) {
 			supplier = e.lastWriter
 		}
 		if supplier >= 0 {
-			reqID, mb := g.newReq()
-			g.sendCtl(supplier, MsgBlkFwd{ReqID: reqID, DestReqID: reqID, Blk: blk, Requester: g.self})
-			if v := mb.Recv(p); v != "neg" {
-				g.Stats.BlockTransfers++
+			for attempt := 0; ; attempt++ {
+				reqID, mb := g.newReq()
+				g.sendCtl(supplier, MsgBlkFwd{ReqID: reqID, DestReqID: reqID, Blk: blk, Requester: g.self})
+				v, ok := g.recvReply(p, reqID, mb)
+				g.host.Dispatch(p, g.costs.ResumeDispatch)
+				if ok {
+					if v != "neg" {
+						g.Stats.BlockTransfers++
+					}
+					break
+				}
+				if attempt >= g.MaxFetchRetries {
+					// The supplier is unreachable: our copy plus the log are
+					// current enough once the writer is effectively gone.
+					break
+				}
 			}
-			g.host.Dispatch(p, g.costs.ResumeDispatch)
 		}
 		g.masterRegisterHolder(blk, g.self, true)
-		return
+		return nil
 	}
-	reqID, mb := g.newReq()
-	g.sendCtl(master, MsgBlkReq{ReqID: reqID, Blk: blk, ForWrite: true, HaveCopy: true})
-	if v := mb.Recv(p); v != "neg" {
-		g.Stats.BlockTransfers++
+	for attempt := 0; ; attempt++ {
+		reqID, mb := g.newReq()
+		g.sendCtl(master, MsgBlkReq{ReqID: reqID, Blk: blk, ForWrite: true, HaveCopy: true})
+		v, ok := g.recvReply(p, reqID, mb)
+		g.host.Dispatch(p, g.costs.ResumeDispatch)
+		if ok {
+			if v != "neg" {
+				g.Stats.BlockTransfers++
+			}
+			g.sendCtl(master, MsgBlkAck{Blk: blk, Holder: g.self, ForWrite: true})
+			return nil
+		}
+		if attempt >= g.MaxFetchRetries {
+			return ErrFetchFailed
+		}
 	}
-	g.host.Dispatch(p, g.costs.ResumeDispatch)
-	g.sendCtl(master, MsgBlkAck{Blk: blk, Holder: g.self, ForWrite: true})
 }
 
 // revokeOwnership clears the local write-owner flag: another node now holds
@@ -105,7 +160,7 @@ func (g *GCS) revokeOwnership(blk BlockID) {
 }
 
 // localMasterFetch handles A == B: the directory is local.
-func (g *GCS) localMasterFetch(p *sim.Proc, blk BlockID, forWrite, create bool) {
+func (g *GCS) localMasterFetch(p *sim.Proc, blk BlockID, forWrite, create bool) error {
 	g.host.Execute(p, g.costs.DirLookup)
 	supplier := g.pickSupplier(blk, g.self)
 	if supplier < 0 {
@@ -113,47 +168,66 @@ func (g *GCS) localMasterFetch(p *sim.Proc, blk BlockID, forWrite, create bool) 
 		// the home — unless the block is brand new and formatted in place.
 		if !create {
 			g.Stats.BlockDiskReads++
-			g.pager.ReadBlock(p, blk, BlockBytes)
+			if err := g.pager.ReadBlock(p, blk, BlockBytes); err != nil {
+				return err
+			}
 			g.host.Dispatch(p, g.costs.ResumeDispatch)
 		}
 		g.masterRegisterHolder(blk, g.self, forWrite)
-		return
+		return nil
 	}
 	// Step 3 with B == A: ask C directly, wait for the data.
 	reqID, mb := g.newReq()
 	g.sendCtl(supplier, MsgBlkFwd{ReqID: reqID, DestReqID: reqID, Blk: blk, Requester: g.self})
-	v := mb.Recv(p)
+	v, ok := g.recvReply(p, reqID, mb)
 	g.host.Dispatch(p, g.costs.ResumeDispatch)
-	if v == "neg" {
-		// Supplier lost the block and we are the master: fall back to disk.
+	if !ok || v == "neg" {
+		// Supplier lost the block (or the exchange timed out under faults)
+		// and we are the master: fall back to disk.
 		g.Stats.BlockDiskReads++
-		g.pager.ReadBlock(p, blk, BlockBytes)
+		if err := g.pager.ReadBlock(p, blk, BlockBytes); err != nil {
+			return err
+		}
 		g.host.Dispatch(p, g.costs.ResumeDispatch)
 	} else {
 		g.Stats.BlockTransfers++
 	}
 	g.masterRegisterHolder(blk, g.self, forWrite)
+	return nil
 }
 
-// remoteFetch handles A != B: full message protocol.
-func (g *GCS) remoteFetch(p *sim.Proc, blk BlockID, master int, forWrite, create bool) {
-	reqID, mb := g.newReq()
-	g.sendCtl(master, MsgBlkReq{ReqID: reqID, Blk: blk, ForWrite: forWrite})
-	v := mb.Recv(p)
-	g.host.Dispatch(p, g.costs.ResumeDispatch)
-	if v == "neg" {
-		// Step 2: read from the home node's disk over iSCSI — unless the
-		// block is brand new and formatted in place.
-		if !create {
-			g.Stats.BlockDiskReads++
-			g.pager.ReadBlock(p, blk, BlockBytes)
-			g.host.Dispatch(p, g.costs.ResumeDispatch)
+// remoteFetch handles A != B: full message protocol. A timed-out exchange
+// is reissued from step 1 with a fresh request id (a late XFER or NEG for
+// the stale id is dropped by wake) up to MaxFetchRetries times.
+func (g *GCS) remoteFetch(p *sim.Proc, blk BlockID, master int, forWrite, create bool) error {
+	for attempt := 0; ; attempt++ {
+		reqID, mb := g.newReq()
+		g.sendCtl(master, MsgBlkReq{ReqID: reqID, Blk: blk, ForWrite: forWrite})
+		v, ok := g.recvReply(p, reqID, mb)
+		g.host.Dispatch(p, g.costs.ResumeDispatch)
+		if !ok {
+			if attempt >= g.MaxFetchRetries {
+				return ErrFetchFailed
+			}
+			continue
 		}
-	} else {
-		g.Stats.BlockTransfers++
+		if v == "neg" {
+			// Step 2: read from the home node's disk over iSCSI — unless the
+			// block is brand new and formatted in place.
+			if !create {
+				g.Stats.BlockDiskReads++
+				if err := g.pager.ReadBlock(p, blk, BlockBytes); err != nil {
+					return err
+				}
+				g.host.Dispatch(p, g.costs.ResumeDispatch)
+			}
+		} else {
+			g.Stats.BlockTransfers++
+		}
+		// Step 4: tell the directory we hold it now.
+		g.sendCtl(master, MsgBlkAck{Blk: blk, Holder: g.self, ForWrite: forWrite})
+		return nil
 	}
-	// Step 4: tell the directory we hold it now.
-	g.sendCtl(master, MsgBlkAck{Blk: blk, Holder: g.self, ForWrite: forWrite})
 }
 
 // pickSupplier chooses a current holder other than requester, preferring
@@ -455,17 +529,35 @@ func (g *GCS) ReleaseLocks(txn TxnRef, held []ResourceID) {
 // ---- Logging ----
 
 // WriteLog makes size bytes of log durable before returning: on the local
-// log disk, or at the central log node over the fabric (Fig 9).
+// log disk, or at the central log node over the fabric (Fig 9). When the
+// central node stops answering (injected faults), the write is retried and
+// finally falls back to the local log device so commits keep making
+// progress instead of wedging the cluster on one unreachable node.
 func (g *GCS) WriteLog(p *sim.Proc, size int) {
 	if g.CentralLogNode < 0 || g.CentralLogNode == g.self {
-		mb := sim.NewMailbox(g.sim)
-		g.logDisk.Submit(size, func() { mb.Send(nil) })
-		mb.Recv(p)
-		g.host.Dispatch(p, g.costs.ResumeDispatch)
+		g.writeLocalLog(p, size)
 		return
 	}
-	reqID, mb := g.newReq()
-	g.sendData(g.CentralLogNode, MsgLogWrite{ReqID: reqID, From: g.self, Size: size}, size)
+	for attempt := 0; ; attempt++ {
+		reqID, mb := g.newReq()
+		g.sendData(g.CentralLogNode, MsgLogWrite{ReqID: reqID, From: g.self, Size: size}, size)
+		_, ok := g.recvReply(p, reqID, mb)
+		g.host.Dispatch(p, g.costs.ResumeDispatch)
+		if ok {
+			return
+		}
+		if attempt >= g.MaxFetchRetries {
+			g.Stats.LogFallbacks++
+			g.writeLocalLog(p, size)
+			return
+		}
+	}
+}
+
+// writeLocalLog blocks until the local log device reports durability.
+func (g *GCS) writeLocalLog(p *sim.Proc, size int) {
+	mb := sim.NewMailbox(g.sim)
+	g.logDisk.Submit(size, func() { mb.Send(nil) })
 	mb.Recv(p)
 	g.host.Dispatch(p, g.costs.ResumeDispatch)
 }

@@ -115,13 +115,20 @@ func (n *Node) Begin(p *sim.Proc) *Txn {
 
 // access pins the index leaf and data block of a row (phase 1: latch and
 // bring missing data into the cache), charging traversal costs. The caller
-// unpins via release.
-func (n *Node) access(p *sim.Proc, t *Table, row int64, forWrite bool) {
+// unpins via release. On a fetch failure nothing is left pinned and the
+// error (ErrFetchFailed) propagates so the transaction attempt aborts.
+func (n *Node) access(p *sim.Proc, t *Table, row int64, forWrite bool) error {
 	n.host.Execute(p, float64(t.Index.Height())*n.costs.IndexLevel+n.costs.Latch)
 	ixBlk := t.IndexLeafOf(row)
-	n.GCS.GetBlock(p, ixBlk, false)
+	if err := n.GCS.GetBlock(p, ixBlk, false); err != nil {
+		return err
+	}
 	dataBlk := t.BlockOf(row)
-	n.GCS.GetBlock(p, dataBlk, forWrite)
+	if err := n.GCS.GetBlock(p, dataBlk, forWrite); err != nil {
+		n.Cache.Unpin(ixBlk)
+		return err
+	}
+	return nil
 }
 
 // release unpins a row's blocks.
@@ -132,22 +139,24 @@ func (n *Node) release(t *Table, row int64) {
 
 // Read performs a snapshot read of the row with the given key. With MVCC no
 // lock is taken (§2.1); the read charges version-walk work for versions
-// newer than the snapshot. Returns the row id, or ok=false if the key does
-// not exist.
-func (n *Node) Read(p *sim.Proc, txn *Txn, tid TableID, key int64) (int64, bool) {
+// newer than the snapshot. Returns the row id, ok=false if the key does not
+// exist, or an error if the block fetch failed under injected faults.
+func (n *Node) Read(p *sim.Proc, txn *Txn, tid TableID, key int64) (int64, bool, error) {
 	t := n.cat.Table(tid)
 	row, ok := t.Lookup(key)
 	if !ok {
 		n.host.Execute(p, float64(t.Index.Height())*n.costs.IndexLevel)
-		return 0, false
+		return 0, false, nil
 	}
-	n.access(p, t, row, false)
+	if err := n.access(p, t, row, false); err != nil {
+		return 0, false, err
+	}
 	hops := n.VM.SnapshotHops(tid, row, txn.Snapshot)
 	n.host.Execute(p, n.costs.RowRead+float64(hops)*n.costs.VersionHop)
 	n.Stats.RowsRead++
 	n.Stats.VersionsRead.Add(float64(hops))
 	n.release(t, row)
-	return row, true
+	return row, true, nil
 }
 
 // Update write-locks and updates the row with the given key, creating a new
@@ -162,7 +171,9 @@ func (n *Node) Update(p *sim.Proc, txn *Txn, tid TableID, key int64) (int64, err
 	if err := n.lockRow(p, txn, t, row); err != nil {
 		return 0, err
 	}
-	n.access(p, t, row, true)
+	if err := n.access(p, t, row, true); err != nil {
+		return 0, err
+	}
 	versions := n.VM.Create(t, row, n.sim.Now())
 	n.host.Execute(p, n.costs.RowWrite+n.costs.VersionCreate+float64(versions-1)*n.costs.VersionHop/4)
 	n.markDirty(t.BlockOf(row))
@@ -183,11 +194,20 @@ func (n *Node) Insert(p *sim.Proc, txn *Txn, tid TableID, key int64, homeNode in
 		return 0, err
 	}
 	n.host.Execute(p, float64(t.Index.Height())*n.costs.IndexLevel+n.costs.Latch)
-	n.GCS.GetBlock(p, t.IndexLeafOf(row), false)
+	if err := n.GCS.GetBlock(p, t.IndexLeafOf(row), false); err != nil {
+		t.Delete(key) // undo placement
+		return 0, err
+	}
+	var err error
 	if fresh {
-		n.GCS.GetBlockCreate(p, t.BlockOf(row))
+		err = n.GCS.GetBlockCreate(p, t.BlockOf(row))
 	} else {
-		n.GCS.GetBlock(p, t.BlockOf(row), true)
+		err = n.GCS.GetBlock(p, t.BlockOf(row), true)
+	}
+	if err != nil {
+		n.Cache.Unpin(t.IndexLeafOf(row))
+		t.Delete(key) // undo placement
+		return 0, err
 	}
 	n.host.Execute(p, n.costs.RowInsert+n.costs.IndexInsert+n.costs.VersionCreate)
 	n.VM.Create(t, row, n.sim.Now())
@@ -223,7 +243,11 @@ func (n *Node) TryDelete(p *sim.Proc, txn *Txn, tid TableID, key int64) (claimed
 	if _, still := t.Lookup(key); !still {
 		return false
 	}
-	n.access(p, t, row, true)
+	if err := n.access(p, t, row, true); err != nil {
+		// The lock stays held until commit/abort releases it; the district
+		// is simply skipped this round.
+		return false
+	}
 	n.host.Execute(p, n.costs.RowDelete)
 	t.DeleteKeepSlot(key)
 	txn.freed = append(txn.freed, freedRow{tid, row})
@@ -244,7 +268,9 @@ func (n *Node) Delete(p *sim.Proc, txn *Txn, tid TableID, key int64) error {
 	if err := n.lockRow(p, txn, t, row); err != nil {
 		return err
 	}
-	n.access(p, t, row, true)
+	if err := n.access(p, t, row, true); err != nil {
+		return err
+	}
 	n.host.Execute(p, n.costs.RowDelete)
 	t.DeleteKeepSlot(key)
 	txn.freed = append(txn.freed, freedRow{tid, row})
@@ -257,7 +283,7 @@ func (n *Node) Delete(p *sim.Proc, txn *Txn, tid TableID, key int64) error {
 
 // Scan visits index entries from key upward until fn returns false,
 // fetching each visited row's data block (snapshot reads, no locks).
-func (n *Node) Scan(p *sim.Proc, txn *Txn, tid TableID, from int64, fn func(k, row int64) bool) {
+func (n *Node) Scan(p *sim.Proc, txn *Txn, tid TableID, from int64, fn func(k, row int64) bool) error {
 	t := n.cat.Table(tid)
 	n.host.Execute(p, float64(t.Index.Height())*n.costs.IndexLevel)
 	type ent struct{ k, row int64 }
@@ -267,12 +293,15 @@ func (n *Node) Scan(p *sim.Proc, txn *Txn, tid TableID, from int64, fn func(k, r
 		return fn(k, row)
 	})
 	for _, e := range batch {
-		n.GCS.GetBlock(p, t.BlockOf(e.row), false)
+		if err := n.GCS.GetBlock(p, t.BlockOf(e.row), false); err != nil {
+			return err
+		}
 		hops := n.VM.SnapshotHops(tid, e.row, txn.Snapshot)
 		n.host.Execute(p, n.costs.ScanEntry+float64(hops)*n.costs.VersionHop)
 		n.Cache.Unpin(t.BlockOf(e.row))
 		n.Stats.RowsRead++
 	}
+	return nil
 }
 
 // lockRow acquires the global X lock on a row's subpage (phase 2).

@@ -86,7 +86,7 @@ func TestLocalReadCommit(t *testing.T) {
 	var ok bool
 	cl.s.Spawn("txn", func(p *sim.Proc) {
 		txn := n.Begin(p)
-		_, ok = n.Read(p, txn, cl.tbl.ID, 42)
+		_, ok, _ = n.Read(p, txn, cl.tbl.ID, 42)
 		n.Commit(p, txn)
 	})
 	cl.s.Run(10 * sim.Second)
@@ -108,7 +108,7 @@ func TestReadMissingKey(t *testing.T) {
 	found := true
 	cl.s.Spawn("txn", func(p *sim.Proc) {
 		txn := n.Begin(p)
-		_, found = n.Read(p, txn, cl.tbl.ID, 9999)
+		_, found, _ = n.Read(p, txn, cl.tbl.ID, 9999)
 		n.Commit(p, txn)
 	})
 	cl.s.Run(10 * sim.Second)
@@ -171,7 +171,7 @@ func TestColdReadOfOwnPartitionHitsLocalDisk(t *testing.T) {
 	var done bool
 	cl.s.Spawn("cold", func(p *sim.Proc) {
 		txn := n0.Begin(p)
-		if _, ok := n0.Read(p, txn, cl.tbl.ID, 3); !ok {
+		if _, ok, _ := n0.Read(p, txn, cl.tbl.ID, 3); !ok {
 			t.Error("key missing")
 		}
 		n0.Commit(p, txn)
@@ -301,7 +301,7 @@ func TestInsertDeleteRoundTrip(t *testing.T) {
 		}
 		n.Commit(p, txn)
 		txn2 := n.Begin(p)
-		if _, ok := n.Read(p, txn2, cl.tbl.ID, 777); !ok {
+		if _, ok, _ := n.Read(p, txn2, cl.tbl.ID, 777); !ok {
 			t.Error("inserted row not found")
 		}
 		if err := n.Delete(p, txn2, cl.tbl.ID, 777); err != nil {
@@ -309,7 +309,7 @@ func TestInsertDeleteRoundTrip(t *testing.T) {
 		}
 		n.Commit(p, txn2)
 		txn3 := n.Begin(p)
-		if _, ok := n.Read(p, txn3, cl.tbl.ID, 777); ok {
+		if _, ok, _ := n.Read(p, txn3, cl.tbl.ID, 777); ok {
 			t.Error("deleted row still visible")
 		}
 		n.Commit(p, txn3)

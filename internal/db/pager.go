@@ -1,10 +1,16 @@
 package db
 
 import (
+	"errors"
+
 	"dclue/internal/disk"
 	"dclue/internal/iscsi"
 	"dclue/internal/sim"
 )
+
+// ErrDiskFailed is returned when a block read kept failing (injected
+// transient I/O errors) after exhausting the pager's local retries.
+var ErrDiskFailed = errors.New("db: disk read failed")
 
 // Host abstracts the node CPU (implemented by platform.CPU): blocking
 // execution of path lengths from process context and asynchronous
@@ -31,10 +37,18 @@ type Pager struct {
 	costs     *OpCosts
 	san       *SANArray
 
-	LocalReads   uint64
-	LocalWrites  uint64
-	RemoteReads  uint64
-	RemoteWrites uint64
+	// MaxDiskRetries bounds how many times a locally failing read is
+	// retried before ErrDiskFailed (transient injected I/O errors usually
+	// clear on retry).
+	MaxDiskRetries int
+
+	LocalReads      uint64
+	LocalWrites     uint64
+	RemoteReads     uint64
+	RemoteWrites    uint64
+	DiskRetries     uint64 // local reads reissued after a transient error
+	DiskFailures    uint64 // reads abandoned after exhausting retries
+	WriteBackErrors uint64 // lazy remote write-backs that failed
 }
 
 // SANArray is the centralized I/O subsystem of the shared-IO model: a
@@ -56,7 +70,8 @@ func (pg *Pager) SetSAN(sa *SANArray) { pg.san = sa }
 
 // NewPager creates a node's pager.
 func NewPager(s *sim.Sim, self int, cat *Catalog, host Host, drives []*disk.Drive, ini *iscsi.Initiator, costs *OpCosts) *Pager {
-	return &Pager{sim: s, self: self, cat: cat, host: host, drives: drives, initiator: ini, costs: costs}
+	return &Pager{sim: s, self: self, cat: cat, host: host, drives: drives,
+		initiator: ini, costs: costs, MaxDiskRetries: 3}
 }
 
 // drive picks the local drive for a block.
@@ -66,23 +81,37 @@ func (pg *Pager) drive(blk BlockID) *disk.Drive {
 
 // ReadBlock fetches a block from its home disk (or the SAN), blocking the
 // caller. Size includes any version payload travelling with the block.
-func (pg *Pager) ReadBlock(p *sim.Proc, blk BlockID, size int) {
+// Transient local failures are retried up to MaxDiskRetries times; a
+// non-nil error means the block could not be read.
+func (pg *Pager) ReadBlock(p *sim.Proc, blk BlockID, size int) error {
 	if pg.san != nil {
 		pg.LocalReads++
 		pg.host.Execute(p, pg.costs.DiskSetup)
 		p.Sleep(2 * pg.san.Latency) // command out, data back
-		pg.san.drive(blk).Access(p, int(blk.Table), blk.Block&^indexRegion, size, false)
-		return
+		return pg.readRetry(p, pg.san.drive(blk), blk, size)
 	}
 	home := pg.cat.Home(blk)
 	if home == pg.self {
 		pg.LocalReads++
 		pg.host.Execute(p, pg.costs.DiskSetup)
-		pg.drive(blk).Access(p, int(blk.Table), blk.Block&^indexRegion, size, false)
-		return
+		return pg.readRetry(p, pg.drive(blk), blk, size)
 	}
 	pg.RemoteReads++
-	pg.initiator.Read(p, home, int(blk.Table), blk.Block&^indexRegion, size)
+	return pg.initiator.Read(p, home, int(blk.Table), blk.Block&^indexRegion, size)
+}
+
+// readRetry issues a read on d, reissuing on transient failure.
+func (pg *Pager) readRetry(p *sim.Proc, d *disk.Drive, blk BlockID, size int) error {
+	for attempt := 0; ; attempt++ {
+		if d.Access(p, int(blk.Table), blk.Block&^indexRegion, size, false) {
+			return nil
+		}
+		if attempt >= pg.MaxDiskRetries {
+			pg.DiskFailures++
+			return ErrDiskFailed
+		}
+		pg.DiskRetries++
+	}
 }
 
 // WriteBack lazily writes a dirty block to its home disk (kernel context,
@@ -118,8 +147,12 @@ func (pg *Pager) WriteBack(blk BlockID, size int) {
 	}
 	pg.RemoteWrites++
 	// Remote lazy write rides a short-lived process so the initiator's
-	// blocking protocol can run without holding up the caller.
+	// blocking protocol can run without holding up the caller. Failure is
+	// tolerable — the write is lazy and the block stays reconstructible
+	// from the log — so it is only counted.
 	pg.sim.Spawn("writeback", func(p *sim.Proc) {
-		pg.initiator.Write(p, home, int(blk.Table), blk.Block&^indexRegion, size)
+		if err := pg.initiator.Write(p, home, int(blk.Table), blk.Block&^indexRegion, size); err != nil {
+			pg.WriteBackErrors++
+		}
 	})
 }

@@ -41,6 +41,11 @@ type Request struct {
 	Size  int   // bytes
 	Write bool
 	Done  func() // invoked in kernel context on completion
+
+	// Failed is set (before Done runs) when an injected fault made the
+	// operation fail after consuming its service time; callers retry or
+	// surface an error.
+	Failed bool
 }
 
 // Drive is a single disk with SCAN scheduling (FIFO available for
@@ -56,7 +61,14 @@ type Drive struct {
 	head  int64 // current head position (linearized key)
 	dirUp bool
 
+	// Fault-injection state: latFactor multiplies every service time
+	// (latency spike; 1 = healthy), errProb fails requests with the given
+	// probability after full service (transient I/O error).
+	latFactor float64
+	errProb   float64
+
 	// Statistics.
+	FaultErrors    uint64 // requests failed by injected faults
 	Reads, Writes  uint64
 	BytesRead      uint64
 	BytesWritten   uint64
@@ -70,8 +82,22 @@ type Drive struct {
 
 // NewDrive creates an idle drive.
 func NewDrive(s *sim.Sim, params Params, rnd *rng.Stream) *Drive {
-	return &Drive{sim: s, params: params, rnd: rnd}
+	return &Drive{sim: s, params: params, rnd: rnd, latFactor: 1}
 }
+
+// SetLatencyFactor sets the fault-injection multiplier on every service
+// time (1 restores healthy latency).
+func (d *Drive) SetLatencyFactor(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	d.latFactor = f
+}
+
+// SetErrorProb sets the per-request failure probability (0 disables). A
+// failing request consumes its full service time, then completes with
+// Failed set — a transient medium/controller error the caller must retry.
+func (d *Drive) SetErrorProb(p float64) { d.errProb = p }
 
 // key linearizes (table, block) for head-movement purposes: tables are laid
 // out as consecutive extents, so the per-table elevator of the paper falls
@@ -92,12 +118,15 @@ func (d *Drive) Submit(r *Request) {
 	d.pump()
 }
 
-// Access is the blocking form of Submit for process context.
-func (d *Drive) Access(p *sim.Proc, table int, block int64, size int, write bool) {
+// Access is the blocking form of Submit for process context. It reports
+// whether the operation succeeded (false = transient injected I/O error).
+func (d *Drive) Access(p *sim.Proc, table int, block int64, size int, write bool) bool {
 	mb := sim.NewMailbox(p.Sim())
-	d.Submit(&Request{Table: table, Block: block, Size: size, Write: write,
-		Done: func() { mb.Send(nil) }})
+	r := &Request{Table: table, Block: block, Size: size, Write: write,
+		Done: func() { mb.Send(nil) }}
+	d.Submit(r)
 	mb.Recv(p)
+	return !r.Failed
 }
 
 // pump starts service if idle.
@@ -108,11 +137,16 @@ func (d *Drive) pump() {
 	d.busy = true
 	r := d.takeNext()
 	svc := d.serviceTime(r)
+	if d.errProb > 0 && d.rnd.Float64() < d.errProb {
+		r.Failed = true
+	}
 	start := d.sim.Now()
 	d.lastStart = start
 	d.sim.After(svc, func() {
 		d.busyTime += d.sim.Now() - d.lastStart
-		if r.Write {
+		if r.Failed {
+			d.FaultErrors++
+		} else if r.Write {
 			d.Writes++
 			d.BytesWritten += uint64(r.Size)
 		} else {
@@ -189,7 +223,7 @@ func (d *Drive) serviceTime(r *Request) sim.Time {
 	}
 	rot := sim.Time(d.rnd.Float64() * float64(d.params.RotationTime))
 	xfer := sim.Time(float64(r.Size) / d.params.TransferRate * float64(sim.Second))
-	return seek + rot + xfer
+	return sim.Time(d.latFactor * float64(seek+rot+xfer))
 }
 
 // Utilization returns busy fraction since simulation start.

@@ -110,10 +110,10 @@ func AblationSAN(o Options) Result {
 func AblationSubpage(o Options) Result {
 	p := o.baseParams(2)
 	p.Warehouses = 8 * 2
-	tuned := core.New(p).Run()
+	tuned := core.MustRun(p)
 	q := p
 	q.CoarseSubpages = true
-	coarse := core.New(q).Run()
+	coarse := core.MustRun(q)
 	o.logf("abl-subpage tuned: tpmC=%.0f waits/txn=%.2f | coarse: tpmC=%.0f waits/txn=%.2f",
 		tuned.TpmC, tuned.LockWaitsPerTxn, coarse.TpmC, coarse.LockWaitsPerTxn)
 	a := &stats.Series{Name: "tpmC"}
@@ -133,10 +133,10 @@ func AblationSubpage(o Options) Result {
 func AblationGroupCommit(o Options) Result {
 	p := o.baseParams(2)
 	p.Warehouses = 8 * 2
-	grouped := core.New(p).Run()
+	grouped := core.MustRun(p)
 	q := p
 	q.LogBatchLimit = 1
-	serial := core.New(q).Run()
+	serial := core.MustRun(q)
 	o.logf("abl-groupcommit batched: tpmC=%.0f resp=%.0fms | serial: tpmC=%.0f resp=%.0fms",
 		grouped.TpmC, grouped.RespTimeMs, serial.TpmC, serial.RespTimeMs)
 	a := &stats.Series{Name: "tpmC"}
@@ -159,10 +159,10 @@ func AblationElevator(o Options) Result {
 	p := o.baseParams(2)
 	p.Warehouses = 8 * 2
 	p.BufferFraction = 0.3 // starve the cache: real disk traffic
-	scan := core.New(p).Run()
+	scan := core.MustRun(p)
 	q := p
 	q.FIFODisks = true
-	fifo := core.New(q).Run()
+	fifo := core.MustRun(q)
 	o.logf("abl-elevator scan: tpmC=%.0f resp=%.0fms | fifo: tpmC=%.0f resp=%.0fms",
 		scan.TpmC, scan.RespTimeMs, fifo.TpmC, fifo.RespTimeMs)
 	a := &stats.Series{Name: "tpmC"}
@@ -183,10 +183,10 @@ func AblationElevator(o Options) Result {
 func AblationPrewarm(o Options) Result {
 	p := o.baseParams(2)
 	p.Warehouses = 6 * 2
-	warm := core.New(p).Run()
+	warm := core.MustRun(p)
 	q := p
 	q.NoPrewarm = true
-	cold := core.New(q).Run()
+	cold := core.MustRun(q)
 	o.logf("abl-prewarm warm: tpmC=%.0f | cold: tpmC=%.0f hit=%.3f",
 		warm.TpmC, cold.TpmC, cold.BufferHitRatio)
 	a := &stats.Series{Name: "tpmC"}

@@ -175,7 +175,7 @@ func (o Options) capacity(p core.Params) core.CapacityResult {
 // fixedLoad runs once at the given warehouse count.
 func fixedLoad(p core.Params, warehouses int) core.Metrics {
 	p.Warehouses = warehouses
-	return core.New(p).Run()
+	return core.MustRun(p)
 }
 
 // sortedCopy returns xs ascending (defensive for table rendering).

@@ -210,7 +210,7 @@ func Fig10(o Options) Result {
 		q.Warehouses = whSlow
 		// Same offered load on the smaller database: scale terminals.
 		q.TerminalsPerWarehouse = (10*whLinear + whSlow - 1) / whSlow
-		m := core.New(q).Run()
+		m := core.MustRun(q)
 		o.logf("fig10 nodes=%d: linear wh=%d tpmC=%.0f | sqrt wh=%d tpmC=%.0f",
 			n, whLinear, r.Metrics.TpmC, whSlow, m.TpmC)
 		slow.Add(float64(n), m.TpmC)

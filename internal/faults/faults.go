@@ -1,0 +1,247 @@
+// Package faults is a deterministic, schedule-driven fault injector for the
+// DCLUE simulation. It perturbs the stack at three layers — network (link
+// down windows, burst loss, corruption, NIC stall), node (CPU slowdown,
+// transient freeze) and storage (drive latency spikes, transient I/O
+// errors) — by scheduling activate/restore events on the simulation
+// calendar. Probabilistic faults draw from per-target streams derived from
+// the master seed, so the same seed plus the same schedule yields a
+// byte-identical run.
+//
+// The fault model is an extension beyond the source paper's scope: §2.3
+// explicitly assumes a fault-free fabric. It exists so the graceful-
+// degradation behaviour of cache fusion over Ethernet can be studied, per
+// the robustness goals in ROADMAP.md.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dclue/internal/sim"
+)
+
+// Kind enumerates the supported fault types.
+type Kind int
+
+const (
+	// LinkDown takes a link pair fully down for the window: queued and
+	// in-flight frames are lost, new frames are dropped on arrival.
+	LinkDown Kind = iota
+	// LinkLoss drops each packet on the target links with probability
+	// Severity (burst packet loss).
+	LinkLoss
+	// LinkCorrupt corrupts each packet with probability Severity; corrupted
+	// frames are discarded by the receiver's checksum.
+	LinkCorrupt
+	// NICStall freezes the target links' transmitters: frames queue
+	// (subject to qdisc limits) and drain when the window ends.
+	NICStall
+	// CPUSlow multiplies the target node's CPU service times by Severity.
+	CPUSlow
+	// NodeFreeze is CPUSlow with a very large factor: the node is
+	// effectively unresponsive for the window but loses no state.
+	NodeFreeze
+	// DiskSlow multiplies the target drives' service times by Severity.
+	DiskSlow
+	// DiskErrors fails each request on the target drives with probability
+	// Severity (transient I/O errors).
+	DiskErrors
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	LinkDown:    "linkdown",
+	LinkLoss:    "loss",
+	LinkCorrupt: "corrupt",
+	NICStall:    "stall",
+	CPUSlow:     "cpuslow",
+	NodeFreeze:  "freeze",
+	DiskSlow:    "diskslow",
+	DiskErrors:  "diskerr",
+}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// kindByName is the inverse of kindNames.
+func kindByName(s string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == s {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// needsSeverity reports whether the kind requires an explicit =severity.
+func (k Kind) needsSeverity() bool {
+	switch k {
+	case LinkLoss, LinkCorrupt, CPUSlow, DiskSlow, DiskErrors:
+		return true
+	}
+	return false
+}
+
+// Fault is one scheduled perturbation of one target.
+type Fault struct {
+	Kind     Kind
+	Target   string   // e.g. "node:1", "interlata:0", "client"
+	Start    sim.Time // activation time (absolute simulation time)
+	Duration sim.Time // window length; the fault reverts at Start+Duration
+	Severity float64  // probability or multiplier, per Kind
+}
+
+// String renders the fault in the compact schedule syntax.
+func (f Fault) String() string {
+	s := fmt.Sprintf("%s:%s@%g+%g", f.Kind, f.Target,
+		f.Start.Seconds(), f.Duration.Seconds())
+	if f.Kind.needsSeverity() {
+		s += fmt.Sprintf("=%g", f.Severity)
+	}
+	return s
+}
+
+// Schedule is a set of faults. Order does not matter; the injector sorts
+// deterministically when applying.
+type Schedule []Fault
+
+// String renders the schedule in the compact syntax accepted by
+// ParseSchedule.
+func (sch Schedule) String() string {
+	parts := make([]string, len(sch))
+	for i, f := range sch {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// sorted returns a copy ordered by (Start, Target, Kind, Duration) so event
+// scheduling order is independent of how the schedule was assembled.
+func (sch Schedule) sorted() Schedule {
+	out := append(Schedule(nil), sch...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Duration < b.Duration
+	})
+	return out
+}
+
+// ParseSchedule parses the compact fault-schedule syntax:
+//
+//	fault      := kind ":" target "@" start "+" duration [ "=" severity ]
+//	schedule   := fault { ";" fault }
+//
+// where kind is one of linkdown, loss, corrupt, stall, cpuslow, freeze,
+// diskslow, diskerr; target names a registered injection point (node:<i>,
+// interlata:<l>, client — node:<i> also names the CPU and drives of node i
+// for the node/storage kinds); start and duration are simulated seconds
+// (floats); severity is the drop/corruption/error probability or the
+// slowdown multiplier, required for the probabilistic and slowdown kinds.
+//
+// Example: "linkdown:node:1@60+10;loss:interlata:0@80+20=0.3"
+func ParseSchedule(spec string) (Schedule, error) {
+	var sch Schedule
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		f, err := parseFault(item)
+		if err != nil {
+			return nil, err
+		}
+		sch = append(sch, f)
+	}
+	return sch, nil
+}
+
+func parseFault(item string) (Fault, error) {
+	var f Fault
+	kindStr, rest, ok := strings.Cut(item, ":")
+	if !ok {
+		return f, fmt.Errorf("faults: %q: want kind:target@start+dur[=sev]", item)
+	}
+	k, ok := kindByName(kindStr)
+	if !ok {
+		return f, fmt.Errorf("faults: unknown kind %q in %q", kindStr, item)
+	}
+	f.Kind = k
+	target, timing, ok := strings.Cut(rest, "@")
+	if !ok || target == "" {
+		return f, fmt.Errorf("faults: %q: missing @start", item)
+	}
+	f.Target = target
+	if sevStr, found := cutLast(&timing, "="); found {
+		sev, err := strconv.ParseFloat(sevStr, 64)
+		if err != nil {
+			return f, fmt.Errorf("faults: %q: bad severity: %v", item, err)
+		}
+		f.Severity = sev
+	} else if k.needsSeverity() {
+		return f, fmt.Errorf("faults: %q: kind %s requires =severity", item, k)
+	}
+	startStr, durStr, ok := strings.Cut(timing, "+")
+	if !ok {
+		return f, fmt.Errorf("faults: %q: want start+duration", item)
+	}
+	start, err := strconv.ParseFloat(startStr, 64)
+	if err != nil {
+		return f, fmt.Errorf("faults: %q: bad start: %v", item, err)
+	}
+	dur, err := strconv.ParseFloat(durStr, 64)
+	if err != nil {
+		return f, fmt.Errorf("faults: %q: bad duration: %v", item, err)
+	}
+	if start < 0 || dur <= 0 {
+		return f, fmt.Errorf("faults: %q: start must be >= 0 and duration > 0", item)
+	}
+	f.Start = sim.Time(start * float64(sim.Second))
+	f.Duration = sim.Time(dur * float64(sim.Second))
+	if err := validate(f); err != nil {
+		return f, fmt.Errorf("faults: %q: %v", item, err)
+	}
+	return f, nil
+}
+
+// cutLast splits s at the last sep, mutating s to the prefix and returning
+// the suffix.
+func cutLast(s *string, sep string) (string, bool) {
+	i := strings.LastIndex(*s, sep)
+	if i < 0 {
+		return "", false
+	}
+	suffix := (*s)[i+len(sep):]
+	*s = (*s)[:i]
+	return suffix, true
+}
+
+// validate checks severity ranges per kind.
+func validate(f Fault) error {
+	switch f.Kind {
+	case LinkLoss, LinkCorrupt, DiskErrors:
+		if f.Severity <= 0 || f.Severity > 1 {
+			return fmt.Errorf("severity %g: want a probability in (0,1]", f.Severity)
+		}
+	case CPUSlow, DiskSlow:
+		if f.Severity <= 1 {
+			return fmt.Errorf("severity %g: want a multiplier > 1", f.Severity)
+		}
+	}
+	return nil
+}

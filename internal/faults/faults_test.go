@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"testing"
+
+	"dclue/internal/disk"
+	"dclue/internal/netsim"
+	"dclue/internal/platform"
+	"dclue/internal/rng"
+	"dclue/internal/sim"
+)
+
+func TestParseSchedule(t *testing.T) {
+	sch, err := ParseSchedule("linkdown:node:1@60+10; loss:interlata:0@80+20=0.3;freeze:cpu:2@5+0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sch) != 3 {
+		t.Fatalf("got %d faults, want 3", len(sch))
+	}
+	f := sch[0]
+	if f.Kind != LinkDown || f.Target != "node:1" ||
+		f.Start != 60*sim.Second || f.Duration != 10*sim.Second {
+		t.Errorf("fault 0 = %+v", f)
+	}
+	f = sch[1]
+	if f.Kind != LinkLoss || f.Target != "interlata:0" || f.Severity != 0.3 {
+		t.Errorf("fault 1 = %+v", f)
+	}
+	f = sch[2]
+	if f.Kind != NodeFreeze || f.Target != "cpu:2" || f.Duration != sim.Time(0.5*float64(sim.Second)) {
+		t.Errorf("fault 2 = %+v", f)
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	spec := "linkdown:node:1@60+10;loss:interlata:0@80+20=0.3;diskslow:node:0@5+2=8"
+	sch, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sch.String(); got != spec {
+		t.Errorf("round trip: got %q, want %q", got, spec)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"explode:node:0@1+1",     // unknown kind
+		"linkdown:node:0@1",      // missing duration
+		"loss:node:0@1+1",        // missing required severity
+		"loss:node:0@1+1=1.5",    // probability out of range
+		"cpuslow:node:0@1+1=0.5", // multiplier must exceed 1
+		"linkdown:node:0@-1+1",   // negative start
+		"linkdown:node:0@1+0",    // zero duration
+		"linkdown@1+1",           // missing target
+		"loss:node:0@1+1=x",      // unparsable severity
+	}
+	for _, spec := range bad {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q): expected error", spec)
+		}
+	}
+}
+
+// testRig builds a sim plus one registered target of each category. The
+// link is a real NIC uplink into a router so down/stall paths exercise the
+// same code the cluster topology uses.
+func testRig(t *testing.T) (*sim.Sim, *Injector, *netsim.Link, *platform.CPU, *disk.Drive) {
+	t.Helper()
+	s := sim.New()
+	net := netsim.New(s)
+	r := netsim.NewRouter(net, "r0", 1e9, sim.Microsecond)
+	nic := net.NIC(0)
+	nic.Attach(r, 1e9, 10*sim.Microsecond)
+	cpu := platform.NewCPU(s, platform.DefaultConfig(1))
+	drv := disk.NewDrive(s, disk.DefaultParams(1), rng.New(7))
+	in := NewInjector(s, 42)
+	in.RegisterLinks("node:0", nic.Link())
+	in.RegisterCPU("node:0", cpu)
+	in.RegisterDrives("node:0", drv)
+	return s, in, nic.Link(), cpu, drv
+}
+
+func TestApplyActivatesAndRestores(t *testing.T) {
+	s, in, link, cpu, drv := testRig(t)
+	sch, err := ParseSchedule(
+		"linkdown:node:0@1+2;cpuslow:node:0@1+2=4;diskslow:node:0@1+2=8;diskerr:node:0@1+2=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(sch); err != nil {
+		t.Fatal(err)
+	}
+
+	type snap struct {
+		down   bool
+		slow   float64
+		active int
+	}
+	var during, after snap
+	s.At(2*sim.Second, func() {
+		during = snap{link.Down(), cpu.SlowFactor(), in.Active}
+	})
+	s.At(4*sim.Second, func() {
+		after = snap{link.Down(), cpu.SlowFactor(), in.Active}
+	})
+	s.Run(5 * sim.Second)
+
+	if !during.down || during.slow != 4 || during.active != 4 {
+		t.Errorf("during window: %+v", during)
+	}
+	if after.down || after.slow != 1 || after.active != 0 {
+		t.Errorf("after window: %+v", after)
+	}
+	_ = drv
+}
+
+func TestApplyUnknownTarget(t *testing.T) {
+	_, in, _, _, _ := testRig(t)
+	for _, spec := range []string{
+		"linkdown:node:9@1+1",
+		"cpuslow:node:9@1+1=2",
+		"diskerr:node:9@1+1=0.1",
+	} {
+		sch, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Apply(sch); err == nil {
+			t.Errorf("Apply(%q): expected unknown-target error", spec)
+		}
+	}
+}
+
+func TestApplyRejectsOverlap(t *testing.T) {
+	_, in, _, _, _ := testRig(t)
+	sch, err := ParseSchedule("linkdown:node:0@1+5;linkdown:node:0@3+5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(sch); err == nil {
+		t.Error("expected overlap error")
+	}
+	// Different kinds on the same target may overlap.
+	sch, err = ParseSchedule("linkdown:node:0@1+5;loss:node:0@3+5=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(sch); err != nil {
+		t.Errorf("distinct kinds should be allowed to overlap: %v", err)
+	}
+}

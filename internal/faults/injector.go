@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"fmt"
+
+	"dclue/internal/disk"
+	"dclue/internal/netsim"
+	"dclue/internal/platform"
+	"dclue/internal/rng"
+	"dclue/internal/sim"
+)
+
+// FreezeFactor is the CPU slowdown used for NodeFreeze: large enough that a
+// frozen node makes no visible progress inside any realistic fault window,
+// small enough that the kernel's time arithmetic stays exact.
+const FreezeFactor = 1e4
+
+// Injector binds a fault schedule to the live simulation objects. The core
+// package registers each injectable target under a stable name, then Apply
+// places activate/restore events on the simulation calendar.
+type Injector struct {
+	sim  *sim.Sim
+	seed uint64
+
+	links  map[string][]*netsim.Link
+	cpus   map[string]*platform.CPU
+	drives map[string][]*disk.Drive
+
+	// Active counts currently-open fault windows (experiments can sample it
+	// to annotate timelines).
+	Active int
+}
+
+// NewInjector returns an empty injector. seed is the master simulation seed;
+// per-target fault streams are derived from it so fault draws do not perturb
+// the workload's random streams.
+func NewInjector(s *sim.Sim, seed uint64) *Injector {
+	return &Injector{
+		sim:    s,
+		seed:   seed,
+		links:  make(map[string][]*netsim.Link),
+		cpus:   make(map[string]*platform.CPU),
+		drives: make(map[string][]*disk.Drive),
+	}
+}
+
+// RegisterLinks names a group of links (typically the up/down pair of one
+// attachment) as one fault target. Each link gets its own derived stream for
+// loss/corruption draws.
+func (in *Injector) RegisterLinks(name string, links ...*netsim.Link) {
+	for i, l := range links {
+		l.SetFaultRand(rng.Derive(in.seed, fmt.Sprintf("fault/%s/%d", name, i)))
+	}
+	in.links[name] = append(in.links[name], links...)
+}
+
+// RegisterCPU names a CPU as a fault target for CPUSlow/NodeFreeze.
+func (in *Injector) RegisterCPU(name string, c *platform.CPU) {
+	in.cpus[name] = c
+}
+
+// RegisterDrives names a group of drives as one fault target for
+// DiskSlow/DiskErrors.
+func (in *Injector) RegisterDrives(name string, drives ...*disk.Drive) {
+	in.drives[name] = append(in.drives[name], drives...)
+}
+
+// Apply validates the schedule against the registered targets and places
+// the activate/restore events. It must be called before Sim.Run. Faults on
+// the same target must not overlap in time (restores would otherwise clear
+// a still-open window); Apply rejects such schedules.
+func (in *Injector) Apply(sch Schedule) error {
+	ordered := sch.sorted()
+	lastEnd := make(map[string]sim.Time)
+	for _, f := range ordered {
+		if err := in.check(f); err != nil {
+			return err
+		}
+		key := f.Kind.String() + "|" + f.Target
+		if f.Start < lastEnd[key] {
+			return fmt.Errorf("faults: overlapping %s windows on %s", f.Kind, f.Target)
+		}
+		lastEnd[key] = f.Start + f.Duration
+	}
+	for _, f := range ordered {
+		f := f
+		in.sim.At(f.Start, func() { in.activate(f) })
+		in.sim.At(f.Start+f.Duration, func() { in.restore(f) })
+	}
+	return nil
+}
+
+// check verifies the fault's target is registered for its kind.
+func (in *Injector) check(f Fault) error {
+	switch f.Kind {
+	case LinkDown, LinkLoss, LinkCorrupt, NICStall:
+		if len(in.links[f.Target]) == 0 {
+			return fmt.Errorf("faults: no links registered as %q (have %s)",
+				f.Target, keysOf(in.links))
+		}
+	case CPUSlow, NodeFreeze:
+		if in.cpus[f.Target] == nil {
+			return fmt.Errorf("faults: no CPU registered as %q (have %s)",
+				f.Target, keysOf(in.cpus))
+		}
+	case DiskSlow, DiskErrors:
+		if len(in.drives[f.Target]) == 0 {
+			return fmt.Errorf("faults: no drives registered as %q (have %s)",
+				f.Target, keysOf(in.drives))
+		}
+	default:
+		return fmt.Errorf("faults: unknown kind %v", f.Kind)
+	}
+	return nil
+}
+
+func keysOf[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// activate opens a fault window (kernel context).
+func (in *Injector) activate(f Fault) {
+	in.Active++
+	switch f.Kind {
+	case LinkDown:
+		for _, l := range in.links[f.Target] {
+			l.SetDown(true)
+		}
+	case LinkLoss:
+		for _, l := range in.links[f.Target] {
+			l.SetLoss(f.Severity)
+		}
+	case LinkCorrupt:
+		for _, l := range in.links[f.Target] {
+			l.SetCorrupt(f.Severity)
+		}
+	case NICStall:
+		for _, l := range in.links[f.Target] {
+			l.SetStalled(true)
+		}
+	case CPUSlow:
+		in.cpus[f.Target].SetSlowFactor(f.Severity)
+	case NodeFreeze:
+		in.cpus[f.Target].SetSlowFactor(FreezeFactor)
+	case DiskSlow:
+		for _, d := range in.drives[f.Target] {
+			d.SetLatencyFactor(f.Severity)
+		}
+	case DiskErrors:
+		for _, d := range in.drives[f.Target] {
+			d.SetErrorProb(f.Severity)
+		}
+	}
+}
+
+// restore closes a fault window, returning the target to its healthy
+// baseline (kernel context).
+func (in *Injector) restore(f Fault) {
+	in.Active--
+	switch f.Kind {
+	case LinkDown:
+		for _, l := range in.links[f.Target] {
+			l.SetDown(false)
+		}
+	case LinkLoss:
+		for _, l := range in.links[f.Target] {
+			l.SetLoss(0)
+		}
+	case LinkCorrupt:
+		for _, l := range in.links[f.Target] {
+			l.SetCorrupt(0)
+		}
+	case NICStall:
+		for _, l := range in.links[f.Target] {
+			l.SetStalled(false)
+		}
+	case CPUSlow, NodeFreeze:
+		in.cpus[f.Target].SetSlowFactor(1)
+	case DiskSlow:
+		for _, d := range in.drives[f.Target] {
+			d.SetLatencyFactor(1)
+		}
+	case DiskErrors:
+		for _, d := range in.drives[f.Target] {
+			d.SetErrorProb(0)
+		}
+	}
+}

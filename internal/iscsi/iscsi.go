@@ -7,10 +7,17 @@
 package iscsi
 
 import (
+	"errors"
+
 	"dclue/internal/disk"
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
 )
+
+// ErrIO is returned when an iSCSI operation fails after exhausting its
+// retries: either the target kept reporting a check condition (injected
+// drive error) or status PDUs kept timing out (lost to network faults).
+var ErrIO = errors.New("iscsi: i/o failed")
 
 // Port is the iSCSI listener port.
 const Port = 3260
@@ -53,7 +60,8 @@ type cmdPDU struct {
 // respPDU travels target -> initiator. For reads the data rides in the same
 // message (Data-In + status collapsed).
 type respPDU struct {
-	id uint64
+	id  uint64
+	err bool // check condition: the drive failed the request
 }
 
 // Target serves local drives to remote initiators.
@@ -96,24 +104,27 @@ func (t *Target) HandleMessage(conn *tcp.Conn, m tcp.Message) {
 // serve runs the disk operation and replies.
 func (t *Target) serve(conn *tcp.Conn, cmd *cmdPDU) {
 	d := t.drive(cmd.table)
-	d.Submit(&disk.Request{
+	req := &disk.Request{
 		Table: cmd.table,
 		Block: cmd.block,
 		Size:  cmd.size,
 		Write: cmd.op == opWrite,
-		Done: func() {
-			t.Served++
-			respSize := PDUBytes
-			var outBytes int
-			if cmd.op == opRead {
-				respSize += cmd.size
-				outBytes = cmd.size
-			}
-			t.cpu.Process(t.costs.PerPDU+t.costs.CRCPerByte*float64(outBytes), func() {
-				conn.Enqueue(&respPDU{id: cmd.id}, respSize)
-			})
-		},
-	})
+	}
+	req.Done = func() {
+		t.Served++
+		respSize := PDUBytes
+		var outBytes int
+		if cmd.op == opRead && !req.Failed {
+			respSize += cmd.size
+			outBytes = cmd.size
+		}
+		t.cpu.Process(t.costs.PerPDU+t.costs.CRCPerByte*float64(outBytes), func() {
+			// A failed drive request becomes a check-condition status PDU
+			// (no data); the initiator decides whether to retry.
+			conn.Enqueue(&respPDU{id: cmd.id, err: req.Failed}, respSize)
+		})
+	}
+	d.Submit(req)
 }
 
 // Initiator issues block requests to remote targets.
@@ -125,8 +136,17 @@ type Initiator struct {
 	pending map[uint64]*sim.Mailbox
 	nextID  uint64
 
-	Reads  uint64
-	Writes uint64
+	// Timeout bounds the wait for a status PDU; 0 means wait forever (the
+	// pre-fault-injection behaviour). MaxRetries is how many times a timed
+	// out or check-condition command is reissued before ErrIO.
+	Timeout    sim.Time
+	MaxRetries int
+
+	Reads    uint64
+	Writes   uint64
+	Timeouts uint64 // commands whose status PDU never arrived in time
+	IOErrors uint64 // check-condition statuses received
+	Failed   uint64 // operations abandoned after exhausting retries
 }
 
 // NewInitiator creates an initiator charging work to cpu.
@@ -162,9 +182,11 @@ func (i *Initiator) HandleMessage(m tcp.Message) {
 		dataBytes = m.Size - PDUBytes
 	}
 	i.cpu.Process(i.costs.PerPDU+i.costs.CRCPerByte*float64(dataBytes), func() {
+		// A late response to a command the initiator already timed out and
+		// abandoned finds no pending entry and is dropped here.
 		if mb, ok := i.pending[resp.id]; ok {
 			delete(i.pending, resp.id)
-			mb.Send(nil)
+			mb.Send(resp.err)
 		}
 	})
 }
@@ -186,35 +208,59 @@ func Demux(conn *tcp.Conn, t *Target, i *Initiator) {
 func (i *Initiator) HasTarget(node int) bool { return i.conns[node] != nil }
 
 // Read fetches size bytes of (table, block) from the target at node,
-// blocking the calling process until the data arrives.
-func (i *Initiator) Read(p *sim.Proc, node, table int, block int64, size int) {
+// blocking the calling process until the data arrives (or the command fails
+// after exhausting retries).
+func (i *Initiator) Read(p *sim.Proc, node, table int, block int64, size int) error {
 	i.Reads++
-	i.issue(p, node, &cmdPDU{op: opRead, table: table, block: block, size: size}, PDUBytes)
+	return i.issue(p, node, &cmdPDU{op: opRead, table: table, block: block, size: size}, PDUBytes)
 }
 
 // Write sends size bytes to (table, block) on the target at node, blocking
 // until the status PDU returns.
-func (i *Initiator) Write(p *sim.Proc, node, table int, block int64, size int) {
+func (i *Initiator) Write(p *sim.Proc, node, table int, block int64, size int) error {
 	i.Writes++
-	i.issue(p, node, &cmdPDU{op: opWrite, table: table, block: block, size: size}, PDUBytes+size)
+	return i.issue(p, node, &cmdPDU{op: opWrite, table: table, block: block, size: size}, PDUBytes+size)
 }
 
-// issue sends the command and waits for its response.
-func (i *Initiator) issue(p *sim.Proc, node int, cmd *cmdPDU, wireBytes int) {
+// issue sends the command and waits for its response, reissuing it (with a
+// fresh task tag) on timeout or check condition up to MaxRetries times.
+func (i *Initiator) issue(p *sim.Proc, node int, cmd *cmdPDU, wireBytes int) error {
 	conn, ok := i.conns[node]
 	if !ok {
 		panic("iscsi: no connection to target node")
 	}
-	i.nextID++
-	cmd.id = i.nextID
-	mb := sim.NewMailbox(i.sim)
-	i.pending[cmd.id] = mb
 	var outBytes int
 	if cmd.op == opWrite {
 		outBytes = cmd.size
 	}
-	i.cpu.Process(i.costs.PerPDU+i.costs.CRCPerByte*float64(outBytes), func() {
-		conn.Enqueue(cmd, wireBytes)
-	})
-	mb.Recv(p)
+	for attempt := 0; ; attempt++ {
+		i.nextID++
+		cmd.id = i.nextID
+		mb := sim.NewMailbox(i.sim)
+		i.pending[cmd.id] = mb
+		i.cpu.Process(i.costs.PerPDU+i.costs.CRCPerByte*float64(outBytes), func() {
+			conn.Enqueue(cmd, wireBytes)
+		})
+		var v any
+		recvOK := true
+		if i.Timeout > 0 {
+			v, recvOK = mb.RecvTimeout(p, i.Timeout)
+		} else {
+			v = mb.Recv(p)
+		}
+		if !recvOK {
+			// Status PDU never came: drop the stale tag so a late response
+			// is ignored, and reissue.
+			delete(i.pending, cmd.id)
+			i.Timeouts++
+		} else if errFlag, _ := v.(bool); errFlag {
+			i.IOErrors++
+		} else {
+			return nil
+		}
+		if attempt >= i.MaxRetries {
+			i.Failed++
+			return ErrIO
+		}
+	}
 }

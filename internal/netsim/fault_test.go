@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"testing"
+
+	"dclue/internal/rng"
+	"dclue/internal/sim"
+)
+
+// sendN injects n packets from 0 to 1, spaced apart so queueing never
+// interferes with the fault accounting under test.
+func sendN(s *sim.Sim, n *Network, count int, gap sim.Time) {
+	for i := 0; i < count; i++ {
+		i := i
+		s.At(sim.Time(i)*gap, func() {
+			n.Send(&Packet{Src: 0, Dst: 1, Size: 1000})
+		})
+	}
+}
+
+func TestLinkLossDropsExactlyPerProbability(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e9, 1e9)
+	link := n.NIC(0).Link()
+	link.SetFaultRand(rng.Derive(7, "fault/test"))
+	link.SetLoss(1)
+	sendN(s, n, 10, sim.Millisecond)
+	s.RunAll()
+	if len(cb.pkts) != 0 {
+		t.Fatalf("delivered %d packets across a p=1 lossy link", len(cb.pkts))
+	}
+	if link.FaultDrops != 10 || n.FaultDrops != 10 {
+		t.Fatalf("fault drops link=%d net=%d, want 10/10", link.FaultDrops, n.FaultDrops)
+	}
+	if n.Drops != 10 {
+		t.Fatalf("net.Drops=%d: injected losses must count as drops", n.Drops)
+	}
+}
+
+func TestLinkLossPartialIsSeededAndDeterministic(t *testing.T) {
+	run := func() (delivered int, dropped uint64) {
+		s := sim.New()
+		n, _, cb := buildPair(s, 1e9, 1e9)
+		link := n.NIC(0).Link()
+		link.SetFaultRand(rng.Derive(42, "fault/test"))
+		link.SetLoss(0.4)
+		sendN(s, n, 200, 100*sim.Microsecond)
+		s.RunAll()
+		return len(cb.pkts), link.FaultDrops
+	}
+	d1, f1 := run()
+	d2, f2 := run()
+	if d1 != d2 || f1 != f2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", d1, f1, d2, f2)
+	}
+	if d1+int(f1) != 200 {
+		t.Fatalf("delivered %d + dropped %d != 200", d1, f1)
+	}
+	if f1 < 40 || f1 > 160 {
+		t.Fatalf("%d/200 dropped at p=0.4: stream looks broken", f1)
+	}
+}
+
+func TestLinkDownLosesQueuedAndInFlight(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e9, 1e9)
+	link := n.NIC(0).Link()
+	// Burst of packets, link goes down while they queue/serialize, comes
+	// back later; everything sent before the window must be lost, traffic
+	// after it must flow.
+	sendN(s, n, 5, sim.Nanosecond) // all enqueued at ~t=0
+	s.At(1*sim.Microsecond, func() { link.SetDown(true) })
+	s.At(1*sim.Millisecond, func() { link.SetDown(false) })
+	s.At(2*sim.Millisecond, func() { n.Send(&Packet{Src: 0, Dst: 1, Size: 1000}) })
+	s.RunAll()
+	// 1000 B at 1 Gb/s = 8 us serialization: the cut at 1 us catches the
+	// first packet mid-wire (lost at serialization end) and the rest still
+	// queued (drained and dropped). Only the post-recovery packet arrives.
+	if len(cb.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1 (only post-recovery)", len(cb.pkts))
+	}
+	if link.FaultDrops != 5 {
+		t.Fatalf("fault drops = %d, want 5 (queued + in-flight)", link.FaultDrops)
+	}
+}
+
+func TestCorruptionDiscardedAtReceiver(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e9, 1e9)
+	link := n.NIC(0).Link()
+	link.SetFaultRand(rng.Derive(7, "fault/test"))
+	link.SetCorrupt(1)
+	sendN(s, n, 8, sim.Millisecond)
+	s.RunAll()
+	if len(cb.pkts) != 0 {
+		t.Fatalf("endpoint received %d corrupted packets", len(cb.pkts))
+	}
+	if n.CorruptDrops != 8 {
+		t.Fatalf("CorruptDrops=%d, want 8", n.CorruptDrops)
+	}
+	// Corrupted frames consumed wire time: they count as sent, not dropped
+	// on the link.
+	if link.FaultDrops != 0 || link.PktsSent != 8 {
+		t.Fatalf("link counters drops=%d sent=%d, want 0/8", link.FaultDrops, link.PktsSent)
+	}
+}
+
+func TestNICStallQueuesThenDrains(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e9, 1e9)
+	link := n.NIC(0).Link()
+	s.At(0, func() { link.SetStalled(true) })
+	sendN(s, n, 4, sim.Microsecond)
+	var duringStall int
+	s.At(5*sim.Millisecond, func() { duringStall = len(cb.pkts) })
+	s.At(10*sim.Millisecond, func() { link.SetStalled(false) })
+	s.RunAll()
+	if duringStall != 0 {
+		t.Fatalf("%d packets delivered across a stalled transmitter", duringStall)
+	}
+	if len(cb.pkts) != 4 {
+		t.Fatalf("delivered %d after stall cleared, want all 4 (no loss)", len(cb.pkts))
+	}
+	if link.FaultDrops != 0 {
+		t.Fatalf("stall must not drop, got %d fault drops", link.FaultDrops)
+	}
+}
+
+func TestHealthyLinkUnchangedByFaultPlumbing(t *testing.T) {
+	s := sim.New()
+	n, _, cb := buildPair(s, 1e9, 1e9)
+	n.NIC(0).Link().SetFaultRand(rng.Derive(7, "fault/test"))
+	// All knobs at their defaults: behavior must be identical to a link
+	// with no fault state at all.
+	sendN(s, n, 20, 100*sim.Microsecond)
+	s.RunAll()
+	if len(cb.pkts) != 20 || n.FaultDrops != 0 || n.CorruptDrops != 0 || n.Drops != 0 {
+		t.Fatalf("healthy path perturbed: delivered=%d faultDrops=%d corrupt=%d drops=%d",
+			len(cb.pkts), n.FaultDrops, n.CorruptDrops, n.Drops)
+	}
+}

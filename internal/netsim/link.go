@@ -1,6 +1,9 @@
 package netsim
 
-import "dclue/internal/sim"
+import (
+	"dclue/internal/rng"
+	"dclue/internal/sim"
+)
 
 // Link is a unidirectional wire: it serializes packets at the configured
 // bandwidth, then delivers them to the far end after the propagation delay.
@@ -16,11 +19,23 @@ type Link struct {
 
 	busy bool
 
+	// Fault-injection state (all zero on a healthy link). down models a
+	// failed wire: everything queued or in flight is lost. stalled models a
+	// frozen transmitter (NIC stall): frames queue but nothing is sent, and
+	// transmission resumes where it left off. lossP/corruptP are per-packet
+	// probabilities drawn from faultRnd at serialization completion.
+	down     bool
+	stalled  bool
+	lossP    float64
+	corruptP float64
+	faultRnd *rng.Stream
+
 	// Statistics.
-	BytesSent uint64
-	PktsSent  uint64
-	busyTime  sim.Time
-	lastStart sim.Time
+	BytesSent  uint64
+	PktsSent   uint64
+	FaultDrops uint64 // packets lost to injected faults on this link
+	busyTime   sim.Time
+	lastStart  sim.Time
 }
 
 // NewLink creates a link of the given bandwidth (bits/s) and one-way
@@ -53,8 +68,18 @@ func (l *Link) Utilization() float64 {
 // kick starts the transmit loop if the wire is idle. Called by the qdisc on
 // enqueue and by the link itself on transmit completion.
 func (l *Link) kick() {
-	if l.busy {
+	if l.busy || l.stalled {
 		return
+	}
+	if l.down {
+		// A dead wire loses everything handed to it immediately.
+		for {
+			pkt := l.qdisc.dequeue()
+			if pkt == nil {
+				return
+			}
+			l.dropFault(pkt)
+		}
 	}
 	pkt := l.qdisc.dequeue()
 	if pkt == nil {
@@ -65,15 +90,70 @@ func (l *Link) kick() {
 	ser := l.SerializationDelay(pkt.Size)
 	l.net.sim.After(ser, func() {
 		l.busyTime += l.net.sim.Now() - l.lastStart
+		l.busy = false
+		if l.down || (l.lossP > 0 && l.faultRnd != nil && l.faultRnd.Float64() < l.lossP) {
+			// Lost on the wire: the frame consumed its serialization slot
+			// but never arrives (link went down mid-flight, or burst loss).
+			l.dropFault(pkt)
+			l.kick()
+			return
+		}
+		if l.corruptP > 0 && l.faultRnd != nil && l.faultRnd.Float64() < l.corruptP {
+			pkt.Corrupt = true
+		}
 		l.BytesSent += uint64(pkt.Size)
 		l.PktsSent++
 		// Propagation: the wire is free for the next frame while this one
 		// flies.
 		l.net.sim.After(l.prop, func() { l.to.receive(pkt) })
-		l.busy = false
 		l.kick()
 	})
 }
+
+// dropFault discards a packet lost to an injected fault.
+func (l *Link) dropFault(*Packet) {
+	l.FaultDrops++
+	l.net.FaultDrops++
+	l.net.Drops++
+}
+
+// SetFaultRand installs the random stream used for loss/corruption draws.
+// Each link should get its own derived stream so fault draws on one link
+// never perturb another (common-random-numbers discipline).
+func (l *Link) SetFaultRand(r *rng.Stream) { l.faultRnd = r }
+
+// SetDown raises or clears a link-down fault. Bringing the link down drops
+// everything already queued; packets enqueued while down are dropped as they
+// arrive. The packet currently being serialized (if any) is lost when its
+// serialization completes.
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	if !l.busy {
+		l.kick()
+	}
+}
+
+// SetStalled freezes or resumes the transmitter. Unlike a down link, a
+// stalled link keeps its queue: frames accumulate (subject to qdisc limits)
+// and transmission resumes when the stall clears.
+func (l *Link) SetStalled(stalled bool) {
+	l.stalled = stalled
+	if !stalled && !l.busy {
+		l.kick()
+	}
+}
+
+// SetLoss sets the per-packet drop probability (0 disables). Draws come
+// from the stream installed with SetFaultRand.
+func (l *Link) SetLoss(p float64) { l.lossP = p }
+
+// SetCorrupt sets the per-packet corruption probability (0 disables).
+// Corrupted frames travel the fabric normally but are discarded by the
+// receiving host's checksum, so the transport sees them as losses.
+func (l *Link) SetCorrupt(p float64) { l.corruptP = p }
+
+// Down reports whether a link-down fault is active.
+func (l *Link) Down() bool { return l.down }
 
 // SetPropagation adjusts the one-way propagation delay (used by the latency
 // experiments, which stretch the inter-LATA links).

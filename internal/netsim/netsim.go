@@ -41,6 +41,7 @@ type Packet struct {
 	Class   Class
 	ECN     bool // ECN-capable transport
 	Marked  bool // congestion experienced
+	Corrupt bool // payload damaged in flight; dropped at the receiving NIC
 	Payload any  // opaque to the network (a TCP segment)
 
 	sent sim.Time // enqueue time at the source NIC, for delay stats
@@ -72,6 +73,12 @@ type Network struct {
 	// Drop and mark counters, fabric-wide.
 	Drops uint64
 	Marks uint64
+
+	// Fault counters (injected faults, not congestion): packets lost on a
+	// down/lossy link and packets discarded at the receiver because a fault
+	// corrupted them in flight (modelling a checksum failure).
+	FaultDrops   uint64
+	CorruptDrops uint64
 }
 
 // DelayTally accumulates end-to-end packet delays for one class.
@@ -125,6 +132,12 @@ func (n *Network) deliver(pkt *Packet) {
 	if nic == nil || nic.endpoint == nil {
 		// Destination has no listener; count as a drop.
 		n.Drops++
+		return
+	}
+	if pkt.Corrupt {
+		// Checksum failure at the receiving host: the frame is discarded
+		// silently, so the transport sees it exactly like a loss.
+		n.CorruptDrops++
 		return
 	}
 	d := n.sim.Now() - pkt.sent

@@ -51,6 +51,13 @@ type Topology struct {
 	// the outer router (two per LATA), used for utilization reporting.
 	interLataLinks []*Link
 
+	// nodeLinks[i] is server node i's access link pair {uplink (NIC to
+	// inner router), downlink (inner router to NIC)}; clientLinks is the
+	// same pair for the client cloud at the outer router. Kept so the fault
+	// injector can target a specific node or the client path.
+	nodeLinks   [][2]*Link
+	clientLinks [2]*Link
+
 	totalNodes int
 }
 
@@ -106,7 +113,8 @@ func BuildTopology(s *sim.Sim, cfg TopologyConfig) *Topology {
 		for i := 0; i < count; i++ {
 			addr := NodeAddr(node)
 			nic := n.NIC(addr)
-			nic.Attach(inner, cfg.NodeLinkBps, cfg.NodeProp)
+			back := nic.Attach(inner, cfg.NodeLinkBps, cfg.NodeProp)
+			t.nodeLinks = append(t.nodeLinks, [2]*Link{nic.Link(), inner.PortLink(back)})
 			// Outer router reaches this node via this LATA's downlink.
 			t.Outer.Route(addr, down)
 			node++
@@ -132,9 +140,34 @@ func BuildTopology(s *sim.Sim, cfg TopologyConfig) *Topology {
 
 	// Client cloud homes in at the outer router.
 	clientNIC := n.NIC(AddrClientCloud)
-	clientNIC.Attach(t.Outer, cfg.ClientBps, cfg.NodeProp)
+	clientBack := clientNIC.Attach(t.Outer, cfg.ClientBps, cfg.NodeProp)
+	t.clientLinks = [2]*Link{clientNIC.Link(), t.Outer.PortLink(clientBack)}
 
 	return t
+}
+
+// NodeLinks returns server node i's access link pair: the uplink from the
+// node's NIC to its inner router and the downlink back.
+func (t *Topology) NodeLinks(i int) (up, down *Link) {
+	if i < 0 || i >= len(t.nodeLinks) {
+		panic("netsim: NodeLinks index out of range")
+	}
+	return t.nodeLinks[i][0], t.nodeLinks[i][1]
+}
+
+// InterLataLinkPair returns LATA l's trunk pair: the uplink from its inner
+// router to the outer router and the downlink back.
+func (t *Topology) InterLataLinkPair(l int) (up, down *Link) {
+	if l < 0 || 2*l+1 >= len(t.interLataLinks) {
+		panic("netsim: InterLataLinkPair index out of range")
+	}
+	return t.interLataLinks[2*l], t.interLataLinks[2*l+1]
+}
+
+// ClientLinks returns the client cloud's access link pair at the outer
+// router (uplink from the clients, downlink back to them).
+func (t *Topology) ClientLinks() (up, down *Link) {
+	return t.clientLinks[0], t.clientLinks[1]
 }
 
 // SetExtraInterLataLatency retargets the inter-LATA propagation delays at

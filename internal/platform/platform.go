@@ -101,6 +101,7 @@ type CPU struct {
 
 	remoteFraction float64
 	cachedCPI      float64
+	slowFactor     float64 // fault-injection multiplier on service time (1 = healthy)
 
 	instrSinceTick float64
 	instrRate      float64 // EWMA instructions/s (node-wide)
@@ -109,14 +110,14 @@ type CPU struct {
 	irq *sim.Mailbox
 
 	// Statistics.
-	activeThreads  stats.TimeWeighted
-	instrTotal     float64
-	busyCycleEst   float64
-	occupied       sim.Time
-	ctxSwitches    uint64
-	ctxCycles      float64
-	dispatches     uint64
-	irqWork        float64 // instructions of interrupt work
+	activeThreads stats.TimeWeighted
+	instrTotal    float64
+	busyCycleEst  float64
+	occupied      sim.Time
+	ctxSwitches   uint64
+	ctxCycles     float64
+	dispatches    uint64
+	irqWork       float64 // instructions of interrupt work
 }
 
 type irqItem struct {
@@ -128,10 +129,11 @@ type irqItem struct {
 // processes.
 func NewCPU(s *sim.Sim, cfg Config) *CPU {
 	c := &CPU{
-		sim: s,
-		cfg: cfg,
-		res: sim.NewResource(s, cfg.NumCPUs),
-		irq: sim.NewMailbox(s),
+		sim:        s,
+		cfg:        cfg,
+		res:        sim.NewResource(s, cfg.NumCPUs),
+		irq:        sim.NewMailbox(s),
+		slowFactor: 1,
 	}
 	c.cachedCPI = c.computeCPI()
 	// Interrupt servers: one per processor so protocol work can use the
@@ -208,10 +210,23 @@ func (c *CPU) ticker(p *sim.Proc) {
 	}
 }
 
+// SetSlowFactor sets the fault-injection slowdown multiplier on all CPU
+// service times (1 restores healthy speed). A very large factor models a
+// frozen node: work queues but barely progresses until the factor resets.
+func (c *CPU) SetSlowFactor(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	c.slowFactor = f
+}
+
+// SlowFactor returns the current fault slowdown multiplier.
+func (c *CPU) SlowFactor() float64 { return c.slowFactor }
+
 // duration converts a path length to busy time at the current CPI.
 func (c *CPU) duration(pathLen float64) sim.Time {
 	cycles := pathLen * c.cachedCPI
-	return sim.Time(cycles / c.cfg.ClockHz * float64(sim.Second))
+	return sim.Time(c.slowFactor * cycles / c.cfg.ClockHz * float64(sim.Second))
 }
 
 // Execute runs pathLen instructions on a CPU without a dispatch charge
@@ -237,7 +252,7 @@ func (c *CPU) runOn(p *sim.Proc, pathLen, extraCycles float64) {
 	c.activeThreads.Add(now, 1)
 	c.dispatches++
 	c.res.Acquire(p, prioThread)
-	d := c.duration(pathLen) + sim.Time(extraCycles/c.cfg.ClockHz*float64(sim.Second))
+	d := c.duration(pathLen) + sim.Time(c.slowFactor*extraCycles/c.cfg.ClockHz*float64(sim.Second))
 	c.occupied += d
 	p.Sleep(d)
 	c.res.Release()

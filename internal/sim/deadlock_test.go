@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeadlockWatchdogFires: two processes parked forever on mailboxes with
+// an empty calendar is exactly the wedge the watchdog exists to catch.
+func TestDeadlockWatchdogFires(t *testing.T) {
+	s := New()
+	mb := NewMailbox(s)
+	s.Spawn("waiter-a", func(p *Proc) { mb.Recv(p) })
+	s.Spawn("waiter-b", func(p *Proc) { mb.Recv(p) })
+	var got *DeadlockError
+	s.OnDeadlock(func(e *DeadlockError) { got = e })
+	s.Run(10 * Second)
+	if got == nil {
+		t.Fatal("watchdog did not fire on empty calendar with parked processes")
+	}
+	if len(got.Procs) != 2 || got.Procs[0] != "waiter-a" || got.Procs[1] != "waiter-b" {
+		t.Fatalf("blocked procs = %v, want sorted [waiter-a waiter-b]", got.Procs)
+	}
+	if !strings.Contains(got.Error(), "waiter-a") {
+		t.Fatalf("error %q should name blocked processes", got.Error())
+	}
+	s.Shutdown()
+}
+
+// TestDeadlockWatchdogQuietOnCleanRun: processes that finish (or a calendar
+// that still has events at the horizon) must not trip the watchdog.
+func TestDeadlockWatchdogQuietOnCleanRun(t *testing.T) {
+	s := New()
+	s.Spawn("sleeper", func(p *Proc) { p.Sleep(1 * Second) })
+	fired := false
+	s.OnDeadlock(func(*DeadlockError) { fired = true })
+	s.Run(10 * Second)
+	if fired {
+		t.Fatal("watchdog fired on a run whose processes all completed")
+	}
+	s.Shutdown()
+}
+
+// TestDeadlockWatchdogQuietWhenTimedOut: a wake that eventually arrives via
+// RecvTimeout is not a deadlock.
+func TestDeadlockWatchdogQuietWhenTimedOut(t *testing.T) {
+	s := New()
+	mb := NewMailbox(s)
+	s.Spawn("bounded-waiter", func(p *Proc) {
+		if _, ok := mb.RecvTimeout(p, 2*Second); ok {
+			t.Error("unexpected message")
+		}
+	})
+	fired := false
+	s.OnDeadlock(func(*DeadlockError) { fired = true })
+	s.Run(10 * Second)
+	if fired {
+		t.Fatal("watchdog fired although the bounded wait timed out cleanly")
+	}
+	s.Shutdown()
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
+	"strings"
 )
 
 // event is a scheduled callback.
@@ -64,6 +66,10 @@ type Sim struct {
 	nEvents uint64
 
 	tracer Tracer
+
+	// onDeadlock, when set, is invoked by run when the calendar empties
+	// while live processes remain parked (see OnDeadlock).
+	onDeadlock func(*DeadlockError)
 }
 
 // New returns an empty simulation positioned at time zero.
@@ -113,6 +119,40 @@ func (s *Sim) Cancel(id EventID) {
 // Stop makes Run return after the currently executing event completes.
 func (s *Sim) Stop() { s.stopped = true }
 
+// DeadlockError describes a wedged simulation: the event calendar emptied
+// while processes were still parked, so no future event can ever wake them.
+type DeadlockError struct {
+	At    Time     // simulated time at which the calendar emptied
+	Procs []string // names of the blocked processes, sorted
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked with empty calendar: %s",
+		e.At, len(e.Procs), strings.Join(e.Procs, ", "))
+}
+
+// OnDeadlock installs a watchdog handler. When the event calendar runs dry
+// while live processes remain parked — a state in which the simulation would
+// otherwise silently end with work wedged mid-protocol — run calls fn with
+// the blocked process names before returning. The handler is opt-in because
+// some models legitimately leave helper processes parked at the end of a
+// bounded run; long-running cluster models should install it so a protocol
+// stall becomes a diagnosable failure rather than a hang or truncated run.
+func (s *Sim) OnDeadlock(fn func(*DeadlockError)) { s.onDeadlock = fn }
+
+// BlockedProcs returns the sorted names of live processes that have started
+// and are currently parked awaiting a wake.
+func (s *Sim) BlockedProcs() []string {
+	var names []string
+	for p := range s.procs {
+		if p.started() && !p.done {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Run executes events in time order until the calendar is empty, the
 // horizon is passed, or Stop is called. It returns the time of the last
 // executed event (or the horizon if it was reached). Run must not be called
@@ -151,6 +191,11 @@ func (s *Sim) run(horizon Time, advance bool) Time {
 		fn := e.fn
 		e.fn = nil
 		fn()
+	}
+	if len(s.events) == 0 && !s.stopped && s.onDeadlock != nil && len(s.procs) > 0 {
+		if names := s.BlockedProcs(); len(names) > 0 {
+			s.onDeadlock(&DeadlockError{At: s.now, Procs: names})
+		}
 	}
 	if advance && !s.stopped && s.now < horizon {
 		s.now = horizon

@@ -109,11 +109,17 @@ func (e *Engine) newOrder(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r *
 	w, d := req.Warehouse, req.District
 	owner := e.whOwner[w]
 
-	if _, ok := n.Read(p, txn, e.Tables[TWarehouse].ID, int64(w)); !ok {
+	_, ok, err := n.Read(p, txn, e.Tables[TWarehouse].ID, int64(w))
+	if err != nil {
+		return err
+	}
+	if !ok {
 		return errors.New("tpcc: missing warehouse")
 	}
 	cust := e.nuRandCustomer(r)
-	n.Read(p, txn, e.Tables[TCustomer].ID, e.CustKey(w, d, cust))
+	if _, _, err := n.Read(p, txn, e.Tables[TCustomer].ID, e.CustKey(w, d, cust)); err != nil {
+		return err
+	}
 
 	if _, err := n.Update(p, txn, e.Tables[TDistrict].ID, e.DistKey(w, d)); err != nil {
 		return err
@@ -137,7 +143,9 @@ func (e *Engine) newOrder(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r *
 	}
 	if rollback {
 		// Unused item id: the lookup fails after the reads done so far.
-		n.Read(p, txn, e.Tables[TItem].ID, int64(e.Cfg.Items)+1)
+		if _, _, err := n.Read(p, txn, e.Tables[TItem].ID, int64(e.Cfg.Items)+1); err != nil {
+			return err
+		}
 		return ErrRollback
 	}
 	// Acquire stock rows in key order: with the scaled-down item table two
@@ -146,7 +154,9 @@ func (e *Engine) newOrder(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r *
 	// cycles without changing the work done.
 	sort.Slice(stocks, func(i, j int) bool { return stocks[i] < stocks[j] })
 	for l := 0; l < cnt; l++ {
-		n.Read(p, txn, e.Tables[TItem].ID, int64(items[l]))
+		if _, _, err := n.Read(p, txn, e.Tables[TItem].ID, int64(items[l])); err != nil {
+			return err
+		}
 	}
 	for _, sk := range stocks {
 		if _, err := n.Update(p, txn, e.Tables[TStock].ID, sk); err != nil {
@@ -197,34 +207,44 @@ func (e *Engine) payment(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r *r
 		}
 		cd = r.Intn(Districts)
 	}
-	cust := e.selectCustomer(p, n, txn, cw, cd, r)
+	cust, err := e.selectCustomer(p, n, txn, cw, cd, r)
+	if err != nil {
+		return err
+	}
 	if _, err := n.Update(p, txn, e.Tables[TCustomer].ID, e.CustKey(cw, cd, cust)); err != nil {
 		return err
 	}
-	_, err := n.Insert(p, txn, e.Tables[THistory].ID, e.HistKey(n.Self), e.whOwner[w])
+	_, err = n.Insert(p, txn, e.Tables[THistory].ID, e.HistKey(n.Self), e.whOwner[w])
 	return err
 }
 
 // orderStatus reads a customer and their most recent order with its lines.
 func (e *Engine) orderStatus(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r *rng.Stream) error {
 	w, d := req.Warehouse, req.District
-	cust := e.selectCustomer(p, n, txn, w, d, r)
-	n.Read(p, txn, e.Tables[TCustomer].ID, e.CustKey(w, d, cust))
+	cust, err := e.selectCustomer(p, n, txn, w, d, r)
+	if err != nil {
+		return err
+	}
+	if _, _, err := n.Read(p, txn, e.Tables[TCustomer].ID, e.CustKey(w, d, cust)); err != nil {
+		return err
+	}
 	oid := int(e.lastOrder[e.custIdx(w, d, cust)])
 	if oid == 0 {
 		return nil
 	}
-	orow, ok := n.Read(p, txn, e.Tables[TOrder].ID, e.OrderKey(w, d, oid))
+	orow, ok, err := n.Read(p, txn, e.Tables[TOrder].ID, e.OrderKey(w, d, oid))
+	if err != nil {
+		return err
+	}
 	if !ok {
 		return nil
 	}
 	cnt := int(e.orderOLCnt[orow])
 	count := 0
-	n.Scan(p, txn, e.Tables[TOrderLine].ID, e.OLKey(w, d, oid, 0), func(k, row int64) bool {
+	return n.Scan(p, txn, e.Tables[TOrderLine].ID, e.OLKey(w, d, oid, 0), func(k, row int64) bool {
 		count++
 		return count < cnt
 	})
-	return nil
 }
 
 // delivery processes the oldest undelivered order of every district of the
@@ -277,7 +297,9 @@ func (e *Engine) delivery(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r *
 // counts distinct items with stock below a threshold.
 func (e *Engine) stockLevel(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r *rng.Stream) error {
 	w, d := req.Warehouse, req.District
-	n.Read(p, txn, e.Tables[TDistrict].ID, e.DistKey(w, d))
+	if _, _, err := n.Read(p, txn, e.Tables[TDistrict].ID, e.DistKey(w, d)); err != nil {
+		return err
+	}
 	dist := w*Districts + d
 	next := int(e.distNextO[dist])
 	lo := next - 20
@@ -290,7 +312,7 @@ func (e *Engine) stockLevel(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r
 	limit := e.OrderKey(w, d, next) * MaxOrderLines
 	count := 0
 	var items []int32
-	n.Scan(p, txn, e.Tables[TOrderLine].ID, from, func(k, row int64) bool {
+	if err := n.Scan(p, txn, e.Tables[TOrderLine].ID, from, func(k, row int64) bool {
 		if k >= limit || count >= 200 {
 			return false
 		}
@@ -301,10 +323,14 @@ func (e *Engine) stockLevel(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r
 			items = append(items, it)
 		}
 		return true
-	})
+	}); err != nil {
+		return err
+	}
 	low := 0
 	for _, it := range items {
-		n.Read(p, txn, e.Tables[TStock].ID, e.StockKey(w, int(it)))
+		if _, _, err := n.Read(p, txn, e.Tables[TStock].ID, e.StockKey(w, int(it))); err != nil {
+			return err
+		}
 		if e.stockQty[w*e.Cfg.Items+int(it)] < threshold {
 			low++
 		}
@@ -315,17 +341,19 @@ func (e *Engine) stockLevel(p *sim.Proc, n *db.Node, txn *db.Txn, req Request, r
 // selectCustomer resolves a customer 60% by last name (modelled as an extra
 // secondary-index probe resolving to a deterministic customer) and 40% by
 // id, per spec.
-func (e *Engine) selectCustomer(p *sim.Proc, n *db.Node, txn *db.Txn, w, d int, r *rng.Stream) int {
+func (e *Engine) selectCustomer(p *sim.Proc, n *db.Node, txn *db.Txn, w, d int, r *rng.Stream) (int, error) {
 	if r.Bool(0.6) {
 		// By last name: NURand over 255 names; the name resolves to a
 		// cluster of customers, one of which is chosen. Charge the extra
 		// index traversal by touching the customer index leaf again.
 		name := nuRand(r, 255, 0, 254)
 		cust := (name * 7) % e.Cfg.CustomersPerDist
-		n.Read(p, txn, e.Tables[TCustomer].ID, e.CustKey(w, d, cust))
-		return cust
+		if _, _, err := n.Read(p, txn, e.Tables[TCustomer].ID, e.CustKey(w, d, cust)); err != nil {
+			return 0, err
+		}
+		return cust, nil
 	}
-	return e.nuRandCustomer(r)
+	return e.nuRandCustomer(r), nil
 }
 
 // nuRandCustomer draws a customer id with the spec's NURand skew. The spec
