@@ -1,10 +1,17 @@
 // Command dclueexp regenerates the paper's figures (Figs 2-16 of Kant &
 // Sahoo, ICPP 2005) and prints each as a text table.
 //
+// Sweeps run on a parallel work-stealing pool (-j workers, default
+// GOMAXPROCS); the output is byte-identical to a sequential run (-seq),
+// only faster. -bench appends a machine-readable record of the run —
+// per-figure points, fingerprints and wall-clock — to BENCH_sweeps.json.
+//
 // Examples:
 //
-//	dclueexp -fig 6            # throughput scaling vs nodes and affinity
-//	dclueexp -all -quick       # every figure, reduced sweeps
+//	dclueexp -fig 6                  # throughput scaling vs nodes and affinity
+//	dclueexp -all -quick -j 4        # every figure, reduced sweeps, 4 workers
+//	dclueexp -all -quick -seq        # same output, one worker
+//	dclueexp -all -quick -bench BENCH_sweeps.json
 //	dclueexp -list
 package main
 
@@ -12,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"dclue"
 )
@@ -28,17 +37,30 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced sweeps and shorter runs")
 		chart     = flag.Bool("chart", false, "render ASCII charts instead of tables")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		jobs      = flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+		seq       = flag.Bool("seq", false, "force fully sequential sweeps (same as -j 1)")
+		bench     = flag.String("bench", "", "append a run record (figures, fingerprints, wall-clock) to this JSON file")
 	)
 	flag.Parse()
 
-	opts := dclue.ExperimentOptions{Seed: *seed, Quick: *quick, Log: os.Stderr}
-	render := func(r dclue.ExperimentResult) string {
-		if *chart {
-			return r.Chart()
-		}
-		return r.Table()
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if *seq {
+		workers = 1
+	}
+	var pool *dclue.SweepPool
+	if workers > 1 {
+		pool = dclue.NewSweepPool(workers)
+	}
+	opts := dclue.ExperimentOptions{Seed: *seed, Quick: *quick, Log: os.Stderr, Pool: pool}
 
+	var figs []dclue.Figure
+	unknown := func(what, id string) {
+		fmt.Fprintf(os.Stderr, "unknown %s %q; try -list\n", what, id)
+		os.Exit(2)
+	}
 	switch {
 	case *list:
 		for _, f := range dclue.Figures() {
@@ -50,44 +72,106 @@ func main() {
 		for _, f := range dclue.FaultList() {
 			fmt.Printf("%-16s %s\n", f.ID, f.Title)
 		}
+		return
 	case *faultsAll:
-		for _, f := range dclue.FaultList() {
-			fmt.Print(render(f.Run(opts)))
-			fmt.Println()
-		}
+		figs = dclue.FaultList()
 	case *fault != "":
-		r, ok := dclue.RunFault(*fault, opts)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown fault experiment %q; try -list\n", *fault)
-			os.Exit(2)
+		figs = pick(dclue.FaultList(), func(f dclue.Figure) bool {
+			return f.ID == *fault || f.ID == "flt-"+*fault
+		})
+		if figs == nil {
+			unknown("fault experiment", *fault)
 		}
-		fmt.Print(render(r))
 	case *ablations:
-		for _, f := range dclue.AblationList() {
-			fmt.Print(render(f.Run(opts)))
-			fmt.Println()
-		}
+		figs = dclue.AblationList()
 	case *ablation != "":
-		r, ok := dclue.RunAblation(*ablation, opts)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown ablation %q; try -list\n", *ablation)
-			os.Exit(2)
+		figs = pick(dclue.AblationList(), func(f dclue.Figure) bool {
+			return f.ID == *ablation || f.ID == "abl-"+*ablation
+		})
+		if figs == nil {
+			unknown("ablation", *ablation)
 		}
-		fmt.Print(render(r))
 	case *all:
-		for _, f := range dclue.Figures() {
-			fmt.Print(render(f.Run(opts)))
-			fmt.Println()
-		}
+		figs = dclue.Figures()
 	case *fig != "":
-		r, ok := dclue.RunFigure(*fig, opts)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q; try -list\n", *fig)
-			os.Exit(2)
+		figs = pick(dclue.Figures(), func(f dclue.Figure) bool {
+			return f.ID == *fig || f.ID == "fig0"+*fig || f.ID == "fig"+*fig
+		})
+		if figs == nil {
+			unknown("figure", *fig)
 		}
-		fmt.Print(render(r))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Wrap every figure so its wall-clock is captured even when the pool
+	// interleaves figures; results still merge in figure order.
+	elapsed := make([]time.Duration, len(figs))
+	timed := make([]dclue.Figure, len(figs))
+	for i, f := range figs {
+		i, f := i, f
+		timed[i] = f
+		timed[i].Run = func(o dclue.ExperimentOptions) dclue.ExperimentResult {
+			t0 := time.Now()
+			r := f.Run(o)
+			elapsed[i] = time.Since(t0)
+			return r
+		}
+	}
+	start := time.Now()
+	results := dclue.RunFigures(timed, opts)
+	total := time.Since(start)
+
+	for i, r := range results {
+		if *chart {
+			fmt.Print(r.Chart())
+		} else {
+			fmt.Print(r.Table())
+		}
+		if len(results) > 1 {
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %8.1fs  fingerprint=%016x\n", r.ID, elapsed[i].Seconds(), r.Fingerprint())
+	}
+	fmt.Fprintf(os.Stderr, "total %.1fs (%d figures, %d workers, GOMAXPROCS=%d)\n",
+		total.Seconds(), len(results), workers, runtime.GOMAXPROCS(0))
+
+	if *bench != "" {
+		rec := benchRun{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Jobs:       workers,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Quick:      *quick,
+			Seed:       *seed,
+			TotalSec:   round3(total.Seconds()),
+		}
+		for i, r := range results {
+			points := 0
+			for _, s := range r.Series {
+				points += len(s.Points)
+			}
+			rec.Figures = append(rec.Figures, benchFigure{
+				ID:          r.ID,
+				Points:      points,
+				Fingerprint: fmt.Sprintf("%016x", r.Fingerprint()),
+				Seconds:     round3(elapsed[i].Seconds()),
+			})
+		}
+		if err := appendBench(*bench, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "dclueexp: bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// pick returns the figures matching ok, or nil if none match.
+func pick(figs []dclue.Figure, ok func(dclue.Figure) bool) []dclue.Figure {
+	for _, f := range figs {
+		if ok(f) {
+			return []dclue.Figure{f}
+		}
+	}
+	return nil
 }

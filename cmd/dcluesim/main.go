@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"dclue"
 )
@@ -38,6 +40,7 @@ func main() {
 		measure    = flag.Float64("measure", 240, "measurement window, simulated seconds")
 		faultSpec  = flag.String("faults", "", `fault schedule, e.g. "linkdown:node:1@200+20;loss:interlata:0@250+30=0.3"`)
 		timeline   = flag.Float64("timeline", 0, "print a throughput timeline at this bucket size, simulated seconds")
+		jobs       = flag.Int("j", 0, "workers for the -capacity search (0 = GOMAXPROCS; single runs are unaffected)")
 	)
 	flag.Parse()
 
@@ -59,10 +62,20 @@ func main() {
 	p.FaultSpec = *faultSpec
 	p.TimelineBucket = dclue.Time(*timeline * float64(dclue.Second))
 
+	start := time.Now()
 	if *capacity {
-		r := dclue.MeasureCapacity(p, 48)
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		var pool *dclue.SweepPool
+		if workers > 1 {
+			pool = dclue.NewSweepPool(workers)
+		}
+		r := dclue.MeasureCapacityWith(pool, p, 48)
 		fmt.Printf("capacity: %d warehouses (feasible=%v)\n", r.Warehouses, r.Feasible)
 		fmt.Print(r.Metrics)
+		fmt.Fprintf(os.Stderr, "elapsed %.1fs (%d workers)\n", time.Since(start).Seconds(), workers)
 		if !r.Feasible {
 			os.Exit(1)
 		}
@@ -74,6 +87,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(m)
+	fmt.Fprintf(os.Stderr, "elapsed %.1fs\n", time.Since(start).Seconds())
 	for _, pt := range m.Timeline {
 		fmt.Printf("  t=%6.1fs  %7.1f txn/s\n", pt.T.Seconds(), pt.TxnRate)
 	}

@@ -30,6 +30,7 @@ import (
 	"dclue/internal/core"
 	"dclue/internal/experiments"
 	"dclue/internal/faults"
+	"dclue/internal/runner"
 	"dclue/internal/sim"
 )
 
@@ -80,6 +81,34 @@ func MeasureCapacity(p Params, maxWarehousesPerNode int) CapacityResult {
 	return core.MeasureCapacity(p, maxWarehousesPerNode)
 }
 
+// SweepPool is the bounded work-stealing worker pool the parallel sweep
+// engine fans independent simulation points across. A nil pool is valid
+// and means fully sequential execution.
+type SweepPool = runner.Pool
+
+// NewSweepPool returns a pool of the given width; workers <= 0 picks
+// GOMAXPROCS, workers == 1 forces sequential execution.
+func NewSweepPool(workers int) *SweepPool { return runner.New(workers) }
+
+// SweepPoint is one independent simulation job in a sweep.
+type SweepPoint = runner.Point
+
+// SweepResult pairs a SweepPoint with its run outcome.
+type SweepResult = runner.PointResult
+
+// RunSweep evaluates every point on the pool and returns results in point
+// order: a parallel sweep merges identically to a sequential one.
+func RunSweep(pool *SweepPool, pts []SweepPoint) []SweepResult {
+	return pool.RunPoints(pts)
+}
+
+// MeasureCapacityWith is MeasureCapacity with speculative parallel probing
+// on the pool's free workers; the result is byte-identical to the
+// sequential search.
+func MeasureCapacityWith(pool *SweepPool, p Params, maxWarehousesPerNode int) CapacityResult {
+	return runner.Capacity(pool, p, maxWarehousesPerNode)
+}
+
 // ExperimentOptions control the figure-reproduction sweeps.
 type ExperimentOptions = experiments.Options
 
@@ -91,6 +120,12 @@ type Figure = experiments.Figure
 
 // Figures lists every paper figure experiment in order (Fig 2 .. Fig 16).
 func Figures() []Figure { return experiments.All() }
+
+// RunFigures runs the given figures — fanning across figures and sweep
+// points on o.Pool when set — and returns results in input order.
+func RunFigures(figs []Figure, o ExperimentOptions) []ExperimentResult {
+	return experiments.RunAll(figs, o)
+}
 
 // RunFigure runs the experiment for the given figure id ("fig06" or "6").
 // ok is false for an unknown id.

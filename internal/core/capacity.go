@@ -28,8 +28,34 @@ type CapacityResult struct {
 // A probe that fails outright (construction or mid-run error) is treated
 // as infeasible.
 func MeasureCapacity(p Params, maxPerNode int) CapacityResult {
+	return SearchCapacity(p, maxPerNode, Run, nil)
+}
+
+// CapacityProbe evaluates one capacity-search candidate. It must behave as
+// a pure, deterministic function of its Params: the search result is a
+// function of probe outcomes only.
+type CapacityProbe func(Params) (Metrics, error)
+
+// SearchCapacity is MeasureCapacity with pluggable probe execution. It runs
+// the same bisection over warehouses per node in [1, maxPerNode]; probe is
+// called for every candidate the search visits, in bisection order. Before
+// each probe, speculate (when non-nil) receives the candidate configurations
+// the search may visit next — one for each branch of the pending feasibility
+// decision — so a parallel driver can start warming them while the current
+// probe runs; speculate must not block. Because the visited path depends
+// only on probe outcomes, any driver whose probe agrees with sequential Run
+// produces a byte-identical CapacityResult.
+func SearchCapacity(p Params, maxPerNode int, probe CapacityProbe, speculate func(...Params)) CapacityResult {
 	if maxPerNode <= 0 {
 		maxPerNode = 48
+	}
+	candidate := func(lo, hi int) (Params, bool) {
+		if lo > hi {
+			return Params{}, false
+		}
+		q := p
+		q.Warehouses = (lo + hi) / 2 * p.Nodes
+		return q, true
 	}
 	lo, hi := 1, maxPerNode
 	var best Metrics
@@ -39,7 +65,19 @@ func MeasureCapacity(p Params, maxPerNode int) CapacityResult {
 		mid := (lo + hi) / 2
 		q := p
 		q.Warehouses = mid * p.Nodes
-		m, err := Run(q)
+		if speculate != nil {
+			// The two configurations the next iteration probes, depending on
+			// whether mid turns out feasible (search moves up) or not (down).
+			next := make([]Params, 0, 2)
+			if c, ok := candidate(mid+1, hi); ok {
+				next = append(next, c)
+			}
+			if c, ok := candidate(lo, mid-1); ok {
+				next = append(next, c)
+			}
+			speculate(next...)
+		}
+		m, err := probe(q)
 		if err != nil {
 			hi = mid - 1
 			continue
@@ -48,12 +86,10 @@ func MeasureCapacity(p Params, maxPerNode int) CapacityResult {
 			best, bestW, found = m, q.Warehouses, true
 			lo = mid + 1
 		} else {
-			if !found || m.TpmC > best.TpmC {
-				// Track the best even when infeasible so a fully saturated
-				// cluster still reports its (degraded) plateau.
-				if !found {
-					best, bestW = m, q.Warehouses
-				}
+			if !found {
+				// Track the latest undersized-but-infeasible probe so a fully
+				// saturated cluster still reports its (degraded) plateau.
+				best, bestW = m, q.Warehouses
 			}
 			hi = mid - 1
 		}

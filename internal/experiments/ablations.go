@@ -49,24 +49,29 @@ func AblationQoS(o Options) Result {
 	cap0 := o.capacity(base)
 	wh := cap0.Warehouses
 
+	wfqs := []bool{false, true}
+	ms := make([]core.Metrics, len(wfqs)*len(loads))
+	o.grid(len(wfqs), len(loads), func(w, i int) {
+		p := base
+		p.CrossTrafficBps = loads[i]
+		p.CrossTrafficPriority = true
+		p.WFQRouters = wfqs[w]
+		m := fixedLoad(p, wh)
+		o.logf("abl-qos wfq=%v load=%.0fM: tpmC=%.0f ftp=%.1fM delay=%.2fms",
+			wfqs[w], loads[i]/1e6, m.TpmC, m.FTPDeliveredMbps, m.MsgDelayMs)
+		ms[w*len(loads)+i] = m
+	})
 	var series []*stats.Series
-	for _, wfq := range []bool{false, true} {
+	for w, wfq := range wfqs {
 		name := "priority routers"
 		if wfq {
 			name = "WFQ routers"
 		}
 		dbms := &stats.Series{Name: name + " (tpmC)"}
 		ftp := &stats.Series{Name: name + " (FTP Mb/s)"}
-		for _, load := range loads {
-			p := base
-			p.CrossTrafficBps = load
-			p.CrossTrafficPriority = true
-			p.WFQRouters = wfq
-			m := fixedLoad(p, wh)
-			o.logf("abl-qos wfq=%v load=%.0fM: tpmC=%.0f ftp=%.1fM delay=%.2fms",
-				wfq, load/1e6, m.TpmC, m.FTPDeliveredMbps, m.MsgDelayMs)
-			dbms.Add(load/1e6, m.TpmC)
-			ftp.Add(load/1e6, m.FTPDeliveredMbps)
+		for i, load := range loads {
+			dbms.Add(load/1e6, ms[w*len(loads)+i].TpmC)
+			ftp.Add(load/1e6, ms[w*len(loads)+i].FTPDeliveredMbps)
 		}
 		series = append(series, dbms, ftp)
 	}
@@ -81,20 +86,26 @@ func AblationQoS(o Options) Result {
 // iSCSI model the paper studies against the Oracle-style shared SAN.
 func AblationSAN(o Options) Result {
 	nodes := 4
+	sans := []bool{false, true}
+	affs := []float64{1.0, 0.8}
+	caps := make([]core.CapacityResult, len(sans)*len(affs))
+	o.grid(len(sans), len(affs), func(s, a int) {
+		p := o.baseParams(nodes)
+		p.Affinity = affs[a]
+		p.CentralSAN = sans[s]
+		r := o.capacity(p)
+		o.logf("abl-san san=%v aff=%.1f: tpmC=%.0f", sans[s], affs[a], r.Metrics.TpmC)
+		caps[s*len(affs)+a] = r
+	})
 	var series []*stats.Series
-	for _, san := range []bool{false, true} {
+	for si, san := range sans {
 		name := "distributed iSCSI"
 		if san {
 			name = "central SAN"
 		}
 		s := &stats.Series{Name: name}
-		for _, aff := range []float64{1.0, 0.8} {
-			p := o.baseParams(nodes)
-			p.Affinity = aff
-			p.CentralSAN = san
-			r := o.capacity(p)
-			o.logf("abl-san san=%v aff=%.1f: tpmC=%.0f", san, aff, r.Metrics.TpmC)
-			s.Add(aff, r.Metrics.TpmC)
+		for a, aff := range affs {
+			s.Add(aff, caps[si*len(affs)+a].Metrics.TpmC)
 		}
 		series = append(series, s)
 	}
@@ -105,15 +116,22 @@ func AblationSAN(o Options) Result {
 	}
 }
 
+// runPair evaluates two independent configurations as one two-job sweep.
+func (o Options) runPair(a, b core.Params) (core.Metrics, core.Metrics) {
+	ps := [2]core.Params{a, b}
+	var ms [2]core.Metrics
+	o.forEach(2, func(i int) { ms[i] = core.MustRun(ps[i]) })
+	return ms[0], ms[1]
+}
+
 // AblationSubpage quantifies §2.3's subpage tuning: coarse (8 per block)
 // subpages false-share the append-heavy tables.
 func AblationSubpage(o Options) Result {
 	p := o.baseParams(2)
 	p.Warehouses = 8 * 2
-	tuned := core.MustRun(p)
 	q := p
 	q.CoarseSubpages = true
-	coarse := core.MustRun(q)
+	tuned, coarse := o.runPair(p, q)
 	o.logf("abl-subpage tuned: tpmC=%.0f waits/txn=%.2f | coarse: tpmC=%.0f waits/txn=%.2f",
 		tuned.TpmC, tuned.LockWaitsPerTxn, coarse.TpmC, coarse.LockWaitsPerTxn)
 	a := &stats.Series{Name: "tpmC"}
@@ -133,10 +151,9 @@ func AblationSubpage(o Options) Result {
 func AblationGroupCommit(o Options) Result {
 	p := o.baseParams(2)
 	p.Warehouses = 8 * 2
-	grouped := core.MustRun(p)
 	q := p
 	q.LogBatchLimit = 1
-	serial := core.MustRun(q)
+	grouped, serial := o.runPair(p, q)
 	o.logf("abl-groupcommit batched: tpmC=%.0f resp=%.0fms | serial: tpmC=%.0f resp=%.0fms",
 		grouped.TpmC, grouped.RespTimeMs, serial.TpmC, serial.RespTimeMs)
 	a := &stats.Series{Name: "tpmC"}
@@ -159,10 +176,9 @@ func AblationElevator(o Options) Result {
 	p := o.baseParams(2)
 	p.Warehouses = 8 * 2
 	p.BufferFraction = 0.3 // starve the cache: real disk traffic
-	scan := core.MustRun(p)
 	q := p
 	q.FIFODisks = true
-	fifo := core.MustRun(q)
+	scan, fifo := o.runPair(p, q)
 	o.logf("abl-elevator scan: tpmC=%.0f resp=%.0fms | fifo: tpmC=%.0f resp=%.0fms",
 		scan.TpmC, scan.RespTimeMs, fifo.TpmC, fifo.RespTimeMs)
 	a := &stats.Series{Name: "tpmC"}
@@ -183,10 +199,9 @@ func AblationElevator(o Options) Result {
 func AblationPrewarm(o Options) Result {
 	p := o.baseParams(2)
 	p.Warehouses = 6 * 2
-	warm := core.MustRun(p)
 	q := p
 	q.NoPrewarm = true
-	cold := core.MustRun(q)
+	warm, cold := o.runPair(p, q)
 	o.logf("abl-prewarm warm: tpmC=%.0f | cold: tpmC=%.0f hit=%.3f",
 		warm.TpmC, cold.TpmC, cold.BufferHitRatio)
 	a := &stats.Series{Name: "tpmC"}

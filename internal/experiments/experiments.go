@@ -9,23 +9,37 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
+	"sync"
 
 	"dclue/internal/core"
+	"dclue/internal/runner"
 	"dclue/internal/sim"
 	"dclue/internal/stats"
 )
 
-// Options control sweep sizes and run lengths.
+// Options control sweep sizes, run lengths and parallelism.
 type Options struct {
 	Seed uint64
 	// Quick shrinks sweeps and run lengths so the full set finishes in
 	// minutes (used by the benchmark harness); the default is the paper's
 	// full sweep.
 	Quick bool
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. Writes are whole lines
+	// and serialized, so the sink stays readable under parallel sweeps;
+	// line order follows completion order when a Pool is set.
 	Log io.Writer
+	// Pool, when non-nil, fans the independent simulation points of every
+	// figure across its workers. Results are merged in point order, so the
+	// rendered tables and fingerprints are identical to a sequential run;
+	// nil (the default) runs fully sequentially.
+	Pool *runner.Pool
+
+	// tinyRuns (test hook) shrinks workload sizing and windows far below
+	// Quick so unit tests can afford to sweep every registered figure.
+	tinyRuns bool
 }
 
 // Result is one regenerated figure.
@@ -54,6 +68,15 @@ func (r Result) Chart() string {
 		out += r.Notes + "\n"
 	}
 	return out
+}
+
+// Fingerprint hashes the rendered table (every series name and value) into
+// one number. Parallel and sequential regenerations of the same figure must
+// agree on it — the cross-check the sweep engine is held to.
+func (r Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, r.Table())
+	return h.Sum64()
 }
 
 // Figure is a runnable experiment.
@@ -94,12 +117,42 @@ func Lookup(id string) (Figure, bool) {
 	return Figure{}, false
 }
 
+// RunAll runs the given figures — fanning across figures and, within each,
+// across sweep points on o.Pool — and returns results in input order.
+func RunAll(figs []Figure, o Options) []Result {
+	out := make([]Result, len(figs))
+	o.Pool.Map(len(figs), func(i int) { out[i] = figs[i].Run(o) })
+	return out
+}
+
 // ---- shared helpers ----
 
+// logMu serializes progress lines from concurrent sweep workers: each line
+// is formatted in full, then written with a single Write under the lock, so
+// lines never interleave mid-line whatever the sink.
+var logMu sync.Mutex
+
 func (o Options) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
+	if o.Log == nil {
+		return
 	}
+	line := fmt.Sprintf(format+"\n", args...)
+	logMu.Lock()
+	defer logMu.Unlock()
+	io.WriteString(o.Log, line)
+}
+
+// forEach runs fn for every index in [0, n) on the option's pool (inline
+// and in order when no pool is set). fn must confine its writes to
+// index-owned slots; the caller merges after forEach returns.
+func (o Options) forEach(n int, fn func(i int)) {
+	o.Pool.Map(n, fn)
+}
+
+// grid runs fn for every (row, col) pair on the option's pool, flattening
+// the pairs row-major so a two-level sweep parallelizes as one job set.
+func (o Options) grid(rows, cols int, fn func(r, c int)) {
+	o.forEach(rows*cols, func(i int) { fn(i/cols, i%cols) })
 }
 
 // baseParams returns the default cluster parameters adjusted for quick mode.
@@ -111,6 +164,12 @@ func (o Options) baseParams(nodes int) core.Params {
 	if o.Quick {
 		p.Warmup = 50 * sim.Second
 		p.Measure = 100 * sim.Second
+	}
+	if o.tinyRuns {
+		p.CustomersPerDist = 20
+		p.Items = 100
+		p.Warmup = 10 * sim.Second
+		p.Measure = 20 * sim.Second
 	}
 	return p
 }
@@ -139,6 +198,9 @@ func (o Options) quickAffs(full []float64) []float64 {
 
 // maxWhPerNode caps the capacity search.
 func (o Options) maxWhPerNode() int {
+	if o.tinyRuns {
+		return 3
+	}
 	if o.Quick {
 		return 12
 	}
@@ -150,10 +212,11 @@ func (o Options) maxWhPerNode() int {
 // populations, and probing deep overload is the single most expensive thing
 // a sweep can do), and larger clusters use a slightly shorter measurement
 // window — they produce proportionally more transactions per simulated
-// second, so the statistics stay sound.
+// second, so the statistics stay sound. With a pool set, the bisection
+// probes speculatively on free workers; the result is identical either way.
 func (o Options) capacity(p core.Params) core.CapacityResult {
 	max := o.maxWhPerNode()
-	if !o.Quick {
+	if !o.Quick && !o.tinyRuns {
 		switch {
 		case p.Affinity >= 0.95:
 			max = 48
@@ -169,7 +232,7 @@ func (o Options) capacity(p core.Params) core.CapacityResult {
 		p.Warmup = 100 * sim.Second
 		p.Measure = 150 * sim.Second
 	}
-	return core.MeasureCapacity(p, max)
+	return runner.Capacity(o.Pool, p, max)
 }
 
 // fixedLoad runs once at the given warehouse count.

@@ -46,6 +46,10 @@ func (o Options) faultParams() core.Params {
 		p.Warmup = 40 * sim.Second
 		p.Measure = 100 * sim.Second
 	}
+	if o.tinyRuns {
+		p.Warmup = 20 * sim.Second
+		p.Measure = 40 * sim.Second
+	}
 	return p
 }
 
@@ -62,20 +66,24 @@ func FaultLossSweep(o Options) Result {
 		intensities = []float64{0, 0.1, 0.3}
 	}
 
-	tpm := &stats.Series{Name: "tpmC"}
-	retries := &stats.Series{Name: "retries/min"}
-	timeouts := &stats.Series{Name: "fetchTO/min"}
-	for _, loss := range intensities {
+	ms := make([]core.Metrics, len(intensities))
+	o.forEach(len(intensities), func(i int) {
+		loss := intensities[i]
 		q := p
 		if loss > 0 {
 			q.FaultSpec = fmt.Sprintf("loss:interlata:0@%g+%g=%g", start, dur, loss)
 		}
 		o.logf("flt-loss: loss=%.2f", loss)
-		m := core.MustRun(q)
-		min := p.Measure.Seconds() / 60
-		tpm.Add(loss, m.TpmC)
-		retries.Add(loss, float64(m.Retries)/min)
-		timeouts.Add(loss, float64(m.FetchTimeouts)/min)
+		ms[i] = core.MustRun(q)
+	})
+	tpm := &stats.Series{Name: "tpmC"}
+	retries := &stats.Series{Name: "retries/min"}
+	timeouts := &stats.Series{Name: "fetchTO/min"}
+	min := p.Measure.Seconds() / 60
+	for i, loss := range intensities {
+		tpm.Add(loss, ms[i].TpmC)
+		retries.Add(loss, float64(ms[i].Retries)/min)
+		timeouts.Add(loss, float64(ms[i].FetchTimeouts)/min)
 	}
 	return Result{
 		ID: "flt-loss", Title: "Degradation vs burst-loss intensity (inter-LATA, half the window)",
@@ -127,16 +135,19 @@ func FaultLayers(o Options) Result {
 		{"disk-slow", fmt.Sprintf("diskslow:node:1@%g+%g=8", start, dur)},
 		{"disk-errors", fmt.Sprintf("diskerr:node:1@%g+%g=0.2", start, dur)},
 	}
+	ms := make([]core.Metrics, len(cases))
+	o.forEach(len(cases), func(i int) {
+		q := p
+		q.FaultSpec = cases[i].spec
+		o.logf("flt-layers: %s", cases[i].name)
+		ms[i] = core.MustRun(q)
+	})
 	tpm := &stats.Series{Name: "tpmC"}
 	fail := &stats.Series{Name: "failures"}
 	notes := "Fault-injection extension. Cases: "
 	for i, cse := range cases {
-		q := p
-		q.FaultSpec = cse.spec
-		o.logf("flt-layers: %s", cse.name)
-		m := core.MustRun(q)
-		tpm.Add(float64(i), m.TpmC)
-		fail.Add(float64(i), float64(m.Failures))
+		tpm.Add(float64(i), ms[i].TpmC)
+		fail.Add(float64(i), float64(ms[i].Failures))
 		notes += fmt.Sprintf("%d=%s ", i, cse.name)
 	}
 	return Result{

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dclue/internal/core"
 	"dclue/internal/sim"
 	"dclue/internal/stats"
 )
@@ -26,17 +27,23 @@ func Fig11(o Options) Result {
 		{"HW TCP + SW iSCSI", false, true},
 		{"SW TCP + SW iSCSI", true, true},
 	}
+	affs := []float64{1.0, 0.8, 0.5}
+	caps := make([]core.CapacityResult, len(configs)*len(affs))
+	o.grid(len(configs), len(affs), func(c, a int) {
+		cfg := configs[c]
+		p := o.baseParams(nodes)
+		p.Affinity = affs[a]
+		p.SWTCP = cfg.swTCP
+		p.SWiSCSI = cfg.swISCSI
+		r := o.capacity(p)
+		o.logf("fig11 %s aff=%.1f: tpmC=%.0f", cfg.name, affs[a], r.Metrics.TpmC)
+		caps[c*len(affs)+a] = r
+	})
 	var series []*stats.Series
-	for _, cfg := range configs {
+	for c, cfg := range configs {
 		s := &stats.Series{Name: cfg.name}
-		for _, aff := range []float64{1.0, 0.8, 0.5} {
-			p := o.baseParams(nodes)
-			p.Affinity = aff
-			p.SWTCP = cfg.swTCP
-			p.SWiSCSI = cfg.swISCSI
-			r := o.capacity(p)
-			o.logf("fig11 %s aff=%.1f: tpmC=%.0f", cfg.name, aff, r.Metrics.TpmC)
-			s.Add(aff, r.Metrics.TpmC)
+		for a, aff := range affs {
+			s.Add(aff, caps[c*len(affs)+a].Metrics.TpmC)
 		}
 		series = append(series, s)
 	}
@@ -51,41 +58,55 @@ func Fig11(o Options) Result {
 // inter-LATA round-trip latency is injected, on a 2-LATA cluster at the
 // figure's computation weight. Latency points are unscaled milliseconds of
 // added RTT as in the paper; the load is fixed at the zero-latency capacity
-// so the drop isolates the latency effect.
+// so the drop isolates the latency effect. Each affinity is one job — its
+// RTT runs depend on its own capacity search, and fan out as an inner sweep
+// once the search completes.
 func latencyFigure(o Options, id string, lowComp bool) Result {
 	rtts := []float64{0, 0.5, 1, 2}
 	if o.Quick {
 		rtts = []float64{0, 1}
 	}
-	var series []*stats.Series
-	var notes string
-	for _, aff := range []float64{0.8, 0.5} {
+	affs := []float64{0.8, 0.5}
+	rows := make([][]core.Metrics, len(affs))
+	o.forEach(len(affs), func(a int) {
 		base := o.baseParams(8)
 		base.NodesPerLata = 4 // two LATAs of four
-		base.Affinity = aff
+		base.Affinity = affs[a]
 		base.LowComputation = lowComp
 		cap0 := o.capacity(base)
 		wh := cap0.Warehouses
-		s := &stats.Series{Name: fmt.Sprintf("aff=%.1f", aff)}
-		var t0 float64
-		for _, rtt := range rtts {
+		ms := make([]core.Metrics, len(rtts))
+		o.forEach(len(rtts), func(i int) {
 			p := base
 			// The paper splits the additional latency over the two
 			// inter-LATA links; the knob here is added RTT in unscaled ms.
-			p.ExtraLatency = sim.Time(rtt / 2 * p.Scale * float64(sim.Millisecond))
-			m := fixedLoad(p, wh)
-			if rtt == 0 {
-				t0 = m.TpmC
-			}
+			p.ExtraLatency = sim.Time(rtts[i] / 2 * p.Scale * float64(sim.Millisecond))
+			ms[i] = fixedLoad(p, wh)
+		})
+		t0 := ms[0].TpmC // rtts[0] is always the zero-latency point
+		for i, rtt := range rtts {
 			rel := 0.0
 			if t0 > 0 {
-				rel = m.TpmC / t0 * 100
+				rel = ms[i].TpmC / t0 * 100
 			}
-			o.logf("%s aff=%.1f rtt=+%.1fms: tpmC=%.0f (%.1f%%)", id, aff, rtt, m.TpmC, rel)
+			o.logf("%s aff=%.1f rtt=+%.1fms: tpmC=%.0f (%.1f%%)", id, affs[a], rtt, ms[i].TpmC, rel)
+		}
+		rows[a] = ms
+	})
+	var series []*stats.Series
+	for a, aff := range affs {
+		s := &stats.Series{Name: fmt.Sprintf("aff=%.1f", aff)}
+		t0 := rows[a][0].TpmC
+		for i, rtt := range rtts {
+			rel := 0.0
+			if t0 > 0 {
+				rel = rows[a][i].TpmC / t0 * 100
+			}
 			s.Add(rtt, rel)
 		}
 		series = append(series, s)
 	}
+	var notes string
 	if lowComp {
 		notes = "Paper anchor: with computation cut 4x, +1 ms RTT costs ~10.4% (§3.3)."
 	} else {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"dclue/internal/core"
 	"dclue/internal/stats"
 )
 
@@ -8,6 +9,8 @@ import (
 // cluster at affinity 0.8 as FTP cross traffic (50% GET / 50% PUT, fresh
 // connection per transfer) is offered at increasing rates, under two QoS
 // arrangements: everything best-effort, and FTP promoted to AF21 priority.
+// One shared capacity search fixes the load; the (priority, load) grid then
+// fans across the pool.
 func crossTrafficFigure(o Options, id string, lowComp bool) Result {
 	loads := []float64{0, 100e6, 200e6, 300e6, 400e6, 600e6}
 	if o.Quick {
@@ -20,21 +23,26 @@ func crossTrafficFigure(o Options, id string, lowComp bool) Result {
 	cap0 := o.capacity(base)
 	wh := cap0.Warehouses
 
+	prios := []bool{false, true}
+	ms := make([]core.Metrics, len(prios)*len(loads))
+	o.grid(len(prios), len(loads), func(pr, i int) {
+		p := base
+		p.CrossTrafficBps = loads[i]
+		p.CrossTrafficPriority = prios[pr]
+		m := fixedLoad(p, wh)
+		o.logf("%s prio=%v load=%.0fMbps: tpmC=%.0f threads=%.1f ctx=%.1fK cpi=%.2f lockWait=%.0fms ftp=%.1fMbps",
+			id, prios[pr], loads[i]/1e6, m.TpmC, m.ActiveThreads, m.CtxSwitchK, m.CPI, m.LockWaitMs, m.FTPDeliveredMbps)
+		ms[pr*len(loads)+i] = m
+	})
 	var series []*stats.Series
-	for _, prio := range []bool{false, true} {
+	for pr, prio := range prios {
 		name := "FTP best-effort"
 		if prio {
 			name = "FTP at AF21 priority"
 		}
 		s := &stats.Series{Name: name}
-		for _, load := range loads {
-			p := base
-			p.CrossTrafficBps = load
-			p.CrossTrafficPriority = prio
-			m := fixedLoad(p, wh)
-			o.logf("%s prio=%v load=%.0fMbps: tpmC=%.0f threads=%.1f ctx=%.1fK cpi=%.2f lockWait=%.0fms ftp=%.1fMbps",
-				id, prio, load/1e6, m.TpmC, m.ActiveThreads, m.CtxSwitchK, m.CPI, m.LockWaitMs, m.FTPDeliveredMbps)
-			s.Add(load/1e6, m.TpmC)
+		for i, load := range loads {
+			s.Add(load/1e6, ms[pr*len(loads)+i].TpmC)
 		}
 		series = append(series, s)
 	}
@@ -59,19 +67,22 @@ func Fig15(o Options) Result { return crossTrafficFigure(o, "fig15", true) }
 // function of affinity. The paper's counter-intuitive finding: sensitivity
 // *decreases* as affinity falls, because low-affinity workloads already run
 // with enough threads that further delays cannot degrade the cache much
-// more.
+// more. Each affinity is one job (capacity search plus its dependent
+// cross-traffic run).
 func Fig16(o Options) Result {
 	affs := []float64{0.8, 0.5, 0.2}
 	if o.Quick {
 		affs = []float64{0.8, 0.5}
 	}
-	abs := &stats.Series{Name: "tpmC with cross traffic"}
-	base0 := &stats.Series{Name: "tpmC without"}
-	rel := &stats.Series{Name: "% retained"}
-	for _, aff := range affs {
+	type outcome struct {
+		base core.CapacityResult
+		ct   core.Metrics
+	}
+	outs := make([]outcome, len(affs))
+	o.forEach(len(affs), func(a int) {
 		p := o.baseParams(8)
 		p.NodesPerLata = 4
-		p.Affinity = aff
+		p.Affinity = affs[a]
 		p.LowComputation = true
 		cap0 := o.capacity(p)
 		wh := cap0.Warehouses
@@ -84,9 +95,19 @@ func Fig16(o Options) Result {
 			retained = m.TpmC / cap0.Metrics.TpmC * 100
 		}
 		o.logf("fig16 aff=%.1f: base=%.0f withCT=%.0f retained=%.1f%%",
-			aff, cap0.Metrics.TpmC, m.TpmC, retained)
-		base0.Add(aff, cap0.Metrics.TpmC)
-		abs.Add(aff, m.TpmC)
+			affs[a], cap0.Metrics.TpmC, m.TpmC, retained)
+		outs[a] = outcome{cap0, m}
+	})
+	abs := &stats.Series{Name: "tpmC with cross traffic"}
+	base0 := &stats.Series{Name: "tpmC without"}
+	rel := &stats.Series{Name: "% retained"}
+	for a, aff := range affs {
+		retained := 0.0
+		if outs[a].base.Metrics.TpmC > 0 {
+			retained = outs[a].ct.TpmC / outs[a].base.Metrics.TpmC * 100
+		}
+		base0.Add(aff, outs[a].base.Metrics.TpmC)
+		abs.Add(aff, outs[a].ct.TpmC)
 		rel.Add(aff, retained)
 	}
 	return Result{

@@ -9,17 +9,25 @@ import (
 
 // ipcFigure implements Figs 2-3: control and data IPC messages per
 // transaction as the cluster grows, at a fixed per-node load well inside
-// capacity so the message counts are not polluted by retry storms.
+// capacity so the message counts are not polluted by retry storms. Every
+// cluster size is an independent point; the sweep fans across the pool and
+// merges in node order.
 func ipcFigure(o Options, id string, affinity float64, whPerNode int) Result {
-	ctl := &stats.Series{Name: "ctl msgs/txn"}
-	data := &stats.Series{Name: "data msgs/txn"}
-	for _, n := range o.nodeSweep() {
+	sweep := o.nodeSweep()
+	ms := make([]core.Metrics, len(sweep))
+	o.forEach(len(sweep), func(i int) {
+		n := sweep[i]
 		p := o.baseParams(n)
 		p.Affinity = affinity
 		m := fixedLoad(p, whPerNode*n)
 		o.logf("%s nodes=%d: ctl=%.1f data=%.2f", id, n, m.CtlMsgsPerTxn, m.DataMsgsPerTxn)
-		ctl.Add(float64(n), m.CtlMsgsPerTxn)
-		data.Add(float64(n), m.DataMsgsPerTxn)
+		ms[i] = m
+	})
+	ctl := &stats.Series{Name: "ctl msgs/txn"}
+	data := &stats.Series{Name: "data msgs/txn"}
+	for i, n := range sweep {
+		ctl.Add(float64(n), ms[i].CtlMsgsPerTxn)
+		data.Add(float64(n), ms[i].DataMsgsPerTxn)
 	}
 	return Result{
 		ID:     id,
@@ -38,19 +46,27 @@ func Fig3(o Options) Result { return ipcFigure(o, "fig03", 0.0, 5) }
 
 // lockFigure implements Figs 4-5 over two affinities.
 func lockFigure(o Options, id, title string, pick func(core.Metrics) float64, note string) Result {
-	var series []*stats.Series
-	for _, aff := range []float64{0.8, 0.5} {
-		s := &stats.Series{Name: fmt.Sprintf("aff=%.1f", aff)}
+	affs := []float64{0.8, 0.5}
+	sweep := o.nodeSweep()
+	ms := make([]core.Metrics, len(affs)*len(sweep))
+	o.grid(len(affs), len(sweep), func(a, i int) {
+		aff := affs[a]
 		whPerNode := 8
 		if aff < 0.7 {
 			whPerNode = 5
 		}
-		for _, n := range o.nodeSweep() {
-			p := o.baseParams(n)
-			p.Affinity = aff
-			m := fixedLoad(p, whPerNode*n)
-			o.logf("%s nodes=%d aff=%.1f: %v", id, n, aff, pick(m))
-			s.Add(float64(n), pick(m))
+		n := sweep[i]
+		p := o.baseParams(n)
+		p.Affinity = aff
+		m := fixedLoad(p, whPerNode*n)
+		o.logf("%s nodes=%d aff=%.1f: %v", id, n, aff, pick(m))
+		ms[a*len(sweep)+i] = m
+	})
+	var series []*stats.Series
+	for a, aff := range affs {
+		s := &stats.Series{Name: fmt.Sprintf("aff=%.1f", aff)}
+		for i, n := range sweep {
+			s.Add(float64(n), pick(ms[a*len(sweep)+i]))
 		}
 		series = append(series, s)
 	}
@@ -73,7 +89,9 @@ func Fig5(o Options) Result {
 
 // Fig6 reproduces "Scaling vs nodes and affinity": maximum sustainable
 // throughput (TPC-C self-sized) against cluster size for several
-// affinities. Affinity 1.0 is the perfect-scaling reference.
+// affinities. Affinity 1.0 is the perfect-scaling reference. Every
+// (affinity, nodes) capacity search is independent, so the whole grid fans
+// across the pool at once.
 func Fig6(o Options) Result {
 	affs := []float64{1.0, 0.8, 0.5, 0.2}
 	nodes := append([]int{1}, o.nodeSweep()...)
@@ -81,16 +99,20 @@ func Fig6(o Options) Result {
 		affs = []float64{1.0, 0.8}
 		nodes = []int{1, 2, 4}
 	}
+	caps := make([]core.CapacityResult, len(affs)*len(nodes))
+	o.grid(len(affs), len(nodes), func(a, i int) {
+		p := o.baseParams(nodes[i])
+		p.Affinity = affs[a]
+		r := o.capacity(p)
+		o.logf("fig06 nodes=%d aff=%.1f: tpmC=%.0f (wh=%d feasible=%v)",
+			nodes[i], affs[a], r.Metrics.TpmC, r.Warehouses, r.Feasible)
+		caps[a*len(nodes)+i] = r
+	})
 	var series []*stats.Series
-	for _, aff := range affs {
+	for a, aff := range affs {
 		s := &stats.Series{Name: fmt.Sprintf("aff=%.1f", aff)}
-		for _, n := range nodes {
-			p := o.baseParams(n)
-			p.Affinity = aff
-			r := o.capacity(p)
-			o.logf("fig06 nodes=%d aff=%.1f: tpmC=%.0f (wh=%d feasible=%v)",
-				n, aff, r.Metrics.TpmC, r.Warehouses, r.Feasible)
-			s.Add(float64(n), r.Metrics.TpmC)
+		for i, n := range nodes {
+			s.Add(float64(n), caps[a*len(nodes)+i].Metrics.TpmC)
 		}
 		series = append(series, s)
 	}
@@ -109,15 +131,19 @@ func Fig7(o Options) Result {
 		affs = []float64{0.5, 0.8, 1.0}
 		nodes = []int{4}
 	}
+	caps := make([]core.CapacityResult, len(nodes)*len(affs))
+	o.grid(len(nodes), len(affs), func(i, a int) {
+		p := o.baseParams(nodes[i])
+		p.Affinity = affs[a]
+		r := o.capacity(p)
+		o.logf("fig07 nodes=%d aff=%.1f: tpmC=%.0f", nodes[i], affs[a], r.Metrics.TpmC)
+		caps[i*len(affs)+a] = r
+	})
 	var series []*stats.Series
-	for _, n := range nodes {
+	for i, n := range nodes {
 		s := &stats.Series{Name: fmt.Sprintf("%d nodes", n)}
-		for _, aff := range affs {
-			p := o.baseParams(n)
-			p.Affinity = aff
-			r := o.capacity(p)
-			o.logf("fig07 nodes=%d aff=%.1f: tpmC=%.0f", n, aff, r.Metrics.TpmC)
-			s.Add(aff, r.Metrics.TpmC)
+		for a, aff := range affs {
+			s.Add(aff, caps[i*len(affs)+a].Metrics.TpmC)
 		}
 		series = append(series, s)
 	}
@@ -143,16 +169,20 @@ func Fig8(o Options) Result {
 	// the router at the same relative position: saturating around the
 	// 8-node traffic level.
 	rates := []float64{10000, 1600}
+	caps := make([]core.CapacityResult, len(rates)*len(nodes))
+	o.grid(len(rates), len(nodes), func(r, i int) {
+		p := o.baseParams(nodes[i])
+		p.NodesPerLata = 12 // single LATA
+		p.RouterFwdRate = rates[r] * 100 / p.Scale
+		c := o.capacity(p)
+		o.logf("fig08 nodes=%d rate=%.0f: tpmC=%.0f", nodes[i], rates[r], c.Metrics.TpmC)
+		caps[r*len(nodes)+i] = c
+	})
 	var series []*stats.Series
-	for _, rate := range rates {
+	for r, rate := range rates {
 		s := &stats.Series{Name: fmt.Sprintf("%.0f pkt/s", rate)}
-		for _, n := range nodes {
-			p := o.baseParams(n)
-			p.NodesPerLata = 12 // single LATA
-			p.RouterFwdRate = rate * 100 / p.Scale
-			r := o.capacity(p)
-			o.logf("fig08 nodes=%d rate=%.0f: tpmC=%.0f", n, rate, r.Metrics.TpmC)
-			s.Add(float64(n), r.Metrics.TpmC)
+		for i, n := range nodes {
+			s.Add(float64(n), caps[r*len(nodes)+i].Metrics.TpmC)
 		}
 		series = append(series, s)
 	}
@@ -166,19 +196,24 @@ func Fig8(o Options) Result {
 // Fig9 reproduces "Impact of single node logging on scalability".
 func Fig9(o Options) Result {
 	nodes := o.nodeSweep()
+	modes := []bool{false, true}
+	caps := make([]core.CapacityResult, len(modes)*len(nodes))
+	o.grid(len(modes), len(nodes), func(c, i int) {
+		p := o.baseParams(nodes[i])
+		p.CentralLogging = modes[c]
+		r := o.capacity(p)
+		o.logf("fig09 nodes=%d central=%v: tpmC=%.0f", nodes[i], modes[c], r.Metrics.TpmC)
+		caps[c*len(nodes)+i] = r
+	})
 	var series []*stats.Series
-	for _, central := range []bool{false, true} {
+	for c, central := range modes {
 		name := "local logging"
 		if central {
 			name = "central logging"
 		}
 		s := &stats.Series{Name: name}
-		for _, n := range nodes {
-			p := o.baseParams(n)
-			p.CentralLogging = central
-			r := o.capacity(p)
-			o.logf("fig09 nodes=%d central=%v: tpmC=%.0f", n, central, r.Metrics.TpmC)
-			s.Add(float64(n), r.Metrics.TpmC)
+		for i, n := range nodes {
+			s.Add(float64(n), caps[c*len(nodes)+i].Metrics.TpmC)
 		}
 		series = append(series, s)
 	}
@@ -191,20 +226,28 @@ func Fig9(o Options) Result {
 
 // Fig10 reproduces "Impact of slower growth in DB size": the same offered
 // load against a database whose warehouse count grows only with the square
-// root of throughput beyond the 90K tpm-C knee, increasing contention.
+// root of throughput beyond the 90K tpm-C knee, increasing contention. Each
+// cluster size is one job (its sqrt-growth run depends on its own capacity
+// search, so the pair stays sequential inside the job).
 func Fig10(o Options) Result {
 	nodes := o.nodeSweep()
-	linear := &stats.Series{Name: "TPC-C growth"}
-	slow := &stats.Series{Name: "sqrt growth"}
-	for _, n := range nodes {
+	type pair struct {
+		linear core.CapacityResult
+		slow   core.Metrics
+	}
+	pairs := make([]pair, len(nodes))
+	o.forEach(len(nodes), func(i int) {
+		n := nodes[i]
 		// Affinity 1.0: the paper's knee sits at 90K tpm-C (72 scaled
 		// warehouses), which only well-scaling configurations pass.
 		p := o.baseParams(n)
 		p.Affinity = 1.0
 		r := o.capacity(p)
-		linear.Add(float64(n), r.Metrics.TpmC)
 		whLinear := r.Warehouses
 		whSlow := core.SqrtGrowthWarehouses(whLinear)
+		if whSlow < 1 {
+			whSlow = 1 // a fully infeasible search reports zero warehouses
+		}
 		q := o.baseParams(n)
 		q.Affinity = 1.0
 		q.Warehouses = whSlow
@@ -213,7 +256,13 @@ func Fig10(o Options) Result {
 		m := core.MustRun(q)
 		o.logf("fig10 nodes=%d: linear wh=%d tpmC=%.0f | sqrt wh=%d tpmC=%.0f",
 			n, whLinear, r.Metrics.TpmC, whSlow, m.TpmC)
-		slow.Add(float64(n), m.TpmC)
+		pairs[i] = pair{r, m}
+	})
+	linear := &stats.Series{Name: "TPC-C growth"}
+	slow := &stats.Series{Name: "sqrt growth"}
+	for i, n := range nodes {
+		linear.Add(float64(n), pairs[i].linear.Metrics.TpmC)
+		slow.Add(float64(n), pairs[i].slow.TpmC)
 	}
 	return Result{
 		ID: "fig10", Title: "Throughput vs nodes under sub-linear DB growth",

@@ -208,8 +208,14 @@ func parseFault(item string) (Fault, error) {
 	if err != nil {
 		return f, fmt.Errorf("faults: %q: bad duration: %v", item, err)
 	}
-	if start < 0 || dur <= 0 {
+	if !(start >= 0) || !(dur > 0) { // NaN fails both comparisons
 		return f, fmt.Errorf("faults: %q: start must be >= 0 and duration > 0", item)
+	}
+	// Bound times so the sim.Time conversion below cannot overflow int64
+	// nanoseconds (~292 years); 1e9 simulated seconds is far beyond any run.
+	const maxSeconds = 1e9
+	if start > maxSeconds || dur > maxSeconds {
+		return f, fmt.Errorf("faults: %q: start and duration must be <= %g s", item, float64(maxSeconds))
 	}
 	f.Start = sim.Time(start * float64(sim.Second))
 	f.Duration = sim.Time(dur * float64(sim.Second))
@@ -231,16 +237,19 @@ func cutLast(s *string, sep string) (string, bool) {
 	return suffix, true
 }
 
-// validate checks severity ranges per kind.
+// validate checks severity ranges per kind. The comparisons are phrased so
+// NaN fails them (NaN compares false with everything), and multipliers are
+// bounded so a fuzzer-supplied 1e300 cannot push scaled service times into
+// overflow.
 func validate(f Fault) error {
 	switch f.Kind {
 	case LinkLoss, LinkCorrupt, DiskErrors:
-		if f.Severity <= 0 || f.Severity > 1 {
+		if !(f.Severity > 0 && f.Severity <= 1) {
 			return fmt.Errorf("severity %g: want a probability in (0,1]", f.Severity)
 		}
 	case CPUSlow, DiskSlow:
-		if f.Severity <= 1 {
-			return fmt.Errorf("severity %g: want a multiplier > 1", f.Severity)
+		if !(f.Severity > 1 && f.Severity <= 1e6) {
+			return fmt.Errorf("severity %g: want a multiplier in (1, 1e6]", f.Severity)
 		}
 	}
 	return nil

@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParseFaultSpec fuzzes the compact schedule grammar
+// (kind:target@start+dur[=sev], ';'-separated). The parser must never
+// panic, and every accepted schedule must round-trip: rendering it with
+// String and reparsing yields a stable normal form.
+func FuzzParseFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		// Valid schedules.
+		"linkdown:node:1@60+10",
+		"loss:interlata:0@80+20=0.3",
+		"linkdown:node:1@60+10;loss:interlata:0@80+20=0.3",
+		"corrupt:client@0+1=1",
+		"stall:node:0@1.5+2.5",
+		"cpuslow:node:1@10+5=4",
+		"freeze:node:2@100+10",
+		"diskslow:node:0@5+2=8",
+		"diskerr:san@3+4=0.05",
+		" loss:node:0@1+1=0.5 ; ; freeze:node:1@2+3 ",
+		"loss:a@1e2+1e-3=1e-4",
+		// Invalid: wrong kind, missing pieces, bad numbers, bad ranges.
+		"",
+		";",
+		"nuke:node:1@60+10",
+		"linkdown",
+		"linkdown:@1+1",
+		"linkdown:node:1",
+		"linkdown:node:1@60",
+		"linkdown:node:1@-1+10",
+		"linkdown:node:1@1+0",
+		"loss:node:1@1+1",
+		"loss:node:1@1+1=0",
+		"loss:node:1@1+1=1.5",
+		"loss:node:1@1+1=NaN",
+		"cpuslow:node:1@1+1=+Inf",
+		"cpuslow:node:1@1+1=1e300",
+		"linkdown:node:1@1e300+10",
+		"linkdown:node:1@NaN+10",
+		"loss:node:1@1+1=0.5=0.5",
+		"linkdown:node:1@1+2+3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sch, err := ParseSchedule(spec)
+		if err != nil {
+			if sch != nil {
+				t.Fatalf("error with non-nil schedule: %q -> %v, %v", spec, sch, err)
+			}
+			return
+		}
+		// Accepted specs must round-trip through the compact syntax.
+		normal := sch.String()
+		sch2, err := ParseSchedule(normal)
+		if err != nil {
+			t.Fatalf("accepted spec did not reparse: %q -> %q: %v", spec, normal, err)
+		}
+		if got := sch2.String(); got != normal {
+			t.Fatalf("round-trip unstable: %q -> %q -> %q", spec, normal, got)
+		}
+		if len(sch2) != len(sch) {
+			t.Fatalf("round-trip changed schedule length: %q: %d -> %d", spec, len(sch), len(sch2))
+		}
+		for i := range sch {
+			if sch2[i].Kind != sch[i].Kind || sch2[i].Target != sch[i].Target ||
+				sch2[i].Start != sch[i].Start || sch2[i].Duration != sch[i].Duration {
+				t.Fatalf("round-trip changed fault %d: %+v -> %+v", i, sch[i], sch2[i])
+			}
+		}
+	})
+}

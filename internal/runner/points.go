@@ -1,0 +1,34 @@
+package runner
+
+import "dclue/internal/core"
+
+// Point is one independent simulation job in a sweep: a full parameter set
+// plus an optional seed override and a label for progress reporting.
+type Point struct {
+	Label  string
+	Params core.Params
+	Seed   uint64 // overrides Params.Seed when nonzero
+}
+
+// PointResult pairs a Point with its run outcome.
+type PointResult struct {
+	Point   Point
+	Metrics core.Metrics
+	Err     error
+}
+
+// RunPoints evaluates every point on the pool and returns results indexed
+// like the input, regardless of completion order: the merged output of a
+// parallel sweep is identical to a sequential one.
+func (p *Pool) RunPoints(pts []Point) []PointResult {
+	out := make([]PointResult, len(pts))
+	p.Map(len(pts), func(i int) {
+		q := pts[i].Params
+		if pts[i].Seed != 0 {
+			q.Seed = pts[i].Seed
+		}
+		out[i].Point = pts[i]
+		out[i].Metrics, out[i].Err = core.Run(q)
+	})
+	return out
+}

@@ -1,0 +1,151 @@
+// Package runner is the parallel sweep engine behind the experiment
+// harness. Every figure in the paper reduces to a set of independent,
+// deterministic simulation points; the runner fans those points across a
+// bounded work-stealing worker pool and merges results in point order, so a
+// parallel sweep is byte-identical to a sequential one — only wall-clock
+// changes.
+//
+// The determinism argument is structural: each job is a pure function of
+// its inputs (the simulation kernel owns no shared mutable state), results
+// land in a slice slot owned by exactly one job, and consumers read the
+// slice only after the pool drains. Scheduling order therefore cannot leak
+// into output. Progress logging is the one shared sink, and the experiments
+// layer serializes it per line.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded pool of workers for independent simulation jobs. The
+// zero of concurrency is explicit: a nil *Pool (or one worker) runs every
+// job on the calling goroutine in index order, which keeps library default
+// behaviour — and progress-log ordering — exactly sequential.
+type Pool struct {
+	workers int
+	// slots gates helper goroutines: Map workers beyond the caller and
+	// speculative TryGo jobs each hold one slot while running, bounding
+	// total extra concurrency at workers-1 however Maps nest.
+	slots chan struct{}
+}
+
+// New returns a pool of the given width; workers <= 0 means GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, slots: make(chan struct{}, workers-1)}
+}
+
+// Workers reports the pool width (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Map runs fn(i) for every i in [0, n) and returns when all calls have
+// finished. The calling goroutine always participates, so Map makes
+// progress even on a saturated pool (nested Maps degrade to sequential
+// instead of deadlocking); up to Workers()-1 free slots join it. Work is
+// distributed by stealing: each worker owns a contiguous index range,
+// claims from its front, and when empty steals the upper half of the
+// largest remaining range. fn must not call back into Map's result slice
+// until Map returns.
+func (p *Pool) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	// chunks[k] is worker k's unclaimed range [lo, hi); one mutex guards
+	// them all — jobs are whole simulation runs, so claim traffic is cold.
+	type chunk struct{ lo, hi int }
+	chunks := make([]chunk, w)
+	for k := range chunks {
+		chunks[k] = chunk{k * n / w, (k + 1) * n / w}
+	}
+	var mu sync.Mutex
+	next := func(self int) (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		c := &chunks[self]
+		if c.lo >= c.hi {
+			victim, rem := -1, 0
+			for j := range chunks {
+				if r := chunks[j].hi - chunks[j].lo; r > rem {
+					victim, rem = j, r
+				}
+			}
+			if victim < 0 {
+				return 0, false
+			}
+			v := &chunks[victim]
+			mid := v.lo + rem/2 // steal the upper half (all of it when rem == 1)
+			*c = chunk{mid, v.hi}
+			v.hi = mid
+		}
+		i := c.lo
+		c.lo++
+		return i, true
+	}
+	work := func(self int) {
+		for {
+			i, ok := next(self)
+			if !ok {
+				return
+			}
+			fn(i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for k := 1; k < w; k++ {
+		select {
+		case p.slots <- struct{}{}:
+			wg.Add(1)
+			go func(self int) {
+				defer func() {
+					<-p.slots
+					wg.Done()
+				}()
+				work(self)
+			}(k)
+		default:
+			// Pool saturated: worker k never starts; its range is stolen.
+		}
+	}
+	work(0)
+	wg.Wait()
+}
+
+// TryGo runs fn on a free pool slot and returns true, or returns false
+// without running fn when every slot is busy. It is the hook for
+// speculative work: callers must be prepared to (deterministically)
+// compute the same result inline when speculation is declined.
+func (p *Pool) TryGo(fn func()) bool {
+	if p == nil {
+		return false
+	}
+	select {
+	case p.slots <- struct{}{}:
+		go func() {
+			defer func() { <-p.slots }()
+			fn()
+		}()
+		return true
+	default:
+		return false
+	}
+}
