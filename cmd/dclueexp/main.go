@@ -12,6 +12,8 @@
 //	dclueexp -all -quick -j 4        # every figure, reduced sweeps, 4 workers
 //	dclueexp -all -quick -seq        # same output, one worker
 //	dclueexp -all -quick -bench BENCH_sweeps.json
+//	dclueexp -run lat-decomp -quick  # latency decomposition by phase
+//	dclueexp -fig 2 -quick -trace fig2.json   # same table + Chrome trace
 //	dclueexp -list
 package main
 
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"dclue"
+	"dclue/internal/cliutil"
 )
 
 func main() {
@@ -33,6 +36,7 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run every ablation")
 		fault     = flag.String("fault", "", "fault experiment to run (see -list)")
 		faultsAll = flag.Bool("faults", false, "run every fault experiment")
+		runID     = flag.String("run", "", "experiment to run by id, searched across figures, ablations, fault and trace experiments")
 		list      = flag.Bool("list", false, "list available figures and ablations")
 		quick     = flag.Bool("quick", false, "reduced sweeps and shorter runs")
 		chart     = flag.Bool("chart", false, "render ASCII charts instead of tables")
@@ -40,8 +44,28 @@ func main() {
 		jobs      = flag.Int("j", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 		seq       = flag.Bool("seq", false, "force fully sequential sweeps (same as -j 1)")
 		bench     = flag.String("bench", "", "append a run record (figures, fingerprints, wall-clock) to this JSON file")
+		traceF    = flag.String("trace", "", "trace every run's transaction spans and write them to this file (.jsonl = JSONL; else Chrome trace_event JSON); tables are unaffected")
+		traceN    = flag.Int("trace-sample", 1, "with -trace, trace every Nth transaction per run")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep process to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := cliutil.StartProfiles(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dclueexp:", err)
+		os.Exit(1)
+	}
+	// exit flushes the profiles before leaving (os.Exit skips defers).
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dclueexp:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	workers := *jobs
 	if workers <= 0 {
@@ -56,23 +80,38 @@ func main() {
 	}
 	opts := dclue.ExperimentOptions{Seed: *seed, Quick: *quick, Log: os.Stderr, Pool: pool}
 
+	var col *dclue.TraceCollector
+	if *traceF != "" {
+		col = dclue.NewTraceCollector(*traceN)
+		col.KeepEvents(0)
+		opts.Trace = col
+	}
+
 	var figs []dclue.Figure
 	unknown := func(what, id string) {
 		fmt.Fprintf(os.Stderr, "unknown %s %q; try -list\n", what, id)
-		os.Exit(2)
+		exit(2)
+	}
+	everything := func() []dclue.Figure {
+		fs := dclue.Figures()
+		fs = append(fs, dclue.AblationList()...)
+		fs = append(fs, dclue.FaultList()...)
+		fs = append(fs, dclue.TraceList()...)
+		return fs
 	}
 	switch {
 	case *list:
-		for _, f := range dclue.Figures() {
+		for _, f := range everything() {
 			fmt.Printf("%-16s %s\n", f.ID, f.Title)
 		}
-		for _, f := range dclue.AblationList() {
-			fmt.Printf("%-16s %s\n", f.ID, f.Title)
+		exit(0)
+	case *runID != "":
+		figs = pick(everything(), func(f dclue.Figure) bool {
+			return f.ID == *runID || f.ID == "flt-"+*runID || f.ID == "abl-"+*runID || f.ID == "lat-"+*runID
+		})
+		if figs == nil {
+			unknown("experiment", *runID)
 		}
-		for _, f := range dclue.FaultList() {
-			fmt.Printf("%-16s %s\n", f.ID, f.Title)
-		}
-		return
 	case *faultsAll:
 		figs = dclue.FaultList()
 	case *fault != "":
@@ -102,7 +141,7 @@ func main() {
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	// Wrap every figure so its wall-clock is captured even when the pool
@@ -161,9 +200,17 @@ func main() {
 		}
 		if err := appendBench(*bench, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "dclueexp: bench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
+	if col != nil {
+		if err := col.WriteFile(*traceF); err != nil {
+			fmt.Fprintln(os.Stderr, "dclueexp: trace:", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceF)
+	}
+	exit(0)
 }
 
 // pick returns the figures matching ok, or nil if none match.

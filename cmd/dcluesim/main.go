@@ -8,6 +8,8 @@
 //	dcluesim -nodes 8 -lata 4 -crosstraffic 100e6 -priority
 //	dcluesim -nodes 4 -capacity
 //	dcluesim -nodes 4 -faults "linkdown:node:1@200+20" -timeline 5
+//	dcluesim -nodes 4 -trace trace.json            # Chrome trace_event file
+//	dcluesim -nodes 4 -trace spans.jsonl -trace-sample 10
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"dclue"
+	"dclue/internal/cliutil"
 )
 
 func main() {
@@ -41,8 +44,28 @@ func main() {
 		faultSpec  = flag.String("faults", "", `fault schedule, e.g. "linkdown:node:1@200+20;loss:interlata:0@250+30=0.3"`)
 		timeline   = flag.Float64("timeline", 0, "print a throughput timeline at this bucket size, simulated seconds")
 		jobs       = flag.Int("j", 0, "workers for the -capacity search (0 = GOMAXPROCS; single runs are unaffected)")
+		traceFile  = flag.String("trace", "", "trace transaction spans and write them to this file (.jsonl = JSONL events; anything else = Chrome trace_event JSON for chrome://tracing or Perfetto)")
+		traceEvery = flag.Int("trace-sample", 1, "with -trace, trace every Nth transaction (deterministic modular sampling)")
+		cpuprof    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
+		memprof    = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := cliutil.StartProfiles(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcluesim:", err)
+		os.Exit(1)
+	}
+	// exit flushes the profiles before leaving (os.Exit skips defers).
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dcluesim:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	p := dclue.DefaultParams(*nodes)
 	p.NodesPerLata = *lata
@@ -62,6 +85,23 @@ func main() {
 	p.FaultSpec = *faultSpec
 	p.TimelineBucket = dclue.Time(*timeline * float64(dclue.Second))
 
+	var col *dclue.TraceCollector
+	if *traceFile != "" {
+		col = dclue.NewTraceCollector(*traceEvery)
+		col.KeepEvents(0)
+		p.Trace = col
+	}
+	writeTrace := func() {
+		if col == nil {
+			return
+		}
+		if err := col.WriteFile(*traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "dcluesim: trace:", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceFile)
+	}
+
 	start := time.Now()
 	if *capacity {
 		workers := *jobs
@@ -76,19 +116,22 @@ func main() {
 		fmt.Printf("capacity: %d warehouses (feasible=%v)\n", r.Warehouses, r.Feasible)
 		fmt.Print(r.Metrics)
 		fmt.Fprintf(os.Stderr, "elapsed %.1fs (%d workers)\n", time.Since(start).Seconds(), workers)
+		writeTrace()
 		if !r.Feasible {
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	m, err := dclue.Run(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcluesim:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Print(m)
 	fmt.Fprintf(os.Stderr, "elapsed %.1fs\n", time.Since(start).Seconds())
 	for _, pt := range m.Timeline {
 		fmt.Printf("  t=%6.1fs  %7.1f txn/s\n", pt.T.Seconds(), pt.TxnRate)
 	}
+	writeTrace()
+	exit(0)
 }

@@ -32,6 +32,7 @@ import (
 	"dclue/internal/faults"
 	"dclue/internal/runner"
 	"dclue/internal/sim"
+	"dclue/internal/trace"
 )
 
 // Params configures a cluster simulation; see core.Params for every knob.
@@ -161,6 +162,37 @@ func RunFault(id string, o ExperimentOptions) (ExperimentResult, bool) {
 // RunAblation runs the ablation with the given id ("abl-qos" or "qos").
 func RunAblation(id string, o ExperimentOptions) (ExperimentResult, bool) {
 	f, ok := experiments.LookupAblation(id)
+	if !ok {
+		return ExperimentResult{}, false
+	}
+	return f.Run(o), true
+}
+
+// TraceCollector gathers transaction spans and queue gauges across runs: set
+// one on Params.Trace (or ExperimentOptions.Trace) and every run records a
+// per-phase latency breakdown into its Metrics; with KeepEvents enabled the
+// collector additionally retains span segments and gauges exportable as
+// JSONL or a Chrome trace_event file (WriteFile). Tracing never perturbs a
+// run: metrics outside the breakdown are bit-identical with tracing on or
+// off (Metrics.FingerprintSansTrace is the regression hook).
+type TraceCollector = trace.Collector
+
+// LatencyBreakdown is the span-derived per-phase decomposition inside
+// Metrics.
+type LatencyBreakdown = core.LatencyBreakdown
+
+// NewTraceCollector returns a collector sampling every n-th transaction per
+// run (n <= 1 traces every transaction).
+func NewTraceCollector(n int) *TraceCollector { return trace.NewCollector(n) }
+
+// TraceList returns the span-tracing experiments (the latency-decomposition
+// table).
+func TraceList() []Figure { return experiments.TraceFigures() }
+
+// RunTrace runs the trace experiment with the given id ("lat-decomp" or
+// "decomp").
+func RunTrace(id string, o ExperimentOptions) (ExperimentResult, bool) {
+	f, ok := experiments.LookupTrace(id)
 	if !ok {
 		return ExperimentResult{}, false
 	}

@@ -1,0 +1,48 @@
+// Package cliutil holds small helpers shared by the dcluesim and dclueexp
+// commands.
+package cliutil
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a pprof CPU profile (cpuPath) and/or arranges a heap
+// profile (memPath); empty paths disable each. The returned stop function
+// must be called exactly once before the process exits — including error
+// exits, which os.Exit would otherwise let skip a deferred stop — to flush
+// the CPU profile and capture the heap snapshot.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

@@ -11,8 +11,10 @@ import (
 	"dclue/internal/platform"
 	"dclue/internal/rng"
 	"dclue/internal/sim"
+	"dclue/internal/stats"
 	"dclue/internal/tcp"
 	"dclue/internal/tpcc"
+	"dclue/internal/trace"
 )
 
 // Well-known ports on server nodes.
@@ -62,7 +64,12 @@ type Cluster struct {
 	retries   uint64
 	failures  uint64
 	respTally respTimes
+	respHist  *stats.Histogram // client-observed response times, scaled ms
 	measuring bool
+
+	// tr is the trace sink when Params.Trace is set (nil otherwise); spans
+	// and gauges of this run land there.
+	tr *trace.Run
 
 	// allCommits counts every commit from t=0 (warmup included) so the
 	// throughput timeline can show degradation and recovery around fault
@@ -90,6 +97,10 @@ func New(p Params) (*Cluster, error) {
 	}
 	s := sim.New()
 	c := &Cluster{P: p, Sim: s}
+	c.respHist = newRespHist()
+	if p.Trace != nil {
+		c.tr = p.Trace.NewRun(p.traceLabel())
+	}
 
 	// Network.
 	var portSetup func(*netsim.Qdisc)
@@ -198,6 +209,13 @@ func New(p Params) (*Cluster, error) {
 		c.startTimeline()
 	}
 
+	// Queue-occupancy gauges for trace export. The sampler only reads queue
+	// depths — it never touches model state — so its calendar events cannot
+	// reorder or perturb model events.
+	if c.tr != nil && c.tr.KeepsEvents() {
+		c.startGaugeSampler()
+	}
+
 	// Establish the static connection mesh, then the workload.
 	s.Spawn("setup", c.setup)
 	return c, nil
@@ -255,6 +273,60 @@ func (c *Cluster) startTimeline() {
 		}
 	}
 	c.Sim.After(bucket, sample)
+}
+
+// newRespHist allocates the client response-time histogram: 0.25 ms buckets
+// to 8 s, matching the trace layer's span histograms.
+func newRespHist() *stats.Histogram { return stats.NewHistogram(0.25, 32000) }
+
+// traceLabel names this run in trace exports.
+func (p *Params) traceLabel() string {
+	if p.TraceLabel != "" {
+		return p.TraceLabel
+	}
+	off := "hw"
+	if p.SWTCP || p.SWiSCSI {
+		off = "sw"
+	}
+	return fmt.Sprintf("n%d-%s", p.Nodes, off)
+}
+
+// startGaugeSampler records transmit-queue occupancy across the fabric once
+// per simulated second: every server and client NIC egress queue plus every
+// router output port. Read-only by construction.
+func (c *Cluster) startGaugeSampler() {
+	type gauge struct {
+		name string
+		q    *netsim.Qdisc
+	}
+	var gs []gauge
+	for i := range c.nodes {
+		up, _ := c.Topo.NodeLinks(i)
+		gs = append(gs, gauge{fmt.Sprintf("node%d.nic", i), up.Queue()})
+	}
+	clientUp, _ := c.Topo.ClientLinks()
+	gs = append(gs, gauge{"client.nic", clientUp.Queue()})
+	for ri, r := range c.Topo.Inner {
+		for pi, q := range r.Ports() {
+			gs = append(gs, gauge{fmt.Sprintf("inner%d.port%d", ri, pi), q})
+		}
+	}
+	for pi, q := range c.Topo.Outer.Ports() {
+		gs = append(gs, gauge{fmt.Sprintf("outer.port%d", pi), q})
+	}
+	end := c.P.Warmup + c.P.Measure
+	const period = 1 * sim.Second
+	var sample func()
+	sample = func() {
+		now := c.Sim.Now()
+		for _, g := range gs {
+			c.tr.Gauge(now, g.name, g.q.Depth(), g.q.Len())
+		}
+		if now < end {
+			c.Sim.After(period, sample)
+		}
+	}
+	c.Sim.After(period, sample)
 }
 
 // Run builds a cluster from p and simulates it to completion.
@@ -437,6 +509,7 @@ func (c *Cluster) resetStats() {
 	}
 	c.rollbacks, c.retries, c.failures = 0, 0, 0
 	c.respTally = respTimes{}
+	c.respHist = newRespHist()
 	for _, n := range c.nodes {
 		n.dbn.Stats = db.NodeStats{}
 		n.dbn.GCS.Stats = db.GCSStats{}

@@ -8,6 +8,7 @@ import (
 	"dclue/internal/netsim"
 	"dclue/internal/sim"
 	"dclue/internal/tpcc"
+	"dclue/internal/trace"
 )
 
 // Metrics is everything one run reports; each paper figure reads one or two
@@ -39,7 +40,10 @@ type Metrics struct {
 	BufferHitRatio float64
 
 	DiskReadsPerTxn float64
-	RespTimeMs      float64 // client-observed, scaled ms
+	RespTimeMs      float64 // client-observed mean, scaled ms
+	RespTimeP50Ms   float64 // client-observed percentiles, scaled ms
+	RespTimeP95Ms   float64
+	RespTimeP99Ms   float64
 	MsgDelayMs      float64 // mean best-effort packet delay, scaled ms
 
 	InterLataUtil float64
@@ -65,6 +69,42 @@ type Metrics struct {
 	// Timeline is the committed-transaction rate per TimelineBucket from
 	// t=0 (warmup included; empty unless Params.TimelineBucket > 0).
 	Timeline []TimelinePoint
+
+	// Breakdown is the span-derived latency decomposition (zero value unless
+	// Params.Trace was set). It is the only trace-dependent part of Metrics;
+	// FingerprintSansTrace hashes everything but it.
+	Breakdown LatencyBreakdown
+}
+
+// LatencyBreakdown decomposes the sampled transactions' client-observed
+// response time into per-phase mean self times (scaled ms). By construction
+// CPUMs+LockMs+GCSMs+DiskMs+OtherMs is mean server residency and FabricMs is
+// the client-observed remainder (wire, queueing, protocol processing outside
+// the worker), so the six phases sum to TotalMs exactly.
+type LatencyBreakdown struct {
+	Sampled uint64 // spans finished inside the measurement window
+
+	TotalMs  float64
+	CPUMs    float64
+	LockMs   float64
+	GCSMs    float64
+	DiskMs   float64
+	FabricMs float64
+	OtherMs  float64
+
+	TotalP95Ms float64
+	TotalP99Ms float64
+
+	// Peak transmit-queue occupancy sampled across NIC egress queues and
+	// router ports (zero unless the collector retains events).
+	PeakQueueBytes int
+	PeakQueuePkts  int
+}
+
+// Sum returns the six phase means added up (equals TotalMs up to float
+// rounding; the lat-decomp experiment asserts this).
+func (b LatencyBreakdown) Sum() float64 {
+	return b.CPUMs + b.LockMs + b.GCSMs + b.DiskMs + b.FabricMs + b.OtherMs
 }
 
 // TimelinePoint is one bucket of the throughput timeline.
@@ -80,6 +120,18 @@ func (m Metrics) Fingerprint() uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", m)
 	return h.Sum64()
+}
+
+// FingerprintSansTrace hashes the metrics with the trace-derived breakdown
+// zeroed out. The invariant every traced run is held to is
+//
+//	traced.FingerprintSansTrace() == untraced.Fingerprint()
+//
+// — tracing observes the trajectory without perturbing it. The response-time
+// percentiles stay in the hash: they are always-on and must match too.
+func (m Metrics) FingerprintSansTrace() uint64 {
+	m.Breakdown = LatencyBreakdown{}
+	return m.Fingerprint()
 }
 
 // collect gathers metrics at the end of the measurement window.
@@ -141,6 +193,9 @@ func (c *Cluster) collect() Metrics {
 	if c.respTally.n > 0 {
 		mean := c.respTally.sum / sim.Time(c.respTally.n)
 		m.RespTimeMs = mean.Millis()
+		m.RespTimeP50Ms = c.respHist.Quantile(0.50)
+		m.RespTimeP95Ms = c.respHist.Quantile(0.95)
+		m.RespTimeP99Ms = c.respHist.Quantile(0.99)
 	}
 	be := c.Topo.Net.DelayByClass[netsim.ClassBestEffort]
 	m.MsgDelayMs = be.Mean().Millis()
@@ -175,6 +230,21 @@ func (c *Cluster) collect() Metrics {
 		}
 	}
 	m.Timeline = c.timeline
+
+	if c.tr != nil {
+		b := &m.Breakdown
+		b.Sampled = c.tr.Sampled()
+		b.TotalMs = c.tr.TotalMeanMs()
+		b.CPUMs = c.tr.PhaseMeanMs(trace.PhaseCPU)
+		b.LockMs = c.tr.PhaseMeanMs(trace.PhaseLock)
+		b.GCSMs = c.tr.PhaseMeanMs(trace.PhaseGCS)
+		b.DiskMs = c.tr.PhaseMeanMs(trace.PhaseDisk)
+		b.FabricMs = c.tr.PhaseMeanMs(trace.PhaseFabric)
+		b.OtherMs = c.tr.PhaseMeanMs(trace.PhaseOther)
+		b.TotalP95Ms = c.tr.TotalQuantileMs(0.95)
+		b.TotalP99Ms = c.tr.TotalQuantileMs(0.99)
+		b.PeakQueueBytes, b.PeakQueuePkts = c.tr.PeakGauge()
+	}
 	return m
 }
 
@@ -187,6 +257,13 @@ func (m Metrics) String() string {
 		m.CtlMsgsPerTxn, m.DataMsgsPerTxn, m.LockWaitsPerTxn, m.LockWaitMs, m.LockFailsPerTxn)
 	fmt.Fprintf(&b, "  threads=%.1f ctx=%.1fK CPI=%.2f cpu=%.2f bufHit=%.3f disk/txn=%.2f resp=%.1fms\n",
 		m.ActiveThreads, m.CtxSwitchK, m.CPI, m.CPUUtil, m.BufferHitRatio, m.DiskReadsPerTxn, m.RespTimeMs)
+	fmt.Fprintf(&b, "  resp: p50=%.1fms p95=%.1fms p99=%.1fms\n",
+		m.RespTimeP50Ms, m.RespTimeP95Ms, m.RespTimeP99Ms)
+	if bd := m.Breakdown; bd.Sampled > 0 {
+		fmt.Fprintf(&b, "  span(n=%d): total=%.1fms cpu=%.1f lock=%.1f gcs=%.1f disk=%.1f fabric=%.1f other=%.1f p95=%.1f p99=%.1f\n",
+			bd.Sampled, bd.TotalMs, bd.CPUMs, bd.LockMs, bd.GCSMs, bd.DiskMs, bd.FabricMs, bd.OtherMs,
+			bd.TotalP95Ms, bd.TotalP99Ms)
+	}
 	fmt.Fprintf(&b, "  net: delay=%.3fms interLataUtil=%.2f drops=%d marks=%d retx=%d resets=%d ftp=%.1fMbps\n",
 		m.MsgDelayMs, m.InterLataUtil, m.NetDrops, m.NetMarks, m.Retransmits, m.ConnResets, m.FTPDeliveredMbps)
 	if m.FaultDrops+m.CorruptDrops+m.FetchTimeouts+m.FetchFails+m.IscsiTimeouts+m.DiskErrors > 0 {

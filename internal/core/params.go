@@ -14,6 +14,7 @@ import (
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
 	"dclue/internal/tpcc"
+	"dclue/internal/trace"
 )
 
 // GrowthRule selects how the database grows with cluster size (Fig 10).
@@ -127,6 +128,19 @@ type Params struct {
 	// included) into Metrics.Timeline — the degradation/recovery view the
 	// fault experiments plot.
 	TimelineBucket sim.Time
+
+	// Trace, when non-nil, enables the transaction-span observability layer
+	// (internal/trace): the run registers itself with the collector, sampled
+	// transactions record per-phase latency histograms that surface as
+	// Metrics.Breakdown, and — when the collector retains events — span
+	// segments and queue-occupancy gauges are kept for JSONL/Chrome export.
+	// Tracing never perturbs the simulated trajectory: a traced run's
+	// metrics (breakdown aside) are bit-identical to an untraced run's.
+	Trace *trace.Collector
+
+	// TraceLabel names this run in trace exports; empty derives a label
+	// from the cluster size and offload mode.
+	TraceLabel string
 }
 
 // DefaultParams returns the paper's baseline configuration at scale 100

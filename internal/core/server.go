@@ -8,12 +8,16 @@ import (
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
 	"dclue/internal/tpcc"
+	"dclue/internal/trace"
 )
 
-// clientReq frames a terminal's transaction request on the wire.
+// clientReq frames a terminal's transaction request on the wire. span is
+// trace metadata riding along (nil unless the terminal sampled this
+// transaction); it does not contribute to the wire size.
 type clientReq struct {
-	id  uint64
-	req tpcc.Request
+	id   uint64
+	req  tpcc.Request
+	span *trace.Span
 }
 
 // clientResp frames the server's reply.
@@ -30,7 +34,15 @@ func (c *Cluster) acceptClient(self int, conn *tcp.Conn) {
 	conn.SetOnMessage(func(m tcp.Message) {
 		req := m.Meta.(clientReq)
 		c.Sim.Spawn(fmt.Sprintf("worker-%d", self), func(p *sim.Proc) {
+			if req.span != nil {
+				req.span.BeginServer(p.Now())
+				p.SetSpan(req.span)
+			}
 			ok := c.executeWithRetry(p, n, req.req)
+			if req.span != nil {
+				p.SetSpan(nil)
+				req.span.EndServer(p.Now())
+			}
 			if conn.Established() {
 				conn.Enqueue(clientResp{id: req.id, ok: ok}, tpcc.RespBytes(req.req.Type))
 			}
@@ -71,7 +83,17 @@ func (c *Cluster) executeWithRetry(p *sim.Proc, n *node, req tpcc.Request) bool 
 			if c.measuring {
 				c.retries++
 			}
+			// Charge the backoff to the phase whose failure caused it.
+			ph := trace.PhaseLock
+			switch err {
+			case db.ErrFetchFailed:
+				ph = trace.PhaseGCS
+			case db.ErrDiskFailed, iscsi.ErrIO:
+				ph = trace.PhaseDisk
+			}
+			trace.Enter(p, ph)
 			p.Sleep(c.P.RetryDelay)
+			trace.Exit(p)
 		default:
 			if c.measuring {
 				c.failures++

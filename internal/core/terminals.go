@@ -8,6 +8,7 @@ import (
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
 	"dclue/internal/tpcc"
+	"dclue/internal/trace"
 )
 
 // terminal is one TPC-C terminal: per the spec it is tied to a single
@@ -47,7 +48,14 @@ func (c *Cluster) terminal(p *sim.Proc, w, t int) {
 			p.Sleep(sim.Time(r.Exp(float64(tpcc.MeanTxnDelay(ty)))))
 			reqID++
 			sent := p.Now()
-			conn.Enqueue(clientReq{id: reqID, req: tpcc.Request{Type: ty, Warehouse: w, District: d}},
+			// Offer the transaction to the trace sampler; the span (if any)
+			// rides the request to the server worker and is finished here
+			// when the reply arrives.
+			var sp *trace.Span
+			if c.tr != nil {
+				sp = c.tr.StartSpan(sent, w*c.P.TerminalsPerWarehouse+t)
+			}
+			conn.Enqueue(clientReq{id: reqID, req: tpcc.Request{Type: ty, Warehouse: w, District: d}, span: sp},
 				tpcc.ReqBytes)
 			// Terminals wait out slow responses: abandoning a request whose
 			// transaction is still executing server-side would let the
@@ -60,6 +68,10 @@ func (c *Cluster) terminal(p *sim.Proc, w, t int) {
 			if c.measuring {
 				c.respTally.n++
 				c.respTally.sum += p.Now() - sent
+				c.respHist.Add((p.Now() - sent).Millis())
+				if sp != nil {
+					sp.Finish(p.Now())
+				}
 			}
 		}
 		conn.Close()

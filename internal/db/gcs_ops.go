@@ -1,6 +1,9 @@
 package db
 
-import "dclue/internal/sim"
+import (
+	"dclue/internal/sim"
+	"dclue/internal/trace"
+)
 
 // ---- Block access (cache fusion, §2.1 steps 1-4) ----
 
@@ -9,14 +12,20 @@ import "dclue/internal/sim"
 // (ErrFetchFailed) means the protocol kept failing under injected faults;
 // nothing is left pinned and the caller aborts the transaction attempt.
 func (g *GCS) GetBlock(p *sim.Proc, blk BlockID, forWrite bool) error {
-	return g.fetch(p, blk, forWrite, false)
+	trace.Enter(p, trace.PhaseGCS)
+	err := g.fetch(p, blk, forWrite, false)
+	trace.Exit(p)
+	return err
 }
 
 // GetBlockCreate is GetBlock for a block that has no disk image yet (a
 // fresh append target): if nobody holds it, it is formatted in the cache
 // instead of being read from disk.
 func (g *GCS) GetBlockCreate(p *sim.Proc, blk BlockID) error {
-	return g.fetch(p, blk, true, true)
+	trace.Enter(p, trace.PhaseGCS)
+	err := g.fetch(p, blk, true, true)
+	trace.Exit(p)
+	return err
 }
 
 func (g *GCS) fetch(p *sim.Proc, blk BlockID, forWrite, create bool) error {
@@ -419,6 +428,13 @@ func (g *GCS) OnEvict(blk BlockID, dirty bool) {
 // release-and-retry path for later locks in a sequence). Returns whether
 // the lock was granted and whether the caller had to wait for it.
 func (g *GCS) AcquireLock(p *sim.Proc, txn TxnRef, res ResourceID, mode LockMode, wait bool) (granted, waited bool) {
+	trace.Enter(p, trace.PhaseLock)
+	granted, waited = g.acquireLock(p, txn, res, mode, wait)
+	trace.Exit(p)
+	return granted, waited
+}
+
+func (g *GCS) acquireLock(p *sim.Proc, txn TxnRef, res ResourceID, mode LockMode, wait bool) (granted, waited bool) {
 	master := g.cat.Home(BlockID{res.Table, res.Block})
 	start := g.sim.Now()
 	if master == g.self {
@@ -534,6 +550,12 @@ func (g *GCS) ReleaseLocks(txn TxnRef, held []ResourceID) {
 // finally falls back to the local log device so commits keep making
 // progress instead of wedging the cluster on one unreachable node.
 func (g *GCS) WriteLog(p *sim.Proc, size int) {
+	trace.Enter(p, trace.PhaseDisk)
+	g.writeLog(p, size)
+	trace.Exit(p)
+}
+
+func (g *GCS) writeLog(p *sim.Proc, size int) {
 	if g.CentralLogNode < 0 || g.CentralLogNode == g.self {
 		g.writeLocalLog(p, size)
 		return

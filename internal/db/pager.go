@@ -6,6 +6,7 @@ import (
 	"dclue/internal/disk"
 	"dclue/internal/iscsi"
 	"dclue/internal/sim"
+	"dclue/internal/trace"
 )
 
 // ErrDiskFailed is returned when a block read kept failing (injected
@@ -84,6 +85,13 @@ func (pg *Pager) drive(blk BlockID) *disk.Drive {
 // Transient local failures are retried up to MaxDiskRetries times; a
 // non-nil error means the block could not be read.
 func (pg *Pager) ReadBlock(p *sim.Proc, blk BlockID, size int) error {
+	trace.Enter(p, trace.PhaseDisk)
+	err := pg.readBlock(p, blk, size)
+	trace.Exit(p)
+	return err
+}
+
+func (pg *Pager) readBlock(p *sim.Proc, blk BlockID, size int) error {
 	if pg.san != nil {
 		pg.LocalReads++
 		pg.host.Execute(p, pg.costs.DiskSetup)

@@ -18,6 +18,7 @@ import (
 	"dclue/internal/runner"
 	"dclue/internal/sim"
 	"dclue/internal/stats"
+	"dclue/internal/trace"
 )
 
 // Options control sweep sizes, run lengths and parallelism.
@@ -36,6 +37,12 @@ type Options struct {
 	// rendered tables and fingerprints are identical to a sequential run;
 	// nil (the default) runs fully sequentially.
 	Pool *runner.Pool
+
+	// Trace, when non-nil, is the span collector the trace-aware experiments
+	// attach to their runs (the CLI passes one configured for export). When
+	// nil, lat-decomp allocates a private histogram-only collector, so its
+	// tables come out the same either way.
+	Trace *trace.Collector
 
 	// tinyRuns (test hook) shrinks workload sizing and windows far below
 	// Quick so unit tests can afford to sweep every registered figure.
@@ -171,6 +178,10 @@ func (o Options) baseParams(nodes int) core.Params {
 		p.Warmup = 10 * sim.Second
 		p.Measure = 20 * sim.Second
 	}
+	// Tracing attaches to every figure's runs (nil disables); it never
+	// changes a table — the non-perturbation guarantee the trace tests hold
+	// the layer to.
+	p.Trace = o.Trace
 	return p
 }
 

@@ -15,15 +15,18 @@ var update = flag.Bool("update", false, "rewrite the golden figure fixtures unde
 // figures the paper's §3 argument hangs on, one throughput-scaling figure,
 // one QoS/cross-traffic figure, and the fault-loss sweep. Any change to
 // model output shows up as an explicit, reviewable fixture diff.
-var goldenFigures = []string{"fig02", "fig03", "fig06", "fig16", "flt-loss"}
+var goldenFigures = []string{"fig02", "fig03", "fig06", "fig16", "flt-loss", "lat-decomp"}
 
-// findFigure looks an id up across the paper figures, fault experiments and
-// ablations.
+// findFigure looks an id up across the paper figures, fault experiments,
+// ablations and trace experiments.
 func findFigure(id string) (Figure, bool) {
 	if f, ok := Lookup(id); ok {
 		return f, true
 	}
 	if f, ok := LookupFault(id); ok {
+		return f, true
+	}
+	if f, ok := LookupTrace(id); ok {
 		return f, true
 	}
 	return LookupAblation(id)

@@ -14,6 +14,7 @@ func everyFigure() []Figure {
 	figs := All()
 	figs = append(figs, FaultFigures()...)
 	figs = append(figs, Ablations()...)
+	figs = append(figs, TraceFigures()...)
 	return figs
 }
 

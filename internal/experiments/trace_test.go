@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"dclue/internal/runner"
+	"dclue/internal/trace"
+)
+
+// TestLatDecompPhaseSum regenerates the decomposition table and checks the
+// accounting the figure advertises: in every case the phase columns sum to
+// within 5% of the independently measured mean response time (the figure
+// records the worst deviation in its notes).
+func TestLatDecompPhaseSum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r := LatencyDecomposition(Options{Quick: true, Seed: 1, tinyRuns: true, Pool: runner.New(4)})
+	i := strings.LastIndex(r.Notes, "= ")
+	if i < 0 {
+		t.Fatalf("no deviation note: %q", r.Notes)
+	}
+	dev, err := strconv.ParseFloat(strings.TrimSpace(r.Notes[i+2:]), 64)
+	if err != nil {
+		t.Fatalf("unparsable deviation in notes %q: %v", r.Notes, err)
+	}
+	if dev > 0.05 {
+		t.Fatalf("phase sums deviate from response time by %.2f%% (limit 5%%)\n%s",
+			dev*100, r.Table())
+	}
+	if len(r.Series) != 6 {
+		t.Fatalf("got %d series, want 6 (resp + five phases)", len(r.Series))
+	}
+}
+
+// TestTraceDoesNotPerturbFigures attaches an event-retaining stride-1
+// collector to an ordinary figure sweep (parallel, to also cover concurrent
+// run registration) and checks the rendered table is byte-identical to the
+// untraced sweep — the whole-stack version of the core fingerprint test.
+func TestTraceDoesNotPerturbFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	base := Options{Quick: true, Seed: 1, tinyRuns: true, Pool: runner.New(4)}
+	plain := Fig2(base)
+
+	col := trace.NewCollector(1)
+	col.KeepEvents(0)
+	traced := base
+	traced.Trace = col
+	withTrace := Fig2(traced)
+
+	if plain.Table() != withTrace.Table() {
+		t.Errorf("tracing changed a figure table.\n-- untraced --\n%s-- traced --\n%s",
+			plain.Table(), withTrace.Table())
+	}
+	if plain.Fingerprint() != withTrace.Fingerprint() {
+		t.Errorf("fingerprint mismatch: untraced %x, traced %x",
+			plain.Fingerprint(), withTrace.Fingerprint())
+	}
+	runs := col.Runs()
+	if len(runs) == 0 {
+		t.Fatal("collector saw no runs")
+	}
+	var sampled uint64
+	for _, r := range runs {
+		sampled += r.Sampled()
+	}
+	if sampled == 0 {
+		t.Fatal("no spans recorded across the sweep")
+	}
+}

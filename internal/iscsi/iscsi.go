@@ -12,6 +12,7 @@ import (
 	"dclue/internal/disk"
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
+	"dclue/internal/trace"
 )
 
 // ErrIO is returned when an iSCSI operation fails after exhausting its
@@ -223,8 +224,18 @@ func (i *Initiator) Write(p *sim.Proc, node, table int, block int64, size int) e
 }
 
 // issue sends the command and waits for its response, reissuing it (with a
-// fresh task tag) on timeout or check condition up to MaxRetries times.
+// fresh task tag) on timeout or check condition up to MaxRetries times. The
+// whole exchange — including the command/data/status network round trip —
+// charges the disk trace phase: iSCSI wire time is storage latency in the
+// paper's decomposition.
 func (i *Initiator) issue(p *sim.Proc, node int, cmd *cmdPDU, wireBytes int) error {
+	trace.Enter(p, trace.PhaseDisk)
+	err := i.doIssue(p, node, cmd, wireBytes)
+	trace.Exit(p)
+	return err
+}
+
+func (i *Initiator) doIssue(p *sim.Proc, node int, cmd *cmdPDU, wireBytes int) error {
 	conn, ok := i.conns[node]
 	if !ok {
 		panic("iscsi: no connection to target node")

@@ -52,6 +52,10 @@ func (l *Link) SerializationDelay(bytes int) sim.Time {
 	return sim.Time(float64(bytes*8) / l.bps * float64(sim.Second))
 }
 
+// Queue returns the Qdisc feeding this link (the sending device's transmit
+// queue — a NIC egress or a router output port), for occupancy gauges.
+func (l *Link) Queue() *Qdisc { return l.qdisc }
+
 // Utilization returns the fraction of elapsed time the wire was busy.
 func (l *Link) Utilization() float64 {
 	now := l.net.sim.Now()

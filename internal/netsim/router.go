@@ -131,3 +131,16 @@ func (r *Router) forward(pkt *Packet) {
 
 // MaxForwardQueue returns the deepest forwarding backlog seen (packets).
 func (r *Router) MaxForwardQueue() int { return r.maxFwdQ }
+
+// Name returns the router's name ("inner" or "outer").
+func (r *Router) Name() string { return r.name }
+
+// Ports returns the output-port queues in creation order (read-only view
+// for occupancy gauges).
+func (r *Router) Ports() []*Qdisc {
+	qs := make([]*Qdisc, len(r.ports))
+	for i, p := range r.ports {
+		qs[i] = p.q
+	}
+	return qs
+}

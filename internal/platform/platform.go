@@ -18,6 +18,7 @@ import (
 
 	"dclue/internal/sim"
 	"dclue/internal/stats"
+	"dclue/internal/trace"
 )
 
 // Config sets the node hardware parameters. All values are expressed for
@@ -246,8 +247,11 @@ func (c *CPU) Dispatch(p *sim.Proc, pathLen float64) {
 	c.runOn(p, pathLen, cycles)
 }
 
-// runOn performs the actual CPU occupancy.
+// runOn performs the actual CPU occupancy. The CPU phase spans queueing for
+// a processor plus service time, i.e. everything between the thread becoming
+// runnable and it blocking again.
 func (c *CPU) runOn(p *sim.Proc, pathLen, extraCycles float64) {
+	trace.Enter(p, trace.PhaseCPU)
 	now := p.Now()
 	c.activeThreads.Add(now, 1)
 	c.dispatches++
@@ -260,6 +264,7 @@ func (c *CPU) runOn(p *sim.Proc, pathLen, extraCycles float64) {
 	c.instrTotal += pathLen
 	c.busyCycleEst += pathLen*c.cachedCPI + extraCycles
 	c.activeThreads.Add(p.Now(), -1)
+	trace.Exit(p)
 }
 
 // Process implements tcp.Processor (and serves iSCSI, interrupt and other

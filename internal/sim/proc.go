@@ -23,6 +23,7 @@ type Proc struct {
 	resume      chan resumeMsg
 	done        bool
 	goroutineUp bool
+	span        any
 }
 
 // Name returns the process name given at Spawn time.
@@ -36,6 +37,15 @@ func (p *Proc) Now() Time { return p.sim.now }
 
 // Done reports whether the process function has returned.
 func (p *Proc) Done() bool { return p.done }
+
+// SetSpan attaches an opaque trace context to the process (nil detaches).
+// The kernel never inspects it; instrumented model code reads it back via
+// Span so a transaction's span can ride along the worker executing it.
+func (p *Proc) SetSpan(v any) { p.span = v }
+
+// Span returns the trace context attached with SetSpan, or nil. The nil
+// check is the entire cost of disabled tracing on instrumented paths.
+func (p *Proc) Span() any { return p.span }
 
 // Spawn creates a process that will start (via the event calendar) at the
 // current simulated time. fn runs until it returns, blocks on a kernel

@@ -48,6 +48,43 @@ func TestWriterTracer(t *testing.T) {
 	}
 }
 
+func TestWriterTracerEventLines(t *testing.T) {
+	s := New()
+	var b strings.Builder
+	s.SetTracer(&WriterTracer{W: &b})
+	s.At(5*Millisecond, func() {})
+	s.Spawn("p1", func(p *Proc) { p.Sleep(Millisecond) })
+	s.RunAll()
+	out := b.String()
+	if !strings.Contains(out, "event #") {
+		t.Fatalf("no event lines without ProcsOnly:\n%s", out)
+	}
+	// Event lines carry the simulated timestamp in sim.Time's format.
+	if !strings.Contains(out, (5 * Millisecond).String()+" event #") {
+		t.Fatalf("event line missing formatted timestamp:\n%s", out)
+	}
+	if !strings.Contains(out, "start p1") || !strings.Contains(out, "end p1") {
+		t.Fatalf("proc lines missing alongside event lines:\n%s", out)
+	}
+}
+
+func TestWriterTracerKilledSuffix(t *testing.T) {
+	s := New()
+	var b strings.Builder
+	s.SetTracer(&WriterTracer{W: &b, ProcsOnly: true})
+	s.Spawn("loop", func(p *Proc) {
+		for {
+			p.Sleep(Second)
+		}
+	})
+	s.Run(10 * Millisecond)
+	s.Shutdown()
+	out := b.String()
+	if !strings.Contains(out, "end loop (killed)") {
+		t.Fatalf("kill suffix missing:\n%s", out)
+	}
+}
+
 func TestTracerRemoval(t *testing.T) {
 	s := New()
 	tr := NewCountingTracer()

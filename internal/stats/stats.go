@@ -140,7 +140,12 @@ type Histogram struct {
 }
 
 // NewHistogram returns a histogram with n linear buckets of the given width.
+// It panics when width or n is not positive — a zero width would put every
+// observation in the overflow bucket and quietly report garbage quantiles.
 func NewHistogram(width float64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic(fmt.Sprintf("stats: NewHistogram(width=%v, n=%d): both must be positive", width, n))
+	}
 	return &Histogram{width: width, buckets: make([]uint64, n)}
 }
 

@@ -129,6 +129,49 @@ func TestHistogramMeanAndQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramRejectsBadGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		width float64
+		n     int
+	}{
+		{0, 10}, {-1, 10}, {1, 0}, {1, -3}, {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v, %d) did not panic", tc.width, tc.n)
+				}
+			}()
+			NewHistogram(tc.width, tc.n)
+		}()
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(1.0, 10)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram(2.0, 1)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(100) // overflow clamps into the only bucket
+	// Every quantile below 1 lands on the single bucket's midpoint.
+	for _, q := range []float64{0, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 1.0 {
+			t.Fatalf("Quantile(%v) = %v, want bucket midpoint 1.0", q, got)
+		}
+	}
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
 func TestHistogramOverflowClamps(t *testing.T) {
 	h := NewHistogram(1.0, 10)
 	h.Add(1e9)
