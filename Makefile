@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race lint fuzz-smoke clean
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
+
+# Determinism lint: the six dcluevet analyzers over the whole module.
+# Facts are cached in .dcluevet-cache so repeat runs re-lint only what
+# changed. See internal/lint/RULES.md for the rule catalog.
+lint:
+	$(GO) run ./cmd/dcluevet -cache .dcluevet-cache ./...
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 10s ./internal/faults
+	$(GO) test -run '^$$' -fuzz FuzzParseAllow -fuzztime 10s ./internal/lint/analysis
+
+clean:
+	rm -rf .dcluevet-cache
+	rm -f dclueexp dcluesim dcluevet

@@ -178,7 +178,7 @@ func main() {
 
 	if *bench != "" {
 		rec := benchRun{
-			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Timestamp:  cliutil.NowUTC().Format(time.RFC3339),
 			Jobs:       workers,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			NumCPU:     runtime.NumCPU(),

@@ -1,0 +1,81 @@
+// Command dcluevet runs the determinism lint suite over the module: six
+// analyzers that enforce at the source level the invariants the runtime
+// regressions (fingerprint determinism, byte-identical parallel sweeps,
+// trace non-perturbation) check at run time. See internal/lint/RULES.md for
+// the rule catalog and the //lint:allow suppression syntax.
+//
+// Usage:
+//
+//	dcluevet [flags] [packages]      # default ./...
+//	dcluevet -list                   # describe the analyzers
+//	dcluevet -only simtime,simrand ./internal/...
+//	dcluevet -cache .dcluevet-cache ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dclue/internal/lint"
+	"dclue/internal/lint/analysis"
+	"dclue/internal/lint/analyzers"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the analyzers and the invariant each enforces")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		cacheDir = flag.String("cache", "", "facts-cache directory: per-package findings keyed by transitive content hash")
+		verbose  = flag.Bool("v", false, "print loader warnings (stubbed imports, degraded types)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(0)
+	}
+
+	suite := analyzers.All()
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dcluevet: unknown analyzer %q; try -list\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	opts := lint.Options{
+		Patterns:  flag.Args(),
+		Analyzers: suite,
+		CacheDir:  *cacheDir,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	findings, err := lint.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcluevet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dcluevet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

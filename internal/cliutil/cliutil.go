@@ -6,7 +6,16 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 )
+
+// NowUTC is the single sanctioned wall-clock read for CLI-facing metadata
+// (bench record timestamps, log headers). Model code must never call it —
+// simulated time comes from sim.Sim.Now — and the simtime lint analyzer
+// enforces that split by exempting only cmd/* and this package.
+func NowUTC() time.Time {
+	return time.Now().UTC()
+}
 
 // StartProfiles starts a pprof CPU profile (cpuPath) and/or arranges a heap
 // profile (memPath); empty paths disable each. The returned stop function

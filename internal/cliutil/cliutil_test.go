@@ -4,7 +4,20 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
+
+func TestNowUTC(t *testing.T) {
+	before := time.Now().UTC()
+	got := NowUTC()
+	after := time.Now().UTC()
+	if got.Location() != time.UTC {
+		t.Fatalf("NowUTC location = %v, want UTC", got.Location())
+	}
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("NowUTC = %v, outside [%v, %v]", got, before, after)
+	}
+}
 
 func TestStartProfilesWritesBoth(t *testing.T) {
 	dir := t.TempDir()

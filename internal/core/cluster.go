@@ -295,6 +295,9 @@ func (p *Params) traceLabel() string {
 // per simulated second: every server and client NIC egress queue plus every
 // router output port. Read-only by construction.
 func (c *Cluster) startGaugeSampler() {
+	if c.tr == nil {
+		return // untraced run: no sink, no sampler
+	}
 	type gauge struct {
 		name string
 		q    *netsim.Qdisc

@@ -2,12 +2,20 @@ package faults
 
 import (
 	"testing"
+
+	"dclue/internal/lint/analysis"
 )
 
 // FuzzParseFaultSpec fuzzes the compact schedule grammar
 // (kind:target@start+dur[=sev], ';'-separated). The parser must never
 // panic, and every accepted schedule must round-trip: rendering it with
 // String and reparsing yields a stable normal form.
+//
+// The corpus is cross-seeded with //lint:allow suppression-comment shapes
+// (the repo's other hand-rolled mini-grammar), and every input is also fed
+// through the shared comment-scanning helper: the two grammars must stay
+// mutually exclusive — no string may parse as both a fault schedule and a
+// lint directive.
 func FuzzParseFaultSpec(f *testing.F) {
 	for _, seed := range []string{
 		// Valid schedules.
@@ -42,16 +50,36 @@ func FuzzParseFaultSpec(f *testing.F) {
 		"linkdown:node:1@NaN+10",
 		"loss:node:1@1+1=0.5=0.5",
 		"linkdown:node:1@1+2+3",
+		// Suppression-comment grammar shapes: comment markers, directive
+		// words, and hybrids of the two grammars. All must be rejected
+		// here without panicking, and must never satisfy both parsers.
+		"//lint:allow simtime reason",
+		"// lint:allow faultspec linkdown:node:1@60+10",
+		"/*lint:allow maporder reason*/",
+		"//lint:allow",
+		"//lint:allowed simtime reason",
+		"linkdown:node:1@60+10//lint:allow simtime inline",
+		"linkdown:node:1@60+10;//lint:allow simtime reason",
+		"//linkdown:node:1@60+10",
+		"lint:allow@1+1",
+		"lint:allow:simtime@1+1=0.5",
 	} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, spec string) {
+		// The shared directive scanner must not panic on fault-spec-shaped
+		// input, and its grammar must be disjoint from the schedule grammar.
+		_, isDirective, _ := analysis.ParseAllow(spec)
+
 		sch, err := ParseSchedule(spec)
 		if err != nil {
 			if sch != nil {
 				t.Fatalf("error with non-nil schedule: %q -> %v, %v", spec, sch, err)
 			}
 			return
+		}
+		if isDirective && len(sch) > 0 {
+			t.Fatalf("grammar collision: %q parses as both a fault schedule and a lint directive", spec)
 		}
 		// Accepted specs must round-trip through the compact syntax.
 		normal := sch.String()

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 
 	"dclue/internal/disk"
 	"dclue/internal/netsim"
@@ -114,11 +115,14 @@ func (in *Injector) check(f Fault) error {
 	return nil
 }
 
+// keysOf returns m's keys sorted, so error messages and any iteration built
+// on them are deterministic.
 func keysOf[V any](m map[string]V) []string {
 	ks := make([]string, 0, len(m))
 	for k := range m {
 		ks = append(ks, k)
 	}
+	sort.Strings(ks)
 	return ks
 }
 

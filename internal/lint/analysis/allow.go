@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// Suppression comments.
+//
+// A finding is silenced by a directive comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either at the end of the flagged line or alone on the line
+// directly above it. The reason is mandatory: a suppression with no
+// justification is itself reported as a finding. The same comment scanner
+// feeds the fixture harness's `// want "regexp"` expectation parser
+// (internal/lint/linttest), so both comment grammars share one tokenizer
+// and one set of malformed-input rules.
+
+// ScanDirective strips the comment markers from raw comment text and, when
+// the first word of the remainder equals word, returns everything after it
+// (whitespace-trimmed) and true. Both //-style and /*-style comments are
+// accepted; leading whitespace after the marker is tolerated. Comment text
+// that does not start with the directive word returns ok=false.
+func ScanDirective(text, word string) (rest string, ok bool) {
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*") && strings.HasSuffix(text, "*/") && len(text) >= 4:
+		text = text[2 : len(text)-2]
+	}
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, word) {
+		return "", false
+	}
+	rest = text[len(word):]
+	// The directive word must end exactly there: "wanted" is not "want".
+	if rest != "" && !unicode.IsSpace(rune(rest[0])) {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// Allow is one parsed //lint:allow directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+}
+
+// ParseAllow parses one comment's text. ok is false when the comment is not
+// a lint:allow directive; err is non-nil when it is one but is malformed
+// (missing analyzer or missing reason).
+func ParseAllow(text string) (a Allow, ok bool, err error) {
+	rest, isDirective := ScanDirective(text, "lint:allow")
+	if !isDirective {
+		return Allow{}, false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Allow{}, true, fmt.Errorf("lint:allow needs an analyzer name and a reason")
+	}
+	if len(fields) == 1 {
+		return Allow{}, true, fmt.Errorf("lint:allow %s needs a reason", fields[0])
+	}
+	a.Analyzer = fields[0]
+	a.Reason = strings.Join(fields[1:], " ")
+	return a, true, nil
+}
+
+// AllowSet indexes a file set's suppression directives by file and line.
+type AllowSet struct {
+	fset *token.FileSet
+	// byLine maps file name and line to the directives written there.
+	byLine map[string]map[int][]Allow
+	// Malformed collects directives that failed to parse, as diagnostics
+	// attributed to the "allow" pseudo-analyzer.
+	Malformed []Diagnostic
+}
+
+// CollectAllows scans every comment of files for lint:allow directives.
+// known limits the accepted analyzer names; a directive naming an unknown
+// analyzer is malformed (it would otherwise silently suppress nothing).
+func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) *AllowSet {
+	s := &AllowSet{fset: fset, byLine: make(map[string]map[int][]Allow)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				a, ok, err := ParseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				if err == nil && !known[a.Analyzer] {
+					err = fmt.Errorf("lint:allow names unknown analyzer %q", a.Analyzer)
+				}
+				if err != nil {
+					s.Malformed = append(s.Malformed, Diagnostic{Pos: c.Pos(), Message: err.Error()})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := s.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]Allow)
+					s.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], a)
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed: a matching directive sits on the same line or the line above.
+func (s *AllowSet) Allowed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	m := s.byLine[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, a := range m[line] {
+			if a.Analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Filter returns the diagnostics from the named analyzer not suppressed by
+// an allow directive.
+func (s *AllowSet) Filter(analyzer string, diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !s.Allowed(analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

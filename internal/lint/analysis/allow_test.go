@@ -1,0 +1,53 @@
+package analysis
+
+import "testing"
+
+func TestScanDirective(t *testing.T) {
+	cases := []struct {
+		text, word string
+		rest       string
+		ok         bool
+	}{
+		{"//lint:allow simtime because", "lint:allow", "simtime because", true},
+		{"// lint:allow simtime because", "lint:allow", "simtime because", true},
+		{"/*lint:allow x y*/", "lint:allow", "x y", true},
+		{"//lint:allowed simtime r", "lint:allow", "", false}, // word must end exactly
+		{"// just a comment", "lint:allow", "", false},
+		{"//want \"re\"", "want", "\"re\"", true},
+		{"// wanted \"re\"", "want", "", false},
+		{"//lint:allow", "lint:allow", "", true}, // present but empty payload
+	}
+	for _, c := range cases {
+		rest, ok := ScanDirective(c.text, c.word)
+		if ok != c.ok || rest != c.rest {
+			t.Errorf("ScanDirective(%q, %q) = %q, %v; want %q, %v", c.text, c.word, rest, ok, c.rest, c.ok)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		reason   string
+		ok       bool
+		wantErr  bool
+	}{
+		{"//lint:allow simtime benchmark needs the wall clock", "simtime", "benchmark needs the wall clock", true, false},
+		{"//lint:allow maporder   padded   reason  ", "maporder", "padded reason", true, false},
+		{"// not a directive", "", "", false, false},
+		{"//lint:allow", "", "", true, true},         // no analyzer, no reason
+		{"//lint:allow simtime", "", "", true, true}, // no reason
+		{"//lint:allow simtime\t", "", "", true, true},
+	}
+	for _, c := range cases {
+		a, ok, err := ParseAllow(c.text)
+		if ok != c.ok || (err != nil) != c.wantErr {
+			t.Errorf("ParseAllow(%q) ok=%v err=%v; want ok=%v err=%v", c.text, ok, err, c.ok, c.wantErr)
+			continue
+		}
+		if err == nil && ok && (a.Analyzer != c.analyzer || a.Reason != c.reason) {
+			t.Errorf("ParseAllow(%q) = %+v; want analyzer=%q reason=%q", c.text, a, c.analyzer, c.reason)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer is a named check
+// with a Run function, a Pass hands it one type-checked package, and
+// diagnostics are reported through the Pass. The x/tools module is not
+// vendored here (the build must work from a bare toolchain with no module
+// downloads), so this package mirrors the upstream API shape closely enough
+// that the analyzers in internal/lint/analyzers could be ported to the real
+// framework by changing only import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments. It must be a lowercase word.
+	Name string
+
+	// Doc is the one-paragraph description shown by `dcluevet -list`:
+	// first sentence states the invariant, the rest explains why.
+	Doc string
+
+	// Run performs the check on one package and reports findings via
+	// pass.Report/Reportf. The returned error aborts the whole lint run
+	// (reserved for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass is the unit of work handed to an Analyzer: one package, parsed and
+// type-checked. Type information is best-effort — when an import could not
+// be resolved (no network, no module cache) the affected types are
+// types.Invalid and analyzers must degrade gracefully rather than crash.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Pkg and TypesInfo hold the type-checked package. TypesInfo is never
+	// nil; its maps may be incomplete if the package had type errors.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the import path ("dclue/internal/core"); policy decisions
+	// (sanctioned packages) key off it.
+	PkgPath string
+
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// PkgNameOf resolves id to the import it names, returning the imported
+// package path and true when id is a package qualifier (the `time` in
+// `time.Now`). It prefers type information and falls back to matching the
+// file's import table so purely syntactic passes still work when type
+// checking was incomplete.
+func (p *Pass) PkgNameOf(file *ast.File, id *ast.Ident) (string, bool) {
+	if obj, ok := p.TypesInfo.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path(), true
+		}
+		return "", false // resolved to something that is not a package
+	}
+	// Fallback: unresolved identifier; match against the import table.
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path, true
+		}
+	}
+	return "", false
+}
+
+// TypeOf is TypesInfo.TypeOf with a nil guard: it returns types.Typ[types.Invalid]
+// rather than nil when the expression was not typed.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.TypesInfo.TypeOf(e); t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseAllow fuzzes the //lint:allow comment grammar through the shared
+// directive scanner. The parser must never panic, must never accept a
+// directive without both an analyzer name and a reason, and its output must
+// be whitespace-normalized. The corpus cross-seeds the fault-spec grammar
+// (the repo's other hand-rolled parser) so the two parsers are fuzzed
+// against each other's shapes.
+func FuzzParseAllow(f *testing.F) {
+	for _, seed := range []string{
+		// Well-formed.
+		"//lint:allow simtime benchmark timestamps are wall-clock by design",
+		"// lint:allow maporder consumer sorts",
+		"/*lint:allow goroutine fixture*/",
+		"//lint:allow floatsum values are exact powers of two, addition commutes",
+		// Malformed: empty payloads, missing reasons, wrong word.
+		"//lint:allow",
+		"//lint:allow ",
+		"//lint:allow simtime",
+		"//lint:allow simtime\t",
+		"//lint:allowed simtime reason",
+		"//lint:allo simtime reason",
+		"//lint: allow simtime reason",
+		"//LINT:ALLOW simtime reason",
+		"/*lint:allow simtime*/",
+		"/*lint:allow*/",
+		"/**/",
+		"//",
+		"",
+		// Unicode, control characters, pathological spacing.
+		"//lint:allow sím­time reason",
+		"//lint:allow \x00 reason",
+		"//lint:allow simtime \x00",
+		"//lint:allow simtime reason",
+		"//lint:allow simtime " + strings.Repeat("r", 1<<12),
+		// Fault-spec grammar shapes (the other comment-free parser's inputs):
+		// these must scan as not-a-directive or as malformed, never panic.
+		"linkdown:node:1@60+10",
+		"//lint:allow loss:interlata:0@80+20=0.3",
+		"//lint:allow simtime;linkdown:node:1@60+10",
+		"lint:allow simtime reason", // no comment marker
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		a, ok, err := ParseAllow(text)
+		if !ok {
+			if err != nil {
+				t.Fatalf("not-a-directive with error: %q -> %v", text, err)
+			}
+			return
+		}
+		if err != nil {
+			return // malformed directive, rejected without panic: fine
+		}
+		if a.Analyzer == "" || a.Reason == "" {
+			t.Fatalf("accepted directive missing analyzer or reason: %q -> %+v", text, a)
+		}
+		if strings.ContainsAny(a.Analyzer, " \t\n") {
+			t.Fatalf("analyzer name contains whitespace: %q -> %q", text, a.Analyzer)
+		}
+		if utf8.ValidString(text) {
+			// Accepted fields of valid UTF-8 input stay valid UTF-8.
+			if !utf8.ValidString(a.Analyzer) || !utf8.ValidString(a.Reason) {
+				t.Fatalf("invalid UTF-8 smuggled into parsed fields: %q", text)
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+// Package analyzers holds dcluevet's determinism lint suite: six analyzers
+// that enforce, at the source level, the invariants the runtime tests
+// (fingerprint determinism, golden figures, trace non-perturbation) can
+// only observe after the fact. Each analyzer documents the invariant it
+// guards; internal/lint/RULES.md is the human catalog.
+package analyzers
+
+import (
+	"strings"
+
+	"dclue/internal/lint/analysis"
+)
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Simtime,
+		Simrand,
+		Maporder,
+		Goroutine,
+		Floatsum,
+		Tracenil,
+	}
+}
+
+// Known returns the set of analyzer names, for validating //lint:allow
+// directives.
+func Known() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// Sanctioned-package policy. Paths are import paths within this module;
+// fixture packages (testdata/src/...) have bare paths and are never exempt,
+// which is what the fixtures rely on.
+
+// wallClockPkgs may read the wall clock: the CLIs (which time and stamp
+// real runs) and cliutil (the single sanctioned wall-clock helper,
+// cliutil.NowUTC). The lint tree itself is tooling, not model code.
+func wallClockExempt(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "dclue/cmd/") ||
+		pkgPath == "dclue/internal/cliutil" ||
+		strings.HasPrefix(pkgPath, "dclue/internal/lint")
+}
+
+// globalRandExempt: internal/rng is the randomness root; every other
+// package must derive streams from it.
+func globalRandExempt(pkgPath string) bool {
+	return pkgPath == "dclue/internal/rng" ||
+		strings.HasPrefix(pkgPath, "dclue/internal/lint")
+}
+
+// concurrencyExempt: internal/sim owns the coroutine kernel and
+// internal/runner owns the work-stealing sweep pool; all other model code
+// must be single-threaded from the kernel's point of view.
+func concurrencyExempt(pkgPath string) bool {
+	return pkgPath == "dclue/internal/sim" ||
+		pkgPath == "dclue/internal/runner" ||
+		strings.HasPrefix(pkgPath, "dclue/internal/lint")
+}
+
+// traceDeclExempt: the trace package's own methods are the implementation
+// behind the nil-guarded call sites, so the guard rule does not apply
+// inside it. Matching by package name (not path) lets the fixture's
+// miniature trace package stand in for the real one.
+func traceDeclExempt(pkgName string) bool {
+	return pkgName == "trace"
+}

@@ -1,0 +1,65 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"dclue/internal/lint/analyzers"
+	"dclue/internal/lint/linttest"
+)
+
+// Each fixture seeds violations (matched by // want comments) and at least
+// one //lint:allow-suppressed occurrence (matched by the absence of a want:
+// if suppression broke, the unexpected diagnostic fails the harness).
+
+func TestSimtime(t *testing.T) {
+	linttest.Run(t, analyzers.Simtime, linttest.Dir("simtime"))
+}
+
+func TestSimrand(t *testing.T) {
+	linttest.Run(t, analyzers.Simrand, linttest.Dir("simrand"))
+}
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, analyzers.Maporder, linttest.Dir("maporder"))
+}
+
+func TestGoroutine(t *testing.T) {
+	linttest.Run(t, analyzers.Goroutine, linttest.Dir("goroutine"))
+}
+
+func TestFloatsum(t *testing.T) {
+	linttest.Run(t, analyzers.Floatsum, linttest.Dir("floatsum"))
+}
+
+func TestTracenil(t *testing.T) {
+	linttest.Run(t, analyzers.Tracenil, linttest.Dir("tracenil"))
+}
+
+// TestPolicyExemptions pins the sanctioned-package lists: a rename that
+// silently widened or narrowed an exemption would otherwise only surface
+// as a confusing self-host failure.
+func TestPolicyExemptions(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		pkg      string
+		exempt   bool
+	}{
+		{"simtime", "dclue/cmd/dclueexp", true},
+		{"simtime", "dclue/cmd/dcluesim", true},
+		{"simtime", "dclue/internal/cliutil", true},
+		{"simtime", "dclue/internal/core", false},
+		{"simtime", "dclue/internal/sim", false},
+		{"simrand", "dclue/internal/rng", true},
+		{"simrand", "dclue/internal/tpcc", false},
+		{"goroutine", "dclue/internal/sim", true},
+		{"goroutine", "dclue/internal/runner", true},
+		{"goroutine", "dclue/internal/trace", false},
+		{"goroutine", "dclue/cmd/dclueexp", false},
+	}
+	for _, c := range cases {
+		got := analyzers.ExemptForTest(c.analyzer, c.pkg)
+		if got != c.exempt {
+			t.Errorf("%s on %s: exempt=%v, want %v", c.analyzer, c.pkg, got, c.exempt)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package analyzers
+
+// ExemptForTest exposes the sanctioned-package policy to the external test
+// package.
+func ExemptForTest(analyzer, pkgPath string) bool {
+	switch analyzer {
+	case "simtime":
+		return wallClockExempt(pkgPath)
+	case "simrand":
+		return globalRandExempt(pkgPath)
+	case "goroutine":
+		return concurrencyExempt(pkgPath)
+	}
+	return false
+}

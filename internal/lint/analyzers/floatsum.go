@@ -1,0 +1,61 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dclue/internal/lint/analysis"
+)
+
+// Floatsum flags float accumulation in map-iteration order. Floating-point
+// addition is not associative: summing the same set of values in two
+// different orders can change the low bits, and every metric in
+// core.Metrics feeds the run fingerprint where a single ULP is a
+// determinism failure. Accumulating over slices is fine (slice order is
+// deterministic); accumulating inside `range` over a map is not. Sort the
+// keys first, or accumulate into a keyed slice and sum that.
+var Floatsum = &analysis.Analyzer{
+	Name: "floatsum",
+	Doc:  "forbid floating-point accumulation (+=, -=, *=, /=) into outer variables inside range over a map; the sum depends on iteration order",
+	Run:  runFloatsum,
+}
+
+var accumOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func runFloatsum(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rs) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				as, ok := inner.(*ast.AssignStmt)
+				if !ok || !accumOps[as.Tok] || len(as.Lhs) != 1 {
+					return true
+				}
+				lhs := as.Lhs[0]
+				if !isFloat(pass.TypeOf(lhs)) || !declaredOutside(pass, lhs, rs) {
+					return true
+				}
+				pass.Reportf(as.Pos(),
+					"float accumulation into %s inside range over map: float addition is order-sensitive and the iteration order is random — sort the keys first",
+					types.ExprString(lhs))
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,53 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"dclue/internal/lint/analysis"
+)
+
+// Goroutine confines real concurrency to the two packages built for it:
+// internal/sim (the coroutine kernel — one runnable goroutine at a time by
+// construction) and internal/runner (the work-stealing sweep pool, whose
+// merge step restores point order). A `go` statement, channel, or
+// sync.WaitGroup anywhere else introduces scheduling nondeterminism the
+// kernel cannot serialize, which the byte-identical-sweep regression would
+// only catch after the fact. sync.Mutex stays legal everywhere: mutual
+// exclusion protects shared state without creating concurrency. Test files
+// are exempt — the test harness may spawn helpers; model code may not.
+var Goroutine = &analysis.Analyzer{
+	Name: "goroutine",
+	Doc:  "forbid go statements, channels, and sync.WaitGroup outside internal/sim and internal/runner",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(pass *analysis.Pass) error {
+	if concurrencyExempt(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned outside the sanctioned concurrency packages (internal/sim, internal/runner): model code must run single-threaded under the sim kernel")
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type outside the sanctioned concurrency packages (internal/sim, internal/runner): use sim.Mailbox for model-level message passing")
+				return false // one report per channel type, not per nesting
+			case *ast.SelectorExpr:
+				if n.Sel.Name != "WaitGroup" {
+					return true
+				}
+				if id, ok := n.X.(*ast.Ident); ok {
+					if path, isPkg := pass.PkgNameOf(f, id); isPkg && path == "sync" {
+						pass.Reportf(n.Pos(), "sync.WaitGroup outside the sanctioned concurrency packages (internal/sim, internal/runner)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package analyzers
+
+import (
+	"strings"
+
+	"dclue/internal/lint/analysis"
+)
+
+// forbiddenRandPkgs are the randomness sources whose global state (or, for
+// crypto/rand, the OS entropy pool) is outside the seeded derivation tree.
+var forbiddenRandPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// Simrand forbids math/rand and crypto/rand everywhere but internal/rng.
+// Every random draw in the simulator must come from an internal/rng stream
+// derived from the run seed and a stable label — that is what makes a run a
+// pure function of its parameters. The check flags the import itself
+// (including blank and dot imports): there is no sanctioned use of these
+// packages in model or test code, so no call-level granularity is needed.
+var Simrand = &analysis.Analyzer{
+	Name: "simrand",
+	Doc:  "forbid global math/rand and crypto/rand outside internal/rng; randomness must come from seeded derived streams",
+	Run:  runSimrand,
+}
+
+func runSimrand(pass *analysis.Pass) error {
+	if globalRandExempt(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if forbiddenRandPkgs[path] {
+				pass.Reportf(imp.Pos(),
+					"import of %s in model code: derive a seeded stream via internal/rng (rng.Derive) instead", path)
+			}
+		}
+	}
+	return nil
+}

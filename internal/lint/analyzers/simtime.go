@@ -1,0 +1,61 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"dclue/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package time functions that read or wait on the
+// wall clock. Types and constants (time.Duration, time.RFC3339, time.Second)
+// stay usable everywhere; only clock access is restricted.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Simtime forbids wall-clock access in model code. Every duration a
+// simulated component experiences must come from the sim clock
+// (sim.Sim.Now / After / At); a single time.Now() in a model package makes
+// two runs of the same seed diverge. The CLIs and internal/cliutil (home of
+// the one sanctioned wall-clock helper, cliutil.NowUTC) are exempt, as are
+// _test.go files — the test harness may time itself, the model may not.
+var Simtime = &analysis.Analyzer{
+	Name: "simtime",
+	Doc:  "forbid time.Now/Since/Sleep/After and friends outside cmd/ and internal/cliutil; model code must use the sim clock",
+	Run:  runSimtime,
+}
+
+func runSimtime(pass *analysis.Pass) error {
+	if wallClockExempt(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if path, isPkg := pass.PkgNameOf(f, id); isPkg && path == "time" {
+				pass.Reportf(sel.Pos(),
+					"wall-clock access time.%s in model code: use the sim clock (sim.Sim.Now/After) or, from a CLI, cliutil.NowUTC", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

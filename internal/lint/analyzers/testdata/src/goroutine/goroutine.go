@@ -1,0 +1,40 @@
+// Fixture for the goroutine analyzer: concurrency outside sim/runner.
+package goroutine
+
+import "sync"
+
+func spawn(work func()) {
+	go work() // want `goroutine spawned outside the sanctioned concurrency packages`
+}
+
+func fanOut(n int) {
+	var wg sync.WaitGroup // want `sync\.WaitGroup outside the sanctioned concurrency packages`
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `goroutine spawned outside the sanctioned concurrency packages`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func makeQueue() chan int { // want `channel type outside the sanctioned concurrency packages`
+	return nil
+}
+
+// A mutex is mutual exclusion, not concurrency: no diagnostic.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func suppressed(work func()) {
+	//lint:allow goroutine fixture demonstrates a justified suppression
+	go work()
+}

@@ -1,0 +1,17 @@
+// Fixture for the simrand analyzer: global randomness sources in model code.
+package simrand
+
+import (
+	"math/rand" // want `import of math/rand`
+
+	crand "crypto/rand" // want `import of crypto/rand`
+)
+
+//lint:allow simrand fixture demonstrates a justified suppression
+import v2 "math/rand/v2"
+
+func draw() float64 { return rand.Float64() }
+
+func entropy(b []byte) { crand.Read(b) }
+
+func drawV2() uint64 { return v2.Uint64() }

@@ -1,0 +1,215 @@
+// Package lint orchestrates the dcluevet determinism suite: it loads the
+// module's packages (internal/lint/load), runs every analyzer
+// (internal/lint/analyzers) over each, filters findings through
+// //lint:allow suppressions, and returns the survivors in a stable order.
+// cmd/dcluevet is the thin CLI over Run; the self-hosting meta-test holds
+// the repository itself to zero findings.
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dclue/internal/lint/analysis"
+	"dclue/internal/lint/analyzers"
+	"dclue/internal/lint/load"
+)
+
+// Finding is one post-suppression diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Dir is the directory to resolve patterns from (the module root or
+	// below); empty means the current directory.
+	Dir string
+	// Patterns are go-list package patterns; default ./...
+	Patterns []string
+	// Analyzers is the suite to run; default analyzers.All().
+	Analyzers []*analysis.Analyzer
+	// CacheDir, when non-empty, memoizes per-package findings keyed by the
+	// transitive content hash of the package's sources, its module-internal
+	// dependencies' hashes, and the analyzer suite — the facts cache CI
+	// restores between runs. A hit skips the analyzers (type-checking still
+	// happens, because dependents need this package's exports).
+	CacheDir string
+	// Log, when non-nil, receives loader warnings (stubbed imports etc.).
+	Log io.Writer
+}
+
+// Run executes the suite and returns all findings, sorted by position.
+func Run(opts Options) ([]Finding, error) {
+	suite := opts.Analyzers
+	if suite == nil {
+		suite = analyzers.All()
+	}
+	known := make(map[string]bool)
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+
+	res, err := load.Modules(opts.Dir, opts.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Log != nil {
+		for _, w := range res.Warnings {
+			fmt.Fprintln(opts.Log, "dcluevet:", w)
+		}
+	}
+
+	cache := newFactsCache(opts.CacheDir, suite)
+	hashes := make(map[string]string) // pkg path -> transitive content hash
+
+	var findings []Finding
+	for _, pkg := range res.Packages {
+		hash := cache.pkgHash(pkg, hashes)
+		hashes[pkg.Path] = hash
+		if cached, ok := cache.get(hash); ok {
+			findings = append(findings, cached...)
+			continue
+		}
+		pf, err := runPackage(res.Fset, pkg, suite, known)
+		if err != nil {
+			return nil, err
+		}
+		cache.put(hash, pf)
+		findings = append(findings, pf...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// runPackage applies the suite to one package and filters suppressions.
+func runPackage(fset *token.FileSet, pkg *load.Package, suite []*analysis.Analyzer, known map[string]bool) ([]Finding, error) {
+	allows := analysis.CollectAllows(fset, pkg.Files, known)
+	var findings []Finding
+	for _, d := range allows.Malformed {
+		findings = append(findings, Finding{Analyzer: "allow", Pos: fset.Position(d.Pos), Message: d.Message})
+	}
+	for _, a := range suite {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			PkgPath:   pkg.Path,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range allows.Filter(a.Name, diags) {
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+	}
+	return findings, nil
+}
+
+// factsCache memoizes per-package findings on disk. The key is a
+// transitive hash: package sources, the hashes of its module-internal
+// imports, and the analyzer suite version, so editing any dependency
+// invalidates dependents automatically (the same shape as go build action
+// IDs).
+type factsCache struct {
+	dir   string
+	suite string
+}
+
+// suiteVersion participates in every cache key; bump when analyzer
+// behavior changes in a way that should invalidate cached findings.
+const suiteVersion = "dcluevet-v1"
+
+func newFactsCache(dir string, suite []*analysis.Analyzer) *factsCache {
+	if dir == "" {
+		return &factsCache{}
+	}
+	names := suiteVersion
+	for _, a := range suite {
+		names += ":" + a.Name
+	}
+	return &factsCache{dir: dir, suite: names}
+}
+
+func (c *factsCache) pkgHash(pkg *load.Package, depHashes map[string]string) string {
+	if c.dir == "" {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, c.suite)
+	fmt.Fprintln(h, pkg.Path)
+	for _, f := range pkg.SourceFiles() {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(h, f, "unreadable")
+			continue
+		}
+		fmt.Fprintln(h, filepath.Base(f), len(data))
+		h.Write(data)
+	}
+	for _, dep := range pkg.ModuleImports() {
+		fmt.Fprintln(h, "dep", dep, depHashes[dep])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *factsCache) get(hash string) ([]Finding, bool) {
+	if c.dir == "" || hash == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, hash+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var findings []Finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, false
+	}
+	return findings, true
+}
+
+func (c *factsCache) put(hash string, findings []Finding) {
+	if c.dir == "" || hash == "" {
+		return
+	}
+	if findings == nil {
+		findings = []Finding{} // cache the clean result, not JSON null
+	}
+	data, err := json.Marshal(findings)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(c.dir, hash+".json"), data, 0o644)
+}

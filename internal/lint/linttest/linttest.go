@@ -1,0 +1,232 @@
+// Package linttest is the fixture harness for the dcluevet analyzers — a
+// standard-library miniature of golang.org/x/tools/go/analysis/analysistest.
+// A fixture is a directory under testdata/src/<name> holding a small Go
+// package seeded with violations; every line expected to be flagged carries
+// a `// want "regexp"` comment, and //lint:allow-suppressed occurrences
+// carry no want (the harness fails on any unexpected diagnostic, so a
+// broken suppression surfaces immediately).
+//
+// Fixture imports resolve GOPATH-style against the testdata/src root first
+// (so a fixture can ship a miniature dependency, e.g. a fake trace
+// package), then against the standard library.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dclue/internal/lint/analysis"
+	"dclue/internal/lint/load"
+)
+
+// Run loads the fixture package at dir (e.g. "testdata/src/simtime"),
+// applies the analyzer, filters //lint:allow suppressions, and matches the
+// surviving diagnostics against the fixture's `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	srcRoot := filepath.Dir(dir) // testdata/src
+	files, pkgPath := parseFixture(t, fset, dir)
+
+	imp := &fixtureImporter{
+		fset:    fset,
+		srcRoot: srcRoot,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  make(map[string]*types.Package),
+	}
+	pkg, info := checkFixture(fset, pkgPath, files, imp)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		PkgPath:   pkgPath,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", pkgPath, err)
+	}
+	allows := analysis.CollectAllows(fset, files, map[string]bool{a.Name: true})
+	for _, d := range allows.Malformed {
+		t.Errorf("%s: malformed lint:allow: %s", fset.Position(d.Pos), d.Message)
+	}
+	diags = allows.Filter(a.Name, diags)
+	matchWants(t, a, fset, files, diags)
+}
+
+// parseFixture parses every .go file in dir.
+func parseFixture(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	return files, filepath.Base(dir)
+}
+
+func checkFixture(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info) {
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // fixtures may reference stubbed imports
+	}
+	info := load.NewInfo()
+	pkg, _ := conf.Check(path, fset, files, info)
+	if pkg == nil {
+		pkg = types.NewPackage(path, path)
+	}
+	return pkg, info
+}
+
+// fixtureImporter resolves imports from testdata/src first, then the
+// standard library, then stubs.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	loaded  map[string]*types.Package
+}
+
+func (m *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(m.srcRoot, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		entries, _ := os.ReadDir(dir)
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			if f, err := parser.ParseFile(m.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments); err == nil {
+				files = append(files, f)
+			}
+		}
+		pkg, _ := checkFixture(m.fset, path, files, m)
+		m.loaded[path] = pkg
+		return pkg, nil
+	}
+	if p, err := m.std.Import(path); err == nil {
+		m.loaded[path] = p
+		return p, nil
+	}
+	stub := types.NewPackage(path, path[strings.LastIndex(path, "/")+1:])
+	stub.MarkComplete()
+	m.loaded[path] = stub
+	return stub, nil
+}
+
+// want is one expectation: the diagnostic's message must match re on line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// matchWants pairs diagnostics with `// want "re"` comments line by line.
+func matchWants(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := analysis.ScanDirective(c.Text, "want")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range parseWantPatterns(t, pos, rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic from %s: %s", pos, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWantPatterns extracts the quoted regexps of one want comment.
+func parseWantPatterns(t *testing.T, pos token.Position, rest string) []string {
+	t.Helper()
+	var pats []string
+	for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment (expected quoted regexp): %q", pos, rest)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+		}
+		pats = append(pats, pat)
+		rest = rest[len(q):]
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s: want comment with no patterns", pos)
+	}
+	return pats
+}
+
+// Dir returns the conventional fixture path for an analyzer name.
+func Dir(name string) string {
+	return filepath.Join("testdata", "src", name)
+}

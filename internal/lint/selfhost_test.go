@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root (the directory holding go.mod).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil || strings.TrimSpace(string(out)) == "" {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// TestSelfHost is the meta-test the tentpole demands: the determinism suite
+// must exit clean on the repository itself. Any finding here is either a
+// real determinism hazard (fix it) or a policy gap (adjust the analyzer or
+// add a reasoned //lint:allow) — never something to ignore.
+func TestSelfHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-host lint loads and type-checks the whole module")
+	}
+	findings, err := Run(Options{Dir: moduleRoot(t), Patterns: []string{"./..."}})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("dcluevet is not clean on its own repository: %d finding(s)", len(findings))
+	}
+}
+
+// TestFactsCache runs the suite twice through a cache directory and checks
+// the second pass replays the first's (empty) findings from cache entries.
+func TestFactsCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-host lint loads and type-checks the whole module")
+	}
+	dir := t.TempDir()
+	root := moduleRoot(t)
+	first, err := Run(Options{Dir: root, Patterns: []string{"./internal/rng", "./internal/stats"}, CacheDir: dir})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading cache dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("first run populated no cache entries")
+	}
+	second, err := Run(Options{Dir: root, Patterns: []string{"./internal/rng", "./internal/stats"}, CacheDir: dir})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cache changed findings: %d -> %d", len(first), len(second))
+	}
+	after, _ := os.ReadDir(dir)
+	if len(after) != len(entries) {
+		t.Fatalf("second run grew the cache: %d -> %d entries (expected pure hits)", len(entries), len(after))
+	}
+}

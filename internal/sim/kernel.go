@@ -59,6 +59,7 @@ type Sim struct {
 
 	// Process bookkeeping (see proc.go).
 	procs    map[*Proc]struct{}
+	procSeq  uint64 // next spawn-order number
 	current  *Proc
 	handback chan struct{}
 

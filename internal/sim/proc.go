@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // killSentinel is the panic value used to unwind a killed process.
 type killPanic struct{}
@@ -20,6 +23,7 @@ type resumeMsg struct {
 type Proc struct {
 	sim         *Sim
 	name        string
+	seq         uint64 // spawn order; fixes iteration order over proc sets
 	resume      chan resumeMsg
 	done        bool
 	goroutineUp bool
@@ -51,7 +55,8 @@ func (p *Proc) Span() any { return p.span }
 // current simulated time. fn runs until it returns, blocks on a kernel
 // primitive, or the process is killed.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan resumeMsg)}
+	p := &Proc{sim: s, name: name, seq: s.procSeq, resume: make(chan resumeMsg)}
+	s.procSeq++
 	s.procs[p] = struct{}{}
 	s.After(0, func() { p.start(fn) })
 	return p
@@ -177,12 +182,15 @@ func (s *Sim) Shutdown() {
 		panic("sim: Shutdown called from inside a process")
 	}
 	// Kill until no live procs remain. A dying process's defers could in
-	// principle spawn more work; loop defensively.
+	// principle spawn more work; loop defensively. Victims die in spawn
+	// order, not map order: a defer that touches shared state must observe
+	// the same unwind sequence in every run.
 	for len(s.procs) > 0 {
 		var victims []*Proc
 		for p := range s.procs {
 			victims = append(victims, p)
 		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i].seq < victims[j].seq })
 		for _, p := range victims {
 			if p.done {
 				continue
