@@ -8,6 +8,7 @@
 //	dcluesim -nodes 8 -lata 4 -crosstraffic 100e6 -priority
 //	dcluesim -nodes 4 -capacity
 //	dcluesim -nodes 4 -faults "linkdown:node:1@200+20" -timeline 5
+//	dcluesim -nodes 4 -faults "crash:dp1@200+0;restart:dp1@260+0" -timeline 5
 //	dcluesim -nodes 4 -trace trace.json            # Chrome trace_event file
 //	dcluesim -nodes 4 -trace spans.jsonl -trace-sample 10
 package main
@@ -41,7 +42,11 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		warmup     = flag.Float64("warmup", 150, "warm-up, simulated seconds")
 		measure    = flag.Float64("measure", 240, "measurement window, simulated seconds")
-		faultSpec  = flag.String("faults", "", `fault schedule, e.g. "linkdown:node:1@200+20;loss:interlata:0@250+30=0.3"`)
+		faultSpec  = flag.String("faults", "", `fault schedule, e.g. "linkdown:node:1@200+20;crash:dp1@250+0;restart:dp1@300+0"`)
+		heartbeat  = flag.Float64("heartbeat", 0, "membership heartbeat cadence, simulated seconds (0 = 5 ms scaled; crash/restart runs only)")
+		suspect    = flag.Float64("suspect-after", 0, "membership lease: suspect a peer silent this long, simulated seconds (0 = 4x heartbeat)")
+		checkpoint = flag.Float64("checkpoint", 0, "dirty-page checkpoint cadence, simulated seconds (0 = 10 s scaled); bounds redo-log replay after a crash")
+		retryMax   = flag.Float64("retry-delay-max", 0, "cap on the exponential retry backoff under recovery, simulated seconds (0 = 16x retry delay)")
 		timeline   = flag.Float64("timeline", 0, "print a throughput timeline at this bucket size, simulated seconds")
 		jobs       = flag.Int("j", 0, "workers for the -capacity search (0 = GOMAXPROCS; single runs are unaffected)")
 		traceFile  = flag.String("trace", "", "trace transaction spans and write them to this file (.jsonl = JSONL events; anything else = Chrome trace_event JSON for chrome://tracing or Perfetto)")
@@ -83,7 +88,19 @@ func main() {
 	p.Warmup = dclue.Time(*warmup * float64(dclue.Second))
 	p.Measure = dclue.Time(*measure * float64(dclue.Second))
 	p.FaultSpec = *faultSpec
+	p.Heartbeat = dclue.Time(*heartbeat * float64(dclue.Second))
+	p.SuspectAfter = dclue.Time(*suspect * float64(dclue.Second))
+	p.CheckpointInterval = dclue.Time(*checkpoint * float64(dclue.Second))
+	p.RetryDelayMax = dclue.Time(*retryMax * float64(dclue.Second))
 	p.TimelineBucket = dclue.Time(*timeline * float64(dclue.Second))
+
+	// Reject bad fault schedules up front: a typo'd target (crash:dp7 on a
+	// 4-node cluster) should fail with the list of valid names, not surface
+	// as a mid-run panic after the warm-up has burned real time.
+	if err := p.ValidateFaultSpec(); err != nil {
+		fmt.Fprintln(os.Stderr, "dcluesim: -faults:", err)
+		exit(1)
+	}
 
 	var col *dclue.TraceCollector
 	if *traceFile != "" {

@@ -29,7 +29,11 @@ const (
 // paper's calibration avoids.
 const DataDrivesPerNode = 16
 
-// node bundles one server's components.
+// node bundles one server's components. A crash-restart rebuilds the
+// volatile fields (cpu, initiator, target, dbn, transport) in place on the
+// same *node, so closures holding the pointer — listener callbacks, fault
+// registrations — resolve to the rebuilt engine; the stack, drives and log
+// disk persist (NICs and enclosures survive an OS crash).
 type node struct {
 	idx       int
 	cpu       *platform.CPU
@@ -41,6 +45,28 @@ type node struct {
 	dbn       *db.Node
 	transport *ipcTransport
 	workerRnd *rng.Stream
+
+	// tracked collects this node's dynamically-spawned processes (workers,
+	// heartbeats, recovery drivers) so a crash can kill them in spawn order;
+	// finished entries are compacted away as it grows.
+	tracked []*sim.Proc
+}
+
+// spawnOn spawns a process owned by node i, tracked for crash teardown.
+func (c *Cluster) spawnOn(i int, name string, fn func(*sim.Proc)) *sim.Proc {
+	n := c.nodes[i]
+	if len(n.tracked) >= 1024 {
+		live := n.tracked[:0]
+		for _, p := range n.tracked {
+			if !p.Done() {
+				live = append(live, p)
+			}
+		}
+		n.tracked = live
+	}
+	p := c.Sim.Spawn(name, fn)
+	n.tracked = append(n.tracked, p)
+	return p
 }
 
 // Cluster is one assembled simulation instance.
@@ -57,6 +83,15 @@ type Cluster struct {
 	ftp         *ftpApp
 	san         *db.SANArray
 	inj         *faults.Injector
+
+	// rec is the crash-recovery subsystem, armed only when the fault
+	// schedule contains crash/restart events (nil otherwise — fault-free
+	// runs stay event-for-event identical to builds without it).
+	rec *recState
+
+	// frames and opCosts are kept for rebuilding a node's engine on restart.
+	frames  int
+	opCosts *db.OpCosts
 
 	// Post-warmup counters.
 	commits   [tpcc.NumTxnTypes]uint64
@@ -157,7 +192,29 @@ func New(p Params) (*Cluster, error) {
 		c.san = san
 	}
 
+	// Fault schedule: parse and validate before node construction, because a
+	// schedule with crash/restart events arms the recovery subsystem whose
+	// per-node hooks (gates, cluster-message handlers) are wired as each
+	// engine is attached.
+	var sch faults.Schedule
+	if p.FaultSpec != "" {
+		var err error
+		sch, err = faults.ParseSchedule(p.FaultSpec)
+		if err != nil {
+			return nil, err
+		}
+		// Resolve every target against the topology first: the error lists
+		// the valid names, which the injector's live registry cannot.
+		if err := sch.Validate(p.FaultTargets()); err != nil {
+			return nil, err
+		}
+		if sch.HasNodeLifecycle() {
+			c.rec = newRecState(c)
+		}
+	}
+
 	opCosts := p.opCosts()
+	c.frames, c.opCosts = frames, opCosts
 	for i := 0; i < p.Nodes; i++ {
 		n := c.buildNode(i, frames, opCosts)
 		if san != nil {
@@ -182,25 +239,14 @@ func New(p Params) (*Cluster, error) {
 		c.ftp = newFTPApp(c)
 	}
 
-	// Fault injection: parse and bind the schedule, then bound every
-	// protocol wait so injected losses surface as retries or aborted
-	// transactions rather than hung workers.
+	// Bind the fault schedule to the now-built components. attachEngine has
+	// already bounded every protocol wait (fetchTimeout), so injected losses
+	// surface as retries or aborted transactions rather than hung workers.
 	if p.FaultSpec != "" {
-		sch, err := faults.ParseSchedule(p.FaultSpec)
-		if err != nil {
-			return nil, err
-		}
 		c.inj = faults.NewInjector(s, p.Seed)
 		c.registerFaultTargets()
 		if err := c.inj.Apply(sch); err != nil {
 			return nil, err
-		}
-	}
-	if ft := c.fetchTimeout(); ft > 0 {
-		for _, n := range c.nodes {
-			n.dbn.GCS.FetchTimeout = ft
-			n.initiator.Timeout = ft
-			n.initiator.MaxRetries = 2
 		}
 	}
 
@@ -243,6 +289,7 @@ func (c *Cluster) registerFaultTargets() {
 		c.inj.RegisterLinks(name, up, down)
 		c.inj.RegisterCPU(name, n.cpu)
 		c.inj.RegisterDrives(name, n.drives...)
+		c.inj.RegisterNode(fmt.Sprintf("dp%d", i), &nodeCtl{c: c, idx: i})
 	}
 	for l := range c.Topo.Config.NodesPerLata {
 		up, down := c.Topo.InterLataLinkPair(l)
@@ -379,13 +426,32 @@ func (c *Cluster) buildNode(i int, frames int, opCosts *db.OpCosts) *node {
 			d.SetFIFO(true)
 		}
 	}
+	c.attachEngine(n, frames, opCosts)
+	n.workerRnd = rng.Derive(p.Seed, fmt.Sprintf("worker-%d", i))
+
+	// Listeners. The closures resolve the node's current components at
+	// accept time, so they keep working across a crash-restart rebuild.
+	n.stack.Listen(PortIPC, func(conn *tcp.Conn) { c.acceptIPC(i, conn) })
+	n.stack.Listen(iscsi.Port, func(conn *tcp.Conn) { c.acceptISCSI(i, conn) })
+	n.stack.Listen(PortClient, func(conn *tcp.Conn) { c.acceptClient(i, conn) })
+	return n
+}
+
+// attachEngine builds the volatile half of a server — CPU-attached iSCSI
+// endpoints, database engine, IPC transport — onto n, wiring timeouts and
+// recovery hooks. buildNode calls it at assembly; restartNode calls it again
+// to boot a fresh engine on the surviving hardware (n.cpu must be set by the
+// caller; stack, drives and logDisk are reused).
+func (c *Cluster) attachEngine(n *node, frames int, opCosts *db.OpCosts) {
+	p := c.P
+	s := c.Sim
+	i := n.idx
 	n.initiator = iscsi.NewInitiator(s, n.cpu, p.iscsiCosts())
-	idx := i
 	n.target = iscsi.NewTarget(s, n.cpu, p.iscsiCosts(), func(table int) *disk.Drive {
 		return n.drives[table%len(n.drives)]
 	})
 	mkPager := func(costs *db.OpCosts, cache *db.BufferCache) *db.Pager {
-		return db.NewPager(s, idx, c.Cat, n.cpu, n.drives, n.initiator, costs)
+		return db.NewPager(s, i, c.Cat, n.cpu, n.drives, n.initiator, costs)
 	}
 	n.dbn = db.NewNode(s, i, c.Cat, n.cpu,
 		db.NodeConfig{
@@ -404,18 +470,19 @@ func (c *Cluster) buildNode(i int, frames int, opCosts *db.OpCosts) *node {
 	}
 	n.transport = &ipcTransport{cluster: c, self: i}
 	n.dbn.GCS.SetTransport(n.transport)
-	n.workerRnd = rng.Derive(p.Seed, fmt.Sprintf("worker-%d", i))
+	if ft := c.fetchTimeout(); ft > 0 {
+		n.dbn.GCS.FetchTimeout = ft
+		n.initiator.Timeout = ft
+		n.initiator.MaxRetries = 2
+	}
+	if c.rec != nil {
+		c.rec.wireNode(n)
+	}
 
 	// Estimated remote-work fraction for the MPI heuristic (§2.3): queries
 	// landing off-home touch remote data.
 	remote := (1 - p.Affinity) * float64(p.Nodes-1) / float64(p.Nodes)
 	n.cpu.SetRemoteFraction(remote)
-
-	// Listeners.
-	n.stack.Listen(PortIPC, func(conn *tcp.Conn) { c.acceptIPC(i, conn) })
-	n.stack.Listen(iscsi.Port, func(conn *tcp.Conn) { c.acceptISCSI(i, conn) })
-	n.stack.Listen(PortClient, func(conn *tcp.Conn) { c.acceptClient(i, conn) })
-	return n
 }
 
 // setup dials the static mesh (2 connections per server pair: IPC and
@@ -436,6 +503,15 @@ func (c *Cluster) setup(p *sim.Proc) {
 				return
 			}
 			c.bindISCSI(i, j, sto)
+		}
+	}
+	// Membership and checkpointing ride on the established mesh: starting
+	// them before the dials complete would raise false suspicions against
+	// peers that are merely still handshaking.
+	if c.rec != nil {
+		for i := range c.nodes {
+			c.rec.startMembership(i)
+			c.rec.startCheckpoints(i)
 		}
 	}
 	c.startTerminals()
@@ -465,7 +541,18 @@ func (c *Cluster) startTerminals() {
 // wedged (every remaining process parked with an empty calendar, which a
 // protocol bug under fault injection would otherwise cause).
 func (c *Cluster) Run() (Metrics, error) {
-	c.Sim.OnDeadlock(func(e *sim.DeadlockError) { c.fail(e) })
+	c.Sim.OnDeadlock(func(e *sim.DeadlockError) {
+		// Annotate with the fault windows active at the instant of the wedge:
+		// the usual cause of a kernel deadlock is a protocol wait that an
+		// in-flight fault unbounded.
+		if c.inj != nil {
+			if active := c.inj.ActiveFaults(); len(active) > 0 {
+				c.fail(fmt.Errorf("%w (active faults: %s)", e, active))
+				return
+			}
+		}
+		c.fail(e)
+	})
 	end := c.P.Warmup + c.P.Measure
 	c.Sim.Run(end)
 	m := c.collect()

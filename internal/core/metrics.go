@@ -66,6 +66,25 @@ type Metrics struct {
 	DiskRetries   uint64 // pager retries after drive errors
 	DiskFailures  uint64 // pager reads abandoned after retries
 
+	// Recovery observability (all zero unless the fault schedule contains
+	// crash/restart events). Durations are cumulative means in scaled ms;
+	// counters are cumulative from t=0, not reset at the warmup boundary —
+	// a recovery straddling the boundary is reported whole.
+	Crashes          uint64
+	Restarts         uint64
+	NodesRecovered   uint64  // fence-to-reopen sequences completed
+	NodesReadmitted  uint64  // rejoins completed
+	DetectMs         float64 // mean crash -> coordinator suspicion
+	RecoveryTimeMs   float64 // mean suspicion -> partition reopened
+	UnavailabilityMs float64 // mean crash -> partition reopened
+	ReadmitMs        float64 // mean restart -> re-admission complete
+	FailoverRejects  uint64  // requests failed fast by recovery gates
+	ClientRetries    uint64  // terminal dials redirected off a dead node
+	RemasterHoldings uint64  // directory entries rebuilt from survivors
+	ReplayBytes      int64   // redo log scanned during replay
+	ReplayBlocks     uint64  // dirty blocks re-applied during replay
+	WarmupFetches    uint64  // blocks refetched by a rejoined node's warmup
+
 	// Timeline is the committed-transaction rate per TimelineBucket from
 	// t=0 (warmup included; empty unless Params.TimelineBucket > 0).
 	Timeline []TimelinePoint
@@ -229,6 +248,30 @@ func (c *Cluster) collect() Metrics {
 			m.DiskErrors += d.FaultErrors
 		}
 	}
+	if r := c.rec; r != nil {
+		m.Crashes = r.crashes
+		m.Restarts = r.restarts
+		m.NodesRecovered = r.recovered
+		m.NodesReadmitted = r.readmitted
+		if r.crashes > 0 {
+			m.DetectMs = (r.detectSum / sim.Time(r.crashes)).Millis()
+		}
+		if r.recovered > 0 {
+			m.RecoveryTimeMs = (r.recTimeSum / sim.Time(r.recovered)).Millis()
+			m.UnavailabilityMs = (r.unavailSum / sim.Time(r.recovered)).Millis()
+		}
+		if r.readmitted > 0 {
+			m.ReadmitMs = (r.readmitSum / sim.Time(r.readmitted)).Millis()
+		}
+		for _, n := range c.nodes {
+			m.FailoverRejects += n.dbn.GCS.Stats.GateRejects
+		}
+		m.ClientRetries = r.clientRetries
+		m.RemasterHoldings = r.remasterHoldings
+		m.ReplayBytes = r.replayBytes
+		m.ReplayBlocks = r.replayBlocks
+		m.WarmupFetches = r.warmupFetches
+	}
 	m.Timeline = c.timeline
 
 	if c.tr != nil {
@@ -270,6 +313,14 @@ func (m Metrics) String() string {
 		fmt.Fprintf(&b, "  faults: drops=%d corrupt=%d fetchTO=%d fetchFail=%d logFB=%d iscsiTO=%d iscsiFail=%d diskErr=%d diskRetry=%d diskFail=%d\n",
 			m.FaultDrops, m.CorruptDrops, m.FetchTimeouts, m.FetchFails, m.LogFallbacks,
 			m.IscsiTimeouts, m.IscsiFailed, m.DiskErrors, m.DiskRetries, m.DiskFailures)
+	}
+	if m.Crashes > 0 {
+		fmt.Fprintf(&b, "  recovery: crashes=%d restarts=%d recovered=%d readmitted=%d detect=%.1fms recovery=%.1fms unavail=%.1fms readmit=%.1fms\n",
+			m.Crashes, m.Restarts, m.NodesRecovered, m.NodesReadmitted,
+			m.DetectMs, m.RecoveryTimeMs, m.UnavailabilityMs, m.ReadmitMs)
+		fmt.Fprintf(&b, "  recovery: gateRejects=%d clientRetries=%d remaster=%d replay=%dB/%dblk warmup=%d\n",
+			m.FailoverRejects, m.ClientRetries, m.RemasterHoldings,
+			m.ReplayBytes, m.ReplayBlocks, m.WarmupFetches)
 	}
 	return b.String()
 }

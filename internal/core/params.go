@@ -7,9 +7,11 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"dclue/internal/db"
+	"dclue/internal/faults"
 	"dclue/internal/iscsi"
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
@@ -110,6 +112,27 @@ type Params struct {
 	// MaxTxnRetries bounds the delayed-retry loop on lock failure.
 	MaxTxnRetries int
 	RetryDelay    sim.Time
+	// RetryDelayMax caps the exponential backoff the retry loop switches to
+	// when the recovery subsystem is armed (0 picks 16x RetryDelay). With a
+	// node fenced, constant-delay retries would hammer the gate; backoff
+	// spreads them across the fence-to-reopen window.
+	RetryDelayMax sim.Time
+
+	// Recovery subsystem knobs, active only when FaultSpec contains crash/
+	// restart events (heartbeats, checkpoints and failover paths stay
+	// completely unarmed otherwise, keeping fault-free runs event-for-event
+	// identical to builds without the subsystem).
+	//
+	// Heartbeat is the membership heartbeat cadence (0 picks 5 ms scaled);
+	// heartbeats are real packets on the IPC connections, so detection
+	// latency is a property of the fabric. SuspectAfter is the lease: a live
+	// peer silent this long becomes suspect (0 picks 4x Heartbeat).
+	// CheckpointInterval is the dirty-page checkpoint cadence bounding how
+	// much redo log a crash forces recovery to replay (0 picks 100 ms
+	// scaled).
+	Heartbeat          sim.Time
+	SuspectAfter       sim.Time
+	CheckpointInterval sim.Time
 
 	// FaultSpec is a fault-injection schedule in the faults package's
 	// compact syntax ("linkdown:node:1@60+10;loss:interlata:0@80+20=0.3");
@@ -178,6 +201,74 @@ func DefaultParams(nodes int) Params {
 		MaxTxnRetries: 10,
 		RetryDelay:    sim.Time(0.5 * float64(sim.Millisecond) * scale),
 	}
+}
+
+// heartbeat resolves the membership heartbeat cadence.
+func (p *Params) heartbeat() sim.Time {
+	if p.Heartbeat > 0 {
+		return p.Heartbeat
+	}
+	return sim.Time(0.005 * float64(sim.Second) * p.Scale)
+}
+
+// suspectAfter resolves the membership lease (silence threshold).
+func (p *Params) suspectAfter() sim.Time {
+	if p.SuspectAfter > 0 {
+		return p.SuspectAfter
+	}
+	return 4 * p.heartbeat()
+}
+
+// checkpointInterval resolves the dirty-page checkpoint cadence.
+func (p *Params) checkpointInterval() sim.Time {
+	if p.CheckpointInterval > 0 {
+		return p.CheckpointInterval
+	}
+	return sim.Time(0.1 * float64(sim.Second) * p.Scale)
+}
+
+// retryDelayMax resolves the backoff cap for the recovery-armed retry loop.
+func (p *Params) retryDelayMax() sim.Time {
+	if p.RetryDelayMax > 0 {
+		return p.RetryDelayMax
+	}
+	return 16 * p.RetryDelay
+}
+
+// FaultTargets lists the injectable target names this topology exposes, by
+// class, so a fault schedule can be validated at parse time — before any
+// simulation object exists — with errors that name the valid targets.
+func (p *Params) FaultTargets() faults.Targets {
+	var t faults.Targets
+	for i := 0; i < p.Nodes; i++ {
+		name := fmt.Sprintf("node:%d", i)
+		t.Links = append(t.Links, name)
+		t.CPUs = append(t.CPUs, name)
+		t.Drives = append(t.Drives, name)
+		t.Nodes = append(t.Nodes, fmt.Sprintf("dp%d", i))
+	}
+	for l := range p.LataLayout() {
+		t.Links = append(t.Links, fmt.Sprintf("interlata:%d", l))
+	}
+	t.Links = append(t.Links, "client")
+	if p.CentralSAN {
+		t.Drives = append(t.Drives, "san")
+	}
+	return t
+}
+
+// ValidateFaultSpec parses FaultSpec and resolves every target against the
+// cluster topology, without building a cluster. CLIs call it before
+// simulation so a typo fails in milliseconds with the valid names listed.
+func (p *Params) ValidateFaultSpec() error {
+	if p.FaultSpec == "" {
+		return nil
+	}
+	sch, err := faults.ParseSchedule(p.FaultSpec)
+	if err != nil {
+		return err
+	}
+	return sch.Validate(p.FaultTargets())
 }
 
 // WarehouseCount applies the growth rule.

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+// failoverParams is the standard crash-recovery scenario: three nodes, a
+// crash of dp1 thirty seconds into measurement and a restart thirty seconds
+// later, with a timeline to watch the dip and recovery.
+func failoverParams() Params {
+	p := quickParams(3)
+	p.Affinity = 0.8
+	p.FaultSpec = "crash:dp1@70+0;restart:dp1@100+0"
+	p.TimelineBucket = 5 * sim.Second
+	return p
+}
+
+// TestCrashRestartRecovers: the full lifecycle must run — detection,
+// fence-to-reopen, re-admission — and report every stage in the metrics.
+func TestCrashRestartRecovers(t *testing.T) {
+	m := mustRun(t, failoverParams())
+
+	if m.Crashes != 1 || m.Restarts != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", m.Crashes, m.Restarts)
+	}
+	if m.NodesRecovered != 1 {
+		t.Fatalf("fence-to-reopen did not complete: recovered=%d", m.NodesRecovered)
+	}
+	if m.NodesReadmitted != 1 {
+		t.Fatalf("re-admission did not complete: readmitted=%d", m.NodesReadmitted)
+	}
+	if m.DetectMs <= 0 {
+		t.Fatalf("detection latency not measured: %v", m.DetectMs)
+	}
+	if m.RecoveryTimeMs <= 0 {
+		t.Fatalf("recovery time not measured: %v", m.RecoveryTimeMs)
+	}
+	if m.UnavailabilityMs < m.RecoveryTimeMs {
+		t.Fatalf("unavailability %.1fms < recovery %.1fms: the window must include detection",
+			m.UnavailabilityMs, m.RecoveryTimeMs)
+	}
+	if m.TpmC <= 0 {
+		t.Fatalf("no throughput across the outage: %+v", m)
+	}
+	if m.WarmupFetches == 0 {
+		t.Fatal("rejoined node performed no cache-warmup fetches")
+	}
+}
+
+// TestRecoveryDeterministic: two identically-seeded runs of the crash
+// scenario must be numerically identical — the subsystem's processes,
+// timers, and message streams must not perturb event ordering.
+func TestRecoveryDeterministic(t *testing.T) {
+	a := mustRun(t, failoverParams())
+	b := mustRun(t, failoverParams())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same seed, different runs:\n%v\n%v", a, b)
+	}
+}
+
+// TestCrashWithoutRestartStaysBounded is the satellite regression: a peer
+// that dies and never returns must not extend any survivor's protocol wait
+// past the configured bounds. The run must complete (the kernel watchdog
+// fails it if anything wedges) and throughput must continue on the
+// survivors after the partition reopens under surrogate mastering.
+func TestCrashWithoutRestartStaysBounded(t *testing.T) {
+	p := failoverParams()
+	p.FaultSpec = "crash:dp1@70+0"
+	m := mustRun(t, p)
+
+	if m.NodesRecovered != 1 {
+		t.Fatalf("recovered=%d, want 1", m.NodesRecovered)
+	}
+	if m.NodesReadmitted != 0 {
+		t.Fatalf("readmitted=%d with no restart scheduled", m.NodesReadmitted)
+	}
+	// Survivors must keep committing after the reopen: the last timeline
+	// buckets cover t in [140,160), well past crash+recovery.
+	tail := m.Timeline[len(m.Timeline)-4:]
+	for _, pt := range tail {
+		if pt.TxnRate <= 0 {
+			t.Fatalf("throughput dead at t=%v after recovery: %+v", pt.T, m.Timeline)
+		}
+	}
+}
+
+// TestLossOnlyScheduleLeavesRecoveryDisarmed: fault schedules without
+// crash/restart events must not arm the recovery subsystem — their runs
+// carry no heartbeat or checkpoint events and stay event-for-event
+// identical to what they were before the subsystem existed.
+func TestLossOnlyScheduleLeavesRecoveryDisarmed(t *testing.T) {
+	p := quickParams(2)
+	p.NodesPerLata = 1
+	p.FaultSpec = "loss:interlata:0@60+10=0.2"
+	c := mustNew(t, p)
+	if c.rec != nil {
+		t.Fatal("recovery subsystem armed by a loss-only schedule")
+	}
+}
+
+// TestFetchTimeoutResolution covers the default-pick path: explicit value
+// wins, no fault schedule means unbounded, and a fault schedule without an
+// explicit bound gets the default.
+func TestFetchTimeoutResolution(t *testing.T) {
+	p := quickParams(2)
+	c := &Cluster{P: p}
+	if got := c.fetchTimeout(); got != 0 {
+		t.Fatalf("healthy run fetchTimeout=%v, want 0 (unbounded)", got)
+	}
+	p.FaultSpec = "crash:dp1@70+0"
+	c = &Cluster{P: p}
+	want := sim.Time(0.02 * float64(sim.Second) * p.Scale)
+	if got := c.fetchTimeout(); got != want {
+		t.Fatalf("faulted-run default fetchTimeout=%v, want %v", got, want)
+	}
+	p.FetchTimeout = 3 * sim.Second
+	c = &Cluster{P: p}
+	if got := c.fetchTimeout(); got != 3*sim.Second {
+		t.Fatalf("explicit fetchTimeout not honored: got %v", got)
+	}
+}
+
+// TestRetryBackoffBounds: without recovery armed the delay is the paper's
+// constant; with it armed the delay doubles per attempt but never exceeds
+// the configured cap.
+func TestRetryBackoffBounds(t *testing.T) {
+	p := quickParams(2)
+	c := &Cluster{P: p}
+	if got := c.retryBackoff(10); got != p.RetryDelay {
+		t.Fatalf("constant retry delay violated: attempt 10 -> %v, want %v", got, p.RetryDelay)
+	}
+	c.rec = &recState{}
+	if got := c.retryBackoff(0); got != p.RetryDelay {
+		t.Fatalf("first attempt backoff %v, want base %v", got, p.RetryDelay)
+	}
+	if a1, a2 := c.retryBackoff(1), c.retryBackoff(2); a1 != 2*p.RetryDelay || a2 != 4*p.RetryDelay {
+		t.Fatalf("backoff not doubling: %v, %v", a1, a2)
+	}
+	maxD := p.retryDelayMax()
+	if got := c.retryBackoff(60); got != maxD {
+		t.Fatalf("backoff uncapped: attempt 60 -> %v, want cap %v", got, maxD)
+	}
+	c.P.RetryDelayMax = 3 * p.RetryDelay
+	if got := c.retryBackoff(60); got != 3*p.RetryDelay {
+		t.Fatalf("explicit RetryDelayMax not honored: got %v", got)
+	}
+}
+
+// timelineMean averages the timeline buckets whose end time falls in
+// (from, to].
+func timelineMean(tl []TimelinePoint, from, to sim.Time) float64 {
+	var sum float64
+	var n int
+	for _, pt := range tl {
+		if pt.T > from && pt.T <= to {
+			sum += pt.TxnRate
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TestThroughputDipsAndRecovers is the availability shape invariant:
+// throughput drops while the crashed partition is unavailable and returns
+// to within 5% of the pre-crash steady state after re-admission.
+func TestThroughputDipsAndRecovers(t *testing.T) {
+	m := mustRun(t, failoverParams())
+
+	pre := timelineMean(m.Timeline, 45*sim.Second, 70*sim.Second)
+	dip := timelineMean(m.Timeline, 70*sim.Second, 85*sim.Second)
+	tail := timelineMean(m.Timeline, 120*sim.Second, 160*sim.Second)
+	if pre <= 0 {
+		t.Fatalf("no pre-crash throughput: %+v", m.Timeline)
+	}
+	if dip >= pre*0.95 {
+		t.Fatalf("no visible dip after crash: pre=%.1f dip=%.1f", pre, dip)
+	}
+	if tail < pre*0.95 {
+		t.Fatalf("post-readmission throughput %.1f txn/s did not recover to within 5%% of pre-crash %.1f",
+			tail, pre)
+	}
+}
+
+// TestRecoveryTimeGrowsWithDirtyLog: checkpointing less often leaves more
+// redo log and more dirty blocks for recovery to replay, so the measured
+// recovery time must grow.
+func TestRecoveryTimeGrowsWithDirtyLog(t *testing.T) {
+	short := failoverParams()
+	short.CheckpointInterval = 1 * sim.Second
+	long := failoverParams()
+	long.CheckpointInterval = 50 * sim.Second
+
+	ms := mustRun(t, short)
+	ml := mustRun(t, long)
+	if ml.ReplayBytes <= ms.ReplayBytes {
+		t.Fatalf("replay volume did not grow with checkpoint interval: short=%dB long=%dB",
+			ms.ReplayBytes, ml.ReplayBytes)
+	}
+	if ml.RecoveryTimeMs <= ms.RecoveryTimeMs {
+		t.Fatalf("recovery time did not grow with dirty log: short=%.1fms long=%.1fms",
+			ms.RecoveryTimeMs, ml.RecoveryTimeMs)
+	}
+}

@@ -33,7 +33,7 @@ func (c *Cluster) acceptClient(self int, conn *tcp.Conn) {
 	n := c.nodes[self]
 	conn.SetOnMessage(func(m tcp.Message) {
 		req := m.Meta.(clientReq)
-		c.Sim.Spawn(fmt.Sprintf("worker-%d", self), func(p *sim.Proc) {
+		c.spawnOn(self, fmt.Sprintf("worker-%d", self), func(p *sim.Proc) {
 			if req.span != nil {
 				req.span.BeginServer(p.Now())
 				p.SetSpan(req.span)
@@ -48,6 +48,26 @@ func (c *Cluster) acceptClient(self int, conn *tcp.Conn) {
 			}
 		})
 	})
+}
+
+// retryBackoff is the delay before re-executing a failed attempt. On a
+// fault-free fabric it is the paper's constant RetryDelay; with recovery
+// armed it doubles per attempt up to RetryDelayMax, so retries against a
+// partition inside a fence-to-reopen window spread out instead of hammering
+// the gate in lockstep.
+func (c *Cluster) retryBackoff(attempt int) sim.Time {
+	d := c.P.RetryDelay
+	if c.rec == nil {
+		return d
+	}
+	maxD := c.P.retryDelayMax()
+	for i := 0; i < attempt && d < maxD; i++ {
+		d *= 2
+	}
+	if d > maxD {
+		d = maxD
+	}
+	return d
 }
 
 // executeWithRetry runs one transaction to completion: commits count toward
@@ -92,7 +112,7 @@ func (c *Cluster) executeWithRetry(p *sim.Proc, n *node, req tpcc.Request) bool 
 				ph = trace.PhaseDisk
 			}
 			trace.Enter(p, ph)
-			p.Sleep(c.P.RetryDelay)
+			p.Sleep(c.retryBackoff(attempt))
 			trace.Exit(p)
 		default:
 			if c.measuring {

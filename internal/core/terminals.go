@@ -32,6 +32,15 @@ func (c *Cluster) terminal(p *sim.Proc, w, t int) {
 		if !r.Bool(c.P.Affinity) {
 			target = r.Intn(c.P.Nodes)
 		}
+		// Client-side failover (recovery-armed runs only): a terminal whose
+		// server is known down redirects to the next live node instead of
+		// burning a SYN retransmission cycle against a dead address. The rng
+		// draws above happen regardless, so the terminal's stream stays
+		// aligned with fault-free runs.
+		if c.rec != nil && c.rec.down[target] {
+			target = c.rec.failoverTarget(target)
+			c.rec.clientRetries++
+		}
 		conn := tcp.Dial(p, c.clientStack, nodeAddrOf(target), PortClient,
 			tcp.DialOptions{Class: netsim.ClassBestEffort, MaxRetx: 50})
 		if conn == nil {
@@ -61,8 +70,15 @@ func (c *Cluster) terminal(p *sim.Proc, w, t int) {
 			// transaction is still executing server-side would let the
 			// terminal's next transaction deadlock with its own zombie on
 			// the same district row. The long stop-loss only covers a
-			// reset connection whose reply can never arrive.
-			if _, ok := inbox.RecvTimeout(p, 600*sim.Second); !ok {
+			// reply that can never arrive. With recovery armed it tightens:
+			// a crash kills the server worker outright (no zombie survives),
+			// so a terminal caught mid-request re-dials after a bounded wait
+			// instead of sitting out the whole outage.
+			stopLoss := 600 * sim.Second
+			if c.rec != nil {
+				stopLoss = 30 * sim.Second
+			}
+			if _, ok := inbox.RecvTimeout(p, stopLoss); !ok {
 				break
 			}
 			if c.measuring {

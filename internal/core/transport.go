@@ -13,6 +13,16 @@ type ipcEnvelope struct {
 	msg  db.Msg
 }
 
+// hbEnvelope frames a membership heartbeat on the same IPC connection: a
+// small real packet, so failure-detection latency is a property of the
+// fabric (load, loss, RTO dynamics), not a constant.
+type hbEnvelope struct {
+	from int
+}
+
+// hbBytes is the heartbeat wire size.
+const hbBytes = 64
+
 // ipcTransport implements db.Transport over the per-pair IPC connections.
 type ipcTransport struct {
 	cluster *Cluster
@@ -42,6 +52,26 @@ func (t *ipcTransport) Send(to int, m db.Msg, size int, data bool) {
 	conn.Enqueue(ipcEnvelope{from: t.self, msg: m}, size)
 }
 
+// sendHeartbeat ships one membership heartbeat. Unlike Send it tolerates a
+// missing or torn-down connection (Enqueue on a closed connection is a
+// no-op): heartbeats to an unreachable peer simply stop arriving, which is
+// exactly the signal the lease monitor consumes.
+func (t *ipcTransport) sendHeartbeat(to int) {
+	if conn := t.conns[to]; conn != nil {
+		conn.Enqueue(hbEnvelope{from: t.self}, hbBytes)
+	}
+}
+
+// abortPeer tears down the connection to a fenced peer locally: queued and
+// in-flight segments are abandoned instead of retransmitting into a dead
+// link for the rest of the run. The slot keeps the stale pointer (Enqueue on
+// it no-ops) until the peer rejoins and a fresh dial replaces it.
+func (t *ipcTransport) abortPeer(peer int) {
+	if conn := t.conns[peer]; conn != nil {
+		conn.Abort()
+	}
+}
+
 // bindIPC wires an established dialer-side IPC connection into both ends'
 // transports.
 func (c *Cluster) bindIPC(i, j int, conn *tcp.Conn) {
@@ -58,12 +88,20 @@ func (c *Cluster) acceptIPC(self int, conn *tcp.Conn) {
 	c.hookIPC(self, conn)
 }
 
-// hookIPC delivers inbound envelopes to the node's GCS.
+// hookIPC delivers inbound envelopes to the node's GCS and heartbeats to
+// its membership service. The node's engine is resolved at delivery time,
+// not hook time: after a crash-restart the same connection-accept closures
+// must reach the rebuilt engine, not a dead one.
 func (c *Cluster) hookIPC(self int, conn *tcp.Conn) {
-	gcs := c.nodes[self].dbn.GCS
 	conn.SetOnMessage(func(m tcp.Message) {
-		env := m.Meta.(ipcEnvelope)
-		gcs.HandleMessage(env.from, env.msg)
+		switch env := m.Meta.(type) {
+		case hbEnvelope:
+			if c.rec != nil {
+				c.rec.observeHeartbeat(self, env.from)
+			}
+		case ipcEnvelope:
+			c.nodes[self].dbn.GCS.HandleMessage(env.from, env.msg)
+		}
 	})
 }
 

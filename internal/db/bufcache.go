@@ -197,6 +197,14 @@ func (bc *BufferCache) InsertWarm(blk BlockID) bool {
 	return true
 }
 
+// Each calls fn for every resident frame in pool order (deterministic).
+// Used by recovery to enumerate a node's holdings and dirty set.
+func (bc *BufferCache) Each(fn func(*Frame)) {
+	for _, f := range bc.pool {
+		fn(f)
+	}
+}
+
 // Invalidate drops a block (e.g., the current copy moved to another node in
 // exclusive mode). No eviction callback: the directory already knows.
 func (bc *BufferCache) Invalidate(blk BlockID) {

@@ -126,6 +126,102 @@ type (
 	MsgLogDone struct{ ReqID uint64 }
 )
 
+// Recovery messages (crash fencing, remastering, log replay, rejoin). The
+// GCS transports and prices them like any other IPC; the recovery
+// coordinator in core drives the protocol through the OnClusterMsg hook.
+type (
+	// MsgFence: the coordinator tells a survivor to fence Dead — drop it
+	// from directories, release its locks, stop talking to it.
+	MsgFence struct {
+		ReqID uint64
+		Dead  int
+	}
+	// MsgFenceAck confirms the fence took effect on From.
+	MsgFenceAck struct {
+		ReqID uint64
+		From  int
+	}
+	// MsgRemasterReq: the surrogate master asks a survivor to report its
+	// cached holdings homed at Dead so the directory can be rebuilt.
+	MsgRemasterReq struct {
+		ReqID uint64
+		Dead  int
+	}
+	// MsgRemaster ships one batch of holdings (control-plane bulk data).
+	MsgRemaster struct {
+		ReqID    uint64
+		From     int
+		Holdings []Holding
+	}
+	// MsgRemasterDone ends a survivor's holdings stream.
+	MsgRemasterDone struct {
+		ReqID uint64
+		From  int
+	}
+	// MsgReplayReq asks the buddy (dual-ported enclosure server) to scan
+	// Bytes of the dead node's redo log off its log device.
+	MsgReplayReq struct {
+		ReqID uint64
+		Dead  int
+		Bytes int64
+	}
+	// MsgReplayChunk streams scanned log back (data message).
+	MsgReplayChunk struct {
+		ReqID uint64
+		Bytes int
+		Last  bool
+	}
+	// MsgJoinReq: a restarted node asks the coordinator to re-admit it.
+	MsgJoinReq struct {
+		ReqID uint64
+		Node  int
+	}
+	// MsgJoinDir hands a batch of directory entries for the joiner's
+	// partition back from the surrogate.
+	MsgJoinDir struct {
+		ReqID   uint64
+		Entries []DirExport
+	}
+	// MsgJoinOK completes re-admission. The coordinator sends it to the
+	// joiner (echoing its ReqID) and broadcasts it to survivors (ReqID 0),
+	// who clear their fences and failover routes for Node.
+	MsgJoinOK struct {
+		ReqID uint64
+		Node  int
+	}
+	// MsgRecoveryOpen: the coordinator tells survivors that Dead's partition
+	// is open again under surrogate mastering — their gates lift and
+	// requests flow to the surrogate instead of failing fast.
+	MsgRecoveryOpen struct {
+		Dead int
+	}
+)
+
+// Holding reports one cached block during remastering.
+type Holding struct {
+	Blk        BlockID
+	WriteOwner bool
+}
+
+// DirExport is one directory entry shipped during mastering hand-back.
+type DirExport struct {
+	Blk        BlockID
+	Holders    []int // sorted
+	LastWriter int
+}
+
+func (MsgFence) isMsg()        {}
+func (MsgFenceAck) isMsg()     {}
+func (MsgRemasterReq) isMsg()  {}
+func (MsgRemaster) isMsg()     {}
+func (MsgRemasterDone) isMsg() {}
+func (MsgReplayReq) isMsg()    {}
+func (MsgReplayChunk) isMsg()  {}
+func (MsgJoinReq) isMsg()      {}
+func (MsgJoinDir) isMsg()      {}
+func (MsgJoinOK) isMsg()       {}
+func (MsgRecoveryOpen) isMsg() {}
+
 func (MsgBlkReq) isMsg()      {}
 func (MsgBlkNeg) isMsg()      {}
 func (MsgBlkFwd) isMsg()      {}
@@ -169,6 +265,10 @@ type GCSStats struct {
 	FetchTimeouts uint64
 	FetchFails    uint64
 	LogFallbacks  uint64
+
+	// GateRejects counts requests refused fast because their master was
+	// inside a fence-to-reopen recovery window (failover fast-fail).
+	GateRejects uint64
 
 	// Per-table contention breakdown (diagnostics).
 	WaitsByTable map[TableID]uint64
@@ -227,6 +327,23 @@ type GCS struct {
 	// (Fig 9); -1 logs locally.
 	CentralLogNode int
 	logDisk        LogDevice
+
+	// Gate, when set, vets the home node of every fetch and lock request.
+	// A false return fails the request immediately (ErrFetchFailed /
+	// ErrLockFailed) instead of letting it time out against a node inside a
+	// fence-to-reopen recovery window. It receives the home (not the
+	// surrogate) so fenced-partition requests fail fast even after a
+	// surrogate takes over mastering.
+	Gate func(home int) bool
+
+	// OnClusterMsg, when set, receives recovery-protocol messages (fence,
+	// remaster, replay, join) that the GCS itself does not interpret. The
+	// cluster's recovery coordinator installs it.
+	OnClusterMsg func(from int, m Msg)
+
+	// redoBytes accumulates log volume written since the last checkpoint:
+	// the amount a crash at this instant would force recovery to replay.
+	redoBytes int64
 
 	Stats GCSStats
 }
@@ -299,12 +416,21 @@ func (g *GCS) HandleMessage(from int, m Msg) {
 	if _, ok := m.(MsgLogWrite); ok {
 		cost = g.costs.DataMsgHandle
 	}
+	if _, ok := m.(MsgReplayChunk); ok {
+		cost = g.costs.DataMsgHandle
+	}
 	g.host.Process(cost, func() { g.dispatch(from, m) })
 }
 
 // dispatch routes one message after CPU processing.
 func (g *GCS) dispatch(from int, m Msg) {
 	switch msg := m.(type) {
+	case MsgFence, MsgFenceAck, MsgRemasterReq, MsgRemaster, MsgRemasterDone,
+		MsgReplayReq, MsgReplayChunk, MsgJoinReq, MsgJoinDir, MsgJoinOK,
+		MsgRecoveryOpen:
+		if g.OnClusterMsg != nil {
+			g.OnClusterMsg(from, m)
+		}
 	case MsgBlkReq:
 		g.masterBlockReq(from, msg)
 	case MsgBlkNeg:

@@ -61,7 +61,16 @@ func (g *GCS) fetch(p *sim.Proc, blk BlockID, forWrite, create bool) error {
 	}
 	g.inflight[blk] = nil
 
-	master := g.cat.Home(blk)
+	if g.Gate != nil && !g.Gate(g.cat.Home(blk)) {
+		// The home is inside a fence-to-reopen recovery window: fail fast so
+		// the transaction retries against recovered state instead of timing
+		// out against a master that cannot answer yet.
+		delete(g.inflight, blk)
+		g.Stats.GateRejects++
+		g.Stats.FetchFails++
+		return ErrFetchFailed
+	}
+	master := g.cat.Master(blk)
 	var err error
 	if master == g.self {
 		err = g.localMasterFetch(p, blk, forWrite, create)
@@ -112,7 +121,11 @@ func (g *GCS) recvReply(p *sim.Proc, reqID uint64, mb *sim.Mailbox) (any, bool) 
 // writer, but never a disk read (our copy plus the log are current enough
 // if the writer is gone).
 func (g *GCS) currencyFetch(p *sim.Proc, blk BlockID) error {
-	master := g.cat.Home(blk)
+	if g.Gate != nil && !g.Gate(g.cat.Home(blk)) {
+		g.Stats.GateRejects++
+		return ErrFetchFailed
+	}
+	master := g.cat.Master(blk)
 	if master == g.self {
 		g.host.Execute(p, g.costs.DirLookup)
 		e := g.dir[blk]
@@ -412,7 +425,7 @@ func (g *GCS) OnEvict(blk BlockID, dirty bool) {
 	if dirty {
 		g.pager.WriteBack(blk, BlockBytes)
 	}
-	master := g.cat.Home(blk)
+	master := g.cat.Master(blk)
 	if master == g.self {
 		g.masterEvict(blk, g.self)
 		return
@@ -435,7 +448,13 @@ func (g *GCS) AcquireLock(p *sim.Proc, txn TxnRef, res ResourceID, mode LockMode
 }
 
 func (g *GCS) acquireLock(p *sim.Proc, txn TxnRef, res ResourceID, mode LockMode, wait bool) (granted, waited bool) {
-	master := g.cat.Home(BlockID{res.Table, res.Block})
+	if g.Gate != nil && !g.Gate(g.cat.Home(BlockID{res.Table, res.Block})) {
+		g.Stats.GateRejects++
+		g.Stats.LockFails++
+		g.Stats.noteFail(res.Table)
+		return false, false
+	}
+	master := g.cat.Master(BlockID{res.Table, res.Block})
 	start := g.sim.Now()
 	if master == g.self {
 		g.host.Execute(p, g.costs.LockRequest)
@@ -527,7 +546,7 @@ func (g *GCS) masterLockReq(from int, m MsgLockReq) {
 func (g *GCS) ReleaseLocks(txn TxnRef, held []ResourceID) {
 	perMaster := make(map[int][]ResourceID)
 	for _, r := range held {
-		m := g.cat.Home(BlockID{r.Table, r.Block})
+		m := g.cat.Master(BlockID{r.Table, r.Block})
 		if m == g.self {
 			g.locks.Release(r, txn)
 		} else {
@@ -556,6 +575,7 @@ func (g *GCS) WriteLog(p *sim.Proc, size int) {
 }
 
 func (g *GCS) writeLog(p *sim.Proc, size int) {
+	g.redoBytes += int64(size)
 	if g.CentralLogNode < 0 || g.CentralLogNode == g.self {
 		g.writeLocalLog(p, size)
 		return

@@ -1,0 +1,176 @@
+package db
+
+import (
+	"sort"
+
+	"dclue/internal/sim"
+)
+
+// This file holds the GCS side of crash recovery: fencing a dead node out
+// of the directory and lock tables, rebuilding mastering state from
+// survivors' holdings, handing mastering back on rejoin, and the checkpoint
+// that bounds how much redo log a crash forces recovery to replay. The
+// protocol itself (who fences, who remasters, in what order) lives in the
+// core cluster's recovery coordinator; everything here is node-local state
+// surgery, deterministic via sorted iteration.
+
+// blockIDLess is the (table, block) order for sort.Slice over bs.
+func blockIDLess(bs []BlockID) func(i, j int) bool {
+	return func(i, j int) bool {
+		if bs[i].Table != bs[j].Table {
+			return bs[i].Table < bs[j].Table
+		}
+		return bs[i].Block < bs[j].Block
+	}
+}
+
+// SendCtl ships a control message on the GCS's IPC channel (recovery
+// coordinator use; same pricing as protocol messages).
+func (g *GCS) SendCtl(to int, m Msg) { g.sendCtl(to, m) }
+
+// SendData ships a data message of the given wire size.
+func (g *GCS) SendData(to int, m Msg, size int) { g.sendData(to, m, size) }
+
+// NewRequest registers a pending request and returns its id and mailbox.
+func (g *GCS) NewRequest() (uint64, *sim.Mailbox) { return g.newReq() }
+
+// Wake completes a pending request (no-op for unknown ids).
+func (g *GCS) Wake(reqID uint64, v any) { g.wake(reqID, v) }
+
+// DropRequest abandons a pending request so a late reply is ignored.
+func (g *GCS) DropRequest(reqID uint64) { delete(g.pending, reqID) }
+
+// RedoBytes returns log volume written since the last checkpoint: the
+// amount a crash right now would force recovery to replay.
+func (g *GCS) RedoBytes() int64 { return g.redoBytes }
+
+// Checkpoint flushes every dirty unpinned owned frame to disk (lazy
+// write-backs) and truncates the redo accounting. Returns frames flushed.
+func (g *GCS) Checkpoint() (flushed int) {
+	g.cache.Each(func(f *Frame) {
+		if f.Dirty && f.Pins == 0 && f.WriteOwner {
+			g.pager.WriteBack(f.Blk, BlockBytes)
+			f.Dirty = false
+			flushed++
+		}
+	})
+	g.redoBytes = 0
+	return flushed
+}
+
+// FenceNode expels dead from this node's master-side state: directory
+// entries forget its copies, forward state on its behalf is dropped, and
+// every lock its transactions held or waited for is released so survivors
+// stop queueing behind a peer that will never answer.
+func (g *GCS) FenceNode(dead int) {
+	blks := make([]BlockID, 0, len(g.dir))
+	for b := range g.dir {
+		blks = append(blks, b)
+	}
+	sort.Slice(blks, blockIDLess(blks))
+	for _, b := range blks {
+		e := g.dir[b]
+		delete(e.holders, dead)
+		if e.lastWriter == dead {
+			e.lastWriter = -1
+		}
+		if len(e.holders) == 0 {
+			delete(g.dir, b)
+		}
+	}
+	ids := make([]uint64, 0, len(g.pendingFwd))
+	for id, st := range g.pendingFwd {
+		if st.requester == dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		delete(g.pendingFwd, id)
+	}
+	g.locks.ReleaseNode(dead)
+}
+
+// HoldingsHomedAt reports this node's cached copies of blocks homed at
+// home, in pool order: the survivors' answers to a remastering sweep.
+func (g *GCS) HoldingsHomedAt(home int) []Holding {
+	var out []Holding
+	g.cache.Each(func(f *Frame) {
+		if g.cat.Home(f.Blk) == home {
+			out = append(out, Holding{Blk: f.Blk, WriteOwner: f.WriteOwner})
+		}
+	})
+	return out
+}
+
+// RegisterHolding records one remastered holding in the local directory
+// (surrogate side). Unlike masterRegisterHolder it never revokes anyone:
+// the reports describe existing ownership, they do not move it.
+func (g *GCS) RegisterHolding(holder int, h Holding) {
+	e := g.dir[h.Blk]
+	if e == nil {
+		e = &dirEntry{holders: make(map[int]bool), lastWriter: -1}
+		g.dir[h.Blk] = e
+	}
+	e.holders[holder] = true
+	if h.WriteOwner {
+		e.lastWriter = holder
+	}
+}
+
+// ExportDirHomedAt returns the directory entries for blocks homed at home
+// in sorted order: the mastering state a surrogate hands back on rejoin.
+func (g *GCS) ExportDirHomedAt(home int) []DirExport {
+	var blks []BlockID
+	for b := range g.dir {
+		if g.cat.Home(b) == home {
+			blks = append(blks, b)
+		}
+	}
+	sort.Slice(blks, blockIDLess(blks))
+	out := make([]DirExport, 0, len(blks))
+	for _, b := range blks {
+		e := g.dir[b]
+		hs := make([]int, 0, len(e.holders))
+		for h := range e.holders {
+			hs = append(hs, h)
+		}
+		sort.Ints(hs)
+		out = append(out, DirExport{Blk: b, Holders: hs, LastWriter: e.lastWriter})
+	}
+	return out
+}
+
+// DropDirHomedAt forgets directory entries for blocks homed at home (the
+// mastering moved elsewhere).
+func (g *GCS) DropDirHomedAt(home int) {
+	var blks []BlockID
+	for b := range g.dir {
+		if g.cat.Home(b) == home {
+			blks = append(blks, b)
+		}
+	}
+	sort.Slice(blks, blockIDLess(blks))
+	for _, b := range blks {
+		delete(g.dir, b)
+	}
+}
+
+// ImportDir installs handed-back directory entries (rejoining node side).
+func (g *GCS) ImportDir(entries []DirExport) {
+	for _, de := range entries {
+		e := &dirEntry{holders: make(map[int]bool), lastWriter: de.LastWriter}
+		for _, h := range de.Holders {
+			e.holders[h] = true
+		}
+		g.dir[de.Blk] = e
+	}
+}
+
+// DropLocksHomedAt discards lock-master state for resources homed at home
+// (surrogate hand-back; the owner rebuilds as traffic arrives).
+func (g *GCS) DropLocksHomedAt(home int) {
+	g.locks.DropHomedAt(func(r ResourceID) bool {
+		return g.cat.Home(BlockID{Table: r.Table, Block: r.Block}) == home
+	})
+}

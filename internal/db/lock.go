@@ -1,5 +1,21 @@
 package db
 
+import "sort"
+
+// resourceIDLess is the (table, block, subpage) order for sort.Slice over rs.
+func resourceIDLess(rs []ResourceID) func(i, j int) bool {
+	return func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Subpage < b.Subpage
+	}
+}
+
 // LockMode is a lock strength. With multi-version concurrency control
 // reads never lock (§2.1), so the executor only requests X; S exists for
 // completeness and tests.
@@ -152,6 +168,58 @@ func (ls *LockService) pump(res ResourceID, e *lockEntry) {
 		delete(ls.locks, res)
 		ls.ActiveLock--
 	}
+}
+
+// ReleaseNode drops every hold and queued request belonging to transactions
+// from node, pumping each affected queue: fencing a crashed node frees its
+// locks so survivors stop waiting on a peer that will never answer.
+// Resources are visited in sorted order for determinism.
+func (ls *LockService) ReleaseNode(node int) {
+	for _, res := range ls.sortedResources() {
+		e := ls.locks[res]
+		if e == nil {
+			continue
+		}
+		for h := range e.holders {
+			if h.Node == node {
+				delete(e.holders, h)
+			}
+		}
+		kept := e.queue[:0]
+		for _, w := range e.queue {
+			if w.txn.Node == node {
+				ls.Cancels++
+				continue
+			}
+			kept = append(kept, w)
+		}
+		e.queue = kept
+		ls.pump(res, e)
+	}
+}
+
+// DropHomedAt discards master state for every resource satisfying pred
+// without granting anyone: used when mastering moves (surrogate takeover or
+// hand-back), where the new master rebuilds state from survivors.
+func (ls *LockService) DropHomedAt(pred func(ResourceID) bool) {
+	for _, res := range ls.sortedResources() {
+		if pred(res) {
+			if _, ok := ls.locks[res]; ok {
+				delete(ls.locks, res)
+				ls.ActiveLock--
+			}
+		}
+	}
+}
+
+// sortedResources returns the active resource ids in a total order.
+func (ls *LockService) sortedResources() []ResourceID {
+	out := make([]ResourceID, 0, len(ls.locks))
+	for res := range ls.locks {
+		out = append(out, res)
+	}
+	sort.Slice(out, resourceIDLess(out))
+	return out
 }
 
 // HeldBy reports whether txn currently holds res.

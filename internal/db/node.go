@@ -56,6 +56,7 @@ type Node struct {
 	costs *OpCosts
 
 	nextTxn uint64
+	procs   []*sim.Proc // engine-internal processes, for teardown on crash
 	Stats   NodeStats
 }
 
@@ -88,14 +89,31 @@ func NewNode(s *sim.Sim, self int, cat *Catalog, host Host, cfg NodeConfig,
 	// need. Snapshots live at most a transaction's lifetime; the horizon is
 	// a safe multiple of healthy response times.
 	if cfg.GCInterval > 0 {
-		s.Spawn("mvcc-gc", func(p *sim.Proc) {
+		n.procs = append(n.procs, s.Spawn("mvcc-gc", func(p *sim.Proc) {
 			for {
 				p.Sleep(cfg.GCInterval)
 				n.VM.GC(p.Now() - cfg.GCHorizon)
 			}
-		})
+		}))
 	}
 	return n
+}
+
+// Procs returns the engine's internal processes in spawn order, so a node
+// crash can kill them deterministically.
+func (n *Node) Procs() []*sim.Proc { return n.procs }
+
+// CrashSnapshot reports what recovery must reconstruct if the node died at
+// this instant: its dirty owned blocks (buffer-pool order) and the redo-log
+// bytes written since the last checkpoint. The core crash injector captures
+// this as the ground truth a real log scan would discover.
+func (n *Node) CrashSnapshot() (dirty []BlockID, redoBytes int64) {
+	n.Cache.Each(func(f *Frame) {
+		if f.Dirty && f.WriteOwner {
+			dirty = append(dirty, f.Blk)
+		}
+	})
+	return dirty, n.GCS.RedoBytes()
 }
 
 // Costs exposes the node's cost table.

@@ -43,6 +43,11 @@ type Pager struct {
 	// clear on retry).
 	MaxDiskRetries int
 
+	// reroute redirects I/O for a fenced home node's blocks: the buddy node
+	// reaches the dead node's dual-ported drives directly; everyone else
+	// goes through the buddy's iSCSI target, which exports the enclosure.
+	reroute map[int]failoverRoute
+
 	LocalReads      uint64
 	LocalWrites     uint64
 	RemoteReads     uint64
@@ -50,6 +55,14 @@ type Pager struct {
 	DiskRetries     uint64 // local reads reissued after a transient error
 	DiskFailures    uint64 // reads abandoned after exhausting retries
 	WriteBackErrors uint64 // lazy remote write-backs that failed
+	FailoverReads   uint64 // reads served over a failover route
+	FailoverWrites  uint64 // writes served over a failover route
+}
+
+// failoverRoute describes how to reach a fenced node's enclosure.
+type failoverRoute struct {
+	via    int           // node serving the enclosure (buddy)
+	drives []*disk.Drive // non-nil when via == self: direct dual-port access
 }
 
 // SANArray is the centralized I/O subsystem of the shared-IO model: a
@@ -80,6 +93,19 @@ func (pg *Pager) drive(blk BlockID) *disk.Drive {
 	return pg.drives[int(blk.Block&^indexRegion)%len(pg.drives)]
 }
 
+// SetFailover reroutes I/O for blocks homed at home: via is the buddy node
+// serving the enclosure; drives is non-nil on the buddy itself, which
+// reaches the dual-ported drives directly.
+func (pg *Pager) SetFailover(home, via int, drives []*disk.Drive) {
+	if pg.reroute == nil {
+		pg.reroute = make(map[int]failoverRoute)
+	}
+	pg.reroute[home] = failoverRoute{via: via, drives: drives}
+}
+
+// ClearFailover restores direct routing to home (it rejoined).
+func (pg *Pager) ClearFailover(home int) { delete(pg.reroute, home) }
+
 // ReadBlock fetches a block from its home disk (or the SAN), blocking the
 // caller. Size includes any version payload travelling with the block.
 // Transient local failures are retried up to MaxDiskRetries times; a
@@ -99,6 +125,14 @@ func (pg *Pager) readBlock(p *sim.Proc, blk BlockID, size int) error {
 		return pg.readRetry(p, pg.san.drive(blk), blk, size)
 	}
 	home := pg.cat.Home(blk)
+	if rt, ok := pg.reroute[home]; ok {
+		pg.FailoverReads++
+		if rt.via == pg.self {
+			pg.host.Execute(p, pg.costs.DiskSetup)
+			return pg.readRetry(p, rt.drives[int(blk.Block&^indexRegion)%len(rt.drives)], blk, size)
+		}
+		return pg.initiator.ReadFrom(p, rt.via, home, int(blk.Table), blk.Block&^indexRegion, size)
+	}
 	if home == pg.self {
 		pg.LocalReads++
 		pg.host.Execute(p, pg.costs.DiskSetup)
@@ -141,6 +175,28 @@ func (pg *Pager) WriteBack(blk BlockID, size int) {
 		return
 	}
 	home := pg.cat.Home(blk)
+	if rt, ok := pg.reroute[home]; ok {
+		pg.FailoverWrites++
+		if rt.via == pg.self {
+			d := rt.drives[int(blk.Block&^indexRegion)%len(rt.drives)]
+			pg.host.Process(pg.costs.DiskSetup, func() {
+				d.Submit(&disk.Request{
+					Table: int(blk.Table),
+					Block: blk.Block &^ indexRegion,
+					Size:  size,
+					Write: true,
+				})
+			})
+			return
+		}
+		via := rt.via
+		pg.sim.Spawn("writeback", func(p *sim.Proc) {
+			if err := pg.initiator.WriteFrom(p, via, home, int(blk.Table), blk.Block&^indexRegion, size); err != nil {
+				pg.WriteBackErrors++
+			}
+		})
+		return
+	}
 	if home == pg.self {
 		pg.LocalWrites++
 		pg.host.Process(pg.costs.DiskSetup, func() {

@@ -91,6 +91,12 @@ type allocExtent struct {
 type Catalog struct {
 	Tables []*Table
 	nodes  int
+
+	// surrogate redirects mastering for blocks homed at a crashed node to a
+	// surviving coordinator until the owner rejoins. Disk placement (Home)
+	// is unaffected: the paper's shared-storage model keeps the data where
+	// it is; only directory/lock mastering moves.
+	surrogate map[int]int
 }
 
 // NewCatalog creates a catalog for a cluster of n nodes.
@@ -142,6 +148,37 @@ func (c *Catalog) Home(b BlockID) int {
 		return int(t.blockHome[blk])
 	}
 	return 0
+}
+
+// Master returns the node currently mastering b's directory entry and
+// locks: Home, unless a surrogate took over after a crash.
+func (c *Catalog) Master(b BlockID) int {
+	h := c.Home(b)
+	if via, ok := c.surrogate[h]; ok {
+		return via
+	}
+	return h
+}
+
+// SetSurrogate redirects mastering for every block homed at dead to via
+// until ClearSurrogate (GCS fencing: the recovery coordinator takes over
+// the dead node's directory and lock duties).
+func (c *Catalog) SetSurrogate(dead, via int) {
+	if c.surrogate == nil {
+		c.surrogate = make(map[int]int)
+	}
+	c.surrogate[dead] = via
+}
+
+// ClearSurrogate restores mastering to home (the node rejoined).
+func (c *Catalog) ClearSurrogate(dead int) { delete(c.surrogate, dead) }
+
+// Surrogate returns the active surrogate for home, or -1 if none.
+func (c *Catalog) Surrogate(home int) int {
+	if via, ok := c.surrogate[home]; ok {
+		return via
+	}
+	return -1
 }
 
 // Insert allocates a row for key from the given home node's extent and

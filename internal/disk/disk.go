@@ -264,12 +264,15 @@ type LogDisk struct {
 
 	Writes       uint64
 	BytesWritten uint64
+	Reads        uint64
+	BytesRead    uint64
 	busyTime     sim.Time
 	lastStart    sim.Time
 }
 
 type logReq struct {
 	size int
+	read bool
 	done func()
 }
 
@@ -295,7 +298,14 @@ func DefaultLogDisk(s *sim.Sim, scale float64) *LogDisk {
 
 // Submit queues a log write.
 func (l *LogDisk) Submit(size int, done func()) {
-	l.queue = append(l.queue, logReq{size, done})
+	l.queue = append(l.queue, logReq{size: size, done: done})
+	l.pump()
+}
+
+// SubmitRead queues a sequential log read (crash recovery scans the redo
+// log back off the shared device at the same overhead + transfer cost).
+func (l *LogDisk) SubmitRead(size int, done func()) {
+	l.queue = append(l.queue, logReq{size: size, read: true, done: done})
 	l.pump()
 }
 
@@ -303,6 +313,14 @@ func (l *LogDisk) Submit(size int, done func()) {
 func (l *LogDisk) Write(p *sim.Proc, size int) {
 	mb := sim.NewMailbox(p.Sim())
 	l.Submit(size, func() { mb.Send(nil) })
+	mb.Recv(p)
+}
+
+// Read blocks the calling process until size bytes of log have been
+// scanned off the device.
+func (l *LogDisk) Read(p *sim.Proc, size int) {
+	mb := sim.NewMailbox(p.Sim())
+	l.SubmitRead(size, func() { mb.Send(nil) })
 	mb.Recv(p)
 }
 
@@ -333,8 +351,15 @@ func (l *LogDisk) pump() {
 	l.lastStart = l.sim.Now()
 	l.sim.After(svc, func() {
 		l.busyTime += l.sim.Now() - l.lastStart
-		l.Writes += uint64(len(batch))
-		l.BytesWritten += uint64(total)
+		for _, r := range batch {
+			if r.read {
+				l.Reads++
+				l.BytesRead += uint64(r.size)
+			} else {
+				l.Writes++
+				l.BytesWritten += uint64(r.size)
+			}
+		}
 		l.busy = false
 		for _, r := range batch {
 			if r.done != nil {

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dclue/internal/core"
+	"dclue/internal/sim"
+	"dclue/internal/stats"
+)
+
+// Failover experiments: whole-node crash and re-admission under the
+// recovery subsystem — membership detection over the fabric, GCS fencing
+// and remastering, redo-log replay through the buddy's dual-ported
+// enclosure, and the availability window the client population observes.
+
+// failoverSpec schedules a crash of dp1 a quarter into the measurement
+// window and (when restart is true) a restart at just past the halfway
+// point, leaving room for re-admission and the recovered steady state.
+func failoverSpec(p core.Params, restart bool) string {
+	w := p.Warmup.Seconds()
+	crash := w + (p.Measure / 4).Seconds()
+	spec := fmt.Sprintf("crash:dp1@%g+0", crash)
+	if restart {
+		spec += fmt.Sprintf(";restart:dp1@%g+0", w+(p.Measure*11/20).Seconds())
+	}
+	return spec
+}
+
+// recoveryNotes renders the recovery metrics one line of Notes; the CI
+// chaos-smoke job greps the "recovery=" field out of the golden table.
+func recoveryNotes(m core.Metrics) string {
+	return fmt.Sprintf("crashes=%d restarts=%d recovered=%d readmitted=%d detect=%.1fms recovery=%.1fms unavail=%.1fms readmit=%.1fms replay=%dB/%dblk",
+		m.Crashes, m.Restarts, m.NodesRecovered, m.NodesReadmitted,
+		m.DetectMs, m.RecoveryTimeMs, m.UnavailabilityMs, m.ReadmitMs,
+		m.ReplayBytes, m.ReplayBlocks)
+}
+
+// FaultFailover runs the headline crash-restart scenario and reports the
+// throughput timeline through the outage: the dip at the crash, the partial
+// service under surrogate mastering and failover I/O, and the return to
+// steady state after re-admission.
+func FaultFailover(o Options) Result {
+	p := o.faultParams()
+	p.TimelineBucket = 5 * sim.Second
+	p.FaultSpec = failoverSpec(p, true)
+
+	o.logf("flt-failover: %s", p.FaultSpec)
+	m := core.MustRun(p)
+	rate := &stats.Series{Name: "txn/s"}
+	for _, pt := range m.Timeline {
+		rate.Add(pt.T.Seconds(), pt.TxnRate)
+	}
+	return Result{
+		ID: "flt-failover", Title: "Throughput through a node crash, recovery and re-admission (dp1)",
+		XLabel: "time (s)", Series: []*stats.Series{rate},
+		Notes: fmt.Sprintf("faults: %s | %s | gateRejects=%d clientRetries=%d warmup=%d",
+			p.FaultSpec, recoveryNotes(m), m.FailoverRejects, m.ClientRetries, m.WarmupFetches),
+	}
+}
+
+// FaultFailoverSize sweeps cluster size: more survivors mean more
+// remastering reports and more fabric traffic during recovery, but also
+// more spare capacity to absorb the dead partition's load.
+func FaultFailoverSize(o Options) Result {
+	sizes := []int{2, 4, 6}
+	if o.Quick {
+		sizes = []int{2, 4}
+	}
+	ms := make([]core.Metrics, len(sizes))
+	o.forEach(len(sizes), func(i int) {
+		p := o.faultParams()
+		p.Nodes = sizes[i]
+		p.NodesPerLata = (sizes[i] + 1) / 2
+		p.Warehouses = 6 * sizes[i]
+		p.FaultSpec = failoverSpec(p, true)
+		o.logf("flt-failover-size: n=%d", sizes[i])
+		ms[i] = core.MustRun(p)
+	})
+	unavail := &stats.Series{Name: "unavail ms"}
+	rec := &stats.Series{Name: "recovery ms"}
+	tpm := &stats.Series{Name: "tpmC"}
+	notes := "Recovery vs cluster size. "
+	for i, n := range sizes {
+		unavail.Add(float64(n), ms[i].UnavailabilityMs)
+		rec.Add(float64(n), ms[i].RecoveryTimeMs)
+		tpm.Add(float64(n), ms[i].TpmC)
+		notes += fmt.Sprintf("n%d: %s | ", n, recoveryNotes(ms[i]))
+	}
+	return Result{
+		ID: "flt-failover-size", Title: "Recovery and unavailability window vs cluster size (crash+restart of dp1)",
+		XLabel: "nodes", Series: []*stats.Series{unavail, rec, tpm}, Notes: notes,
+	}
+}
+
+// FaultFailoverCkpt sweeps the checkpoint interval: checkpointing less
+// often leaves more redo log and dirty blocks for replay, so the recovery
+// window grows — the availability cost of cheaper steady-state I/O.
+func FaultFailoverCkpt(o Options) Result {
+	intervals := []float64{2, 10, 50}
+	if o.Quick {
+		intervals = []float64{2, 50}
+	}
+	ms := make([]core.Metrics, len(intervals))
+	o.forEach(len(intervals), func(i int) {
+		p := o.faultParams()
+		p.CheckpointInterval = sim.Time(intervals[i] * float64(sim.Second))
+		p.FaultSpec = failoverSpec(p, true)
+		o.logf("flt-failover-ckpt: interval=%gs", intervals[i])
+		ms[i] = core.MustRun(p)
+	})
+	rec := &stats.Series{Name: "recovery ms"}
+	replay := &stats.Series{Name: "replay KB"}
+	notes := "Recovery vs checkpoint interval. "
+	for i, iv := range intervals {
+		rec.Add(iv, ms[i].RecoveryTimeMs)
+		replay.Add(iv, float64(ms[i].ReplayBytes)/1024)
+		notes += fmt.Sprintf("%gs: %s | ", iv, recoveryNotes(ms[i]))
+	}
+	return Result{
+		ID: "flt-failover-ckpt", Title: "Recovery window vs checkpoint interval (dirty-log size at the crash)",
+		XLabel: "checkpoint interval (s)", Series: []*stats.Series{rec, replay}, Notes: notes,
+	}
+}

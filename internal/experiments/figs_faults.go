@@ -19,6 +19,9 @@ func FaultFigures() []Figure {
 		{"flt-loss", "Degradation vs burst-loss intensity on the inter-LATA path", FaultLossSweep},
 		{"flt-recovery", "Throughput timeline through a link-down + burst-loss fault", FaultRecovery},
 		{"flt-layers", "Degradation by faulted layer: network vs node vs storage", FaultLayers},
+		{"flt-failover", "Throughput through a node crash, recovery and re-admission", FaultFailover},
+		{"flt-failover-size", "Recovery and unavailability window vs cluster size", FaultFailoverSize},
+		{"flt-failover-ckpt", "Recovery window vs checkpoint interval", FaultFailoverCkpt},
 	}
 }
 

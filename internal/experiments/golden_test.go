@@ -13,9 +13,10 @@ var update = flag.Bool("update", false, "rewrite the golden figure fixtures unde
 
 // goldenFigures are the Quick-mode tables locked as fixtures: the two IPC
 // figures the paper's §3 argument hangs on, one throughput-scaling figure,
-// one QoS/cross-traffic figure, and the fault-loss sweep. Any change to
-// model output shows up as an explicit, reviewable fixture diff.
-var goldenFigures = []string{"fig02", "fig03", "fig06", "fig16", "flt-loss", "lat-decomp"}
+// one QoS/cross-traffic figure, the fault-loss sweep, and the failover
+// timeline. Any change to model output shows up as an explicit, reviewable
+// fixture diff.
+var goldenFigures = []string{"fig02", "fig03", "fig06", "fig16", "flt-loss", "lat-decomp", "flt-failover"}
 
 // findFigure looks an id up across the paper figures, fault experiments,
 // ablations and trace experiments.

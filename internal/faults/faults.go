@@ -48,6 +48,13 @@ const (
 	// DiskErrors fails each request on the target drives with probability
 	// Severity (transient I/O errors).
 	DiskErrors
+	// Crash kills a DP node at the start instant: its processes die, its
+	// connections are abandoned, its volatile state is lost. A point event
+	// (duration 0); the node stays down until a Restart.
+	Crash
+	// Restart boots a crashed DP node at the start instant: fresh engine,
+	// rejoin protocol, cache warmup. A point event (duration 0).
+	Restart
 
 	numKinds
 )
@@ -61,6 +68,8 @@ var kindNames = [numKinds]string{
 	NodeFreeze:  "freeze",
 	DiskSlow:    "diskslow",
 	DiskErrors:  "diskerr",
+	Crash:       "crash",
+	Restart:     "restart",
 }
 
 func (k Kind) String() string {
@@ -88,6 +97,10 @@ func (k Kind) needsSeverity() bool {
 	}
 	return false
 }
+
+// IsPoint reports kinds that are instantaneous state transitions rather
+// than windows: they are written with "+0" and have no restore event.
+func (k Kind) IsPoint() bool { return k == Crash || k == Restart }
 
 // Fault is one scheduled perturbation of one target.
 type Fault struct {
@@ -122,12 +135,12 @@ func (sch Schedule) String() string {
 	return strings.Join(parts, ";")
 }
 
-// sorted returns a copy ordered by (Start, Target, Kind, Duration) so event
-// scheduling order is independent of how the schedule was assembled.
-func (sch Schedule) sorted() Schedule {
-	out := append(Schedule(nil), sch...)
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+// scheduleLess is the (Start, Target, Kind, Duration) order for
+// sort.SliceStable over sch, so event scheduling order is independent of
+// how the schedule was assembled.
+func scheduleLess(sch Schedule) func(i, j int) bool {
+	return func(i, j int) bool {
+		a, b := sch[i], sch[j]
 		if a.Start != b.Start {
 			return a.Start < b.Start
 		}
@@ -138,7 +151,13 @@ func (sch Schedule) sorted() Schedule {
 			return a.Kind < b.Kind
 		}
 		return a.Duration < b.Duration
-	})
+	}
+}
+
+// sorted returns a copy in scheduleLess order.
+func (sch Schedule) sorted() Schedule {
+	out := append(Schedule(nil), sch...)
+	sort.SliceStable(out, scheduleLess(out))
 	return out
 }
 
@@ -208,7 +227,13 @@ func parseFault(item string) (Fault, error) {
 	if err != nil {
 		return f, fmt.Errorf("faults: %q: bad duration: %v", item, err)
 	}
-	if !(start >= 0) || !(dur > 0) { // NaN fails both comparisons
+	if k.IsPoint() {
+		// Crash/restart are instants, not windows: insist on "+0" so a
+		// schedule cannot silently imply "the node comes back by itself".
+		if !(start >= 0) || dur != 0 {
+			return f, fmt.Errorf("faults: %q: %s is a point event; want start >= 0 and +0 duration", item, k)
+		}
+	} else if !(start >= 0) || !(dur > 0) { // NaN fails both comparisons
 		return f, fmt.Errorf("faults: %q: start must be >= 0 and duration > 0", item)
 	}
 	// Bound times so the sim.Time conversion below cannot overflow int64
@@ -223,6 +248,89 @@ func parseFault(item string) (Fault, error) {
 		return f, fmt.Errorf("faults: %q: %v", item, err)
 	}
 	return f, nil
+}
+
+// Targets lists a cluster topology's injectable target names by class, so
+// a schedule can be validated at parse time — before any simulation object
+// exists — instead of silently no-opping on a typo at run time.
+type Targets struct {
+	Links  []string // linkdown / loss / corrupt / stall
+	CPUs   []string // cpuslow / freeze
+	Drives []string // diskslow / diskerr
+	Nodes  []string // crash / restart ("dp<i>")
+}
+
+// Validate resolves every fault in the schedule against t, returning an
+// error that lists the valid names when a target does not resolve, and
+// checks the crash/restart pairing rules Apply will enforce.
+func (sch Schedule) Validate(t Targets) error {
+	for _, f := range sch {
+		var class string
+		var valid []string
+		switch f.Kind {
+		case LinkDown, LinkLoss, LinkCorrupt, NICStall:
+			class, valid = "link", t.Links
+		case CPUSlow, NodeFreeze:
+			class, valid = "CPU", t.CPUs
+		case DiskSlow, DiskErrors:
+			class, valid = "drive", t.Drives
+		case Crash, Restart:
+			class, valid = "node", t.Nodes
+		default:
+			return fmt.Errorf("faults: unknown kind %v", f.Kind)
+		}
+		if !containsString(valid, f.Target) {
+			sorted := append([]string(nil), valid...)
+			sort.Strings(sorted)
+			return fmt.Errorf("faults: no %s target %q (valid: %s)",
+				class, f.Target, strings.Join(sorted, ", "))
+		}
+	}
+	return checkLifecycle(sch.sorted())
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLifecycle verifies crash/restart alternation per node on a sorted
+// schedule: a restart needs a preceding crash, a crashed node cannot crash
+// again before restarting.
+func checkLifecycle(ordered Schedule) error {
+	down := make(map[string]bool)
+	for _, f := range ordered {
+		switch f.Kind {
+		case Crash:
+			if down[f.Target] {
+				return fmt.Errorf("faults: %s crashes twice without a restart", f.Target)
+			}
+			down[f.Target] = true
+		case Restart:
+			if !down[f.Target] {
+				return fmt.Errorf("faults: restart of %s without a preceding crash", f.Target)
+			}
+			down[f.Target] = false
+		}
+	}
+	return nil
+}
+
+// HasNodeLifecycle reports whether the schedule contains crash or restart
+// events: the cluster only arms its recovery machinery (heartbeats,
+// checkpoints, failover paths) when it does, keeping fault-free runs
+// event-for-event identical to builds without the subsystem.
+func (sch Schedule) HasNodeLifecycle() bool {
+	for _, f := range sch {
+		if f.Kind.IsPoint() {
+			return true
+		}
+	}
+	return false
 }
 
 // cutLast splits s at the last sep, mutating s to the prefix and returning

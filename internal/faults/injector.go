@@ -16,6 +16,14 @@ import (
 // small enough that the kernel's time arithmetic stays exact.
 const FreezeFactor = 1e4
 
+// NodeController lets the injector crash and restart a whole DP node (the
+// core cluster implements it: kill processes, abandon connections, lose
+// volatile state; later boot a fresh engine and rejoin).
+type NodeController interface {
+	Crash()
+	Restart()
+}
+
 // Injector binds a fault schedule to the live simulation objects. The core
 // package registers each injectable target under a stable name, then Apply
 // places activate/restore events on the simulation calendar.
@@ -26,10 +34,16 @@ type Injector struct {
 	links  map[string][]*netsim.Link
 	cpus   map[string]*platform.CPU
 	drives map[string][]*disk.Drive
+	nodes  map[string]NodeController
 
 	// Active counts currently-open fault windows (experiments can sample it
 	// to annotate timelines).
 	Active int
+
+	// open tracks currently-active windows by kind|target, so a hang during
+	// a fault schedule is diagnosable from the deadlock report alone. A
+	// crash opens a window that the matching restart closes.
+	open map[string]Fault
 }
 
 // NewInjector returns an empty injector. seed is the master simulation seed;
@@ -42,6 +56,8 @@ func NewInjector(s *sim.Sim, seed uint64) *Injector {
 		links:  make(map[string][]*netsim.Link),
 		cpus:   make(map[string]*platform.CPU),
 		drives: make(map[string][]*disk.Drive),
+		nodes:  make(map[string]NodeController),
+		open:   make(map[string]Fault),
 	}
 }
 
@@ -66,6 +82,24 @@ func (in *Injector) RegisterDrives(name string, drives ...*disk.Drive) {
 	in.drives[name] = append(in.drives[name], drives...)
 }
 
+// RegisterNode names a DP node as a crash/restart target.
+func (in *Injector) RegisterNode(name string, nc NodeController) {
+	in.nodes[name] = nc
+}
+
+// ActiveFaults returns the currently-open fault windows as a sorted
+// schedule (a crash counts as open until its restart). Deadlock and hang
+// reports embed it so a wedge during a fault schedule is diagnosable from
+// the error alone.
+func (in *Injector) ActiveFaults() Schedule {
+	out := make(Schedule, 0, len(in.open))
+	for _, f := range in.open {
+		out = append(out, f)
+	}
+	sort.SliceStable(out, scheduleLess(out))
+	return out
+}
+
 // Apply validates the schedule against the registered targets and places
 // the activate/restore events. It must be called before Sim.Run. Faults on
 // the same target must not overlap in time (restores would otherwise clear
@@ -83,10 +117,15 @@ func (in *Injector) Apply(sch Schedule) error {
 		}
 		lastEnd[key] = f.Start + f.Duration
 	}
+	if err := checkLifecycle(ordered); err != nil {
+		return err
+	}
 	for _, f := range ordered {
 		f := f
 		in.sim.At(f.Start, func() { in.activate(f) })
-		in.sim.At(f.Start+f.Duration, func() { in.restore(f) })
+		if !f.Kind.IsPoint() {
+			in.sim.At(f.Start+f.Duration, func() { in.restore(f) })
+		}
 	}
 	return nil
 }
@@ -109,6 +148,11 @@ func (in *Injector) check(f Fault) error {
 			return fmt.Errorf("faults: no drives registered as %q (have %s)",
 				f.Target, keysOf(in.drives))
 		}
+	case Crash, Restart:
+		if in.nodes[f.Target] == nil {
+			return fmt.Errorf("faults: no node registered as %q (have %s)",
+				f.Target, keysOf(in.nodes))
+		}
 	default:
 		return fmt.Errorf("faults: unknown kind %v", f.Kind)
 	}
@@ -128,8 +172,18 @@ func keysOf[V any](m map[string]V) []string {
 
 // activate opens a fault window (kernel context).
 func (in *Injector) activate(f Fault) {
+	if f.Kind == Restart {
+		// A restart closes the crash window instead of opening one.
+		in.Active--
+		delete(in.open, Crash.String()+"|"+f.Target)
+		in.nodes[f.Target].Restart()
+		return
+	}
 	in.Active++
+	in.open[f.Kind.String()+"|"+f.Target] = f
 	switch f.Kind {
+	case Crash:
+		in.nodes[f.Target].Crash()
 	case LinkDown:
 		for _, l := range in.links[f.Target] {
 			l.SetDown(true)
@@ -165,6 +219,7 @@ func (in *Injector) activate(f Fault) {
 // baseline (kernel context).
 func (in *Injector) restore(f Fault) {
 	in.Active--
+	delete(in.open, f.Kind.String()+"|"+f.Target)
 	switch f.Kind {
 	case LinkDown:
 		for _, l := range in.links[f.Target] {

@@ -56,6 +56,7 @@ type cmdPDU struct {
 	table int
 	block int64
 	size  int
+	encl  int // enclosure (home node) whose drives to use; -1 = target's own
 }
 
 // respPDU travels target -> initiator. For reads the data rides in the same
@@ -67,11 +68,12 @@ type respPDU struct {
 
 // Target serves local drives to remote initiators.
 type Target struct {
-	sim    *sim.Sim
-	cpu    tcp.Processor
-	costs  CostModel
-	drive  func(table int) *disk.Drive
-	Served uint64
+	sim     *sim.Sim
+	cpu     tcp.Processor
+	costs   CostModel
+	drive   func(table int) *disk.Drive
+	exports map[int]func(table int) *disk.Drive
+	Served  uint64
 }
 
 // NewTarget creates a target; drive selects the local drive for a table.
@@ -81,6 +83,19 @@ func NewTarget(s *sim.Sim, cpu tcp.Processor, costs CostModel, drive func(table 
 
 // SetCosts swaps the cost model (offload experiments).
 func (t *Target) SetCosts(c CostModel) { t.costs = c }
+
+// Export additionally serves another node's drive enclosure through this
+// target (the dual-ported failover path: a buddy node takes over a crashed
+// peer's drives). pick selects the drive within that enclosure for a table.
+func (t *Target) Export(node int, pick func(table int) *disk.Drive) {
+	if t.exports == nil {
+		t.exports = make(map[int]func(table int) *disk.Drive)
+	}
+	t.exports[node] = pick
+}
+
+// Unexport stops serving the given node's enclosure (the owner rejoined).
+func (t *Target) Unexport(node int) { delete(t.exports, node) }
 
 // Attach serves one accepted connection.
 func (t *Target) Attach(conn *tcp.Conn) {
@@ -104,7 +119,20 @@ func (t *Target) HandleMessage(conn *tcp.Conn, m tcp.Message) {
 
 // serve runs the disk operation and replies.
 func (t *Target) serve(conn *tcp.Conn, cmd *cmdPDU) {
-	d := t.drive(cmd.table)
+	pick := t.drive
+	if cmd.encl >= 0 {
+		e, ok := t.exports[cmd.encl]
+		if !ok {
+			// Enclosure not (or no longer) exported here: check condition.
+			t.Served++
+			t.cpu.Process(t.costs.PerPDU, func() {
+				conn.Enqueue(&respPDU{id: cmd.id, err: true}, PDUBytes)
+			})
+			return
+		}
+		pick = e
+	}
+	d := pick(cmd.table)
 	req := &disk.Request{
 		Table: cmd.table,
 		Block: cmd.block,
@@ -213,14 +241,28 @@ func (i *Initiator) HasTarget(node int) bool { return i.conns[node] != nil }
 // after exhausting retries).
 func (i *Initiator) Read(p *sim.Proc, node, table int, block int64, size int) error {
 	i.Reads++
-	return i.issue(p, node, &cmdPDU{op: opRead, table: table, block: block, size: size}, PDUBytes)
+	return i.issue(p, node, &cmdPDU{op: opRead, table: table, block: block, size: size, encl: -1}, PDUBytes)
 }
 
 // Write sends size bytes to (table, block) on the target at node, blocking
 // until the status PDU returns.
 func (i *Initiator) Write(p *sim.Proc, node, table int, block int64, size int) error {
 	i.Writes++
-	return i.issue(p, node, &cmdPDU{op: opWrite, table: table, block: block, size: size}, PDUBytes+size)
+	return i.issue(p, node, &cmdPDU{op: opWrite, table: table, block: block, size: size, encl: -1}, PDUBytes+size)
+}
+
+// ReadFrom fetches (table, block) of enclosure encl via the target at node:
+// the failover path, where a buddy node serves a crashed peer's dual-ported
+// drives.
+func (i *Initiator) ReadFrom(p *sim.Proc, node, encl, table int, block int64, size int) error {
+	i.Reads++
+	return i.issue(p, node, &cmdPDU{op: opRead, table: table, block: block, size: size, encl: encl}, PDUBytes)
+}
+
+// WriteFrom writes (table, block) of enclosure encl via the target at node.
+func (i *Initiator) WriteFrom(p *sim.Proc, node, encl, table int, block int64, size int) error {
+	i.Writes++
+	return i.issue(p, node, &cmdPDU{op: opWrite, table: table, block: block, size: size, encl: encl}, PDUBytes+size)
 }
 
 // issue sends the command and waits for its response, reissuing it (with a

@@ -96,9 +96,10 @@ const (
 
 // CPU is one node's processor complex.
 type CPU struct {
-	sim *sim.Sim
-	cfg Config
-	res *sim.Resource
+	sim   *sim.Sim
+	cfg   Config
+	res   *sim.Resource
+	procs []*sim.Proc // irq servers + stats ticker, for teardown on node crash
 
 	remoteFraction float64
 	cachedCPI      float64
@@ -140,11 +141,15 @@ func NewCPU(s *sim.Sim, cfg Config) *CPU {
 	// Interrupt servers: one per processor so protocol work can use the
 	// whole complex, at priority over application threads.
 	for i := 0; i < cfg.NumCPUs; i++ {
-		s.Spawn("irq", c.irqServer)
+		c.procs = append(c.procs, s.Spawn("irq", c.irqServer))
 	}
-	s.Spawn("cpustats", c.ticker)
+	c.procs = append(c.procs, s.Spawn("cpustats", c.ticker))
 	return c
 }
+
+// Procs returns the CPU's internal processes (irq servers and the stats
+// ticker) in spawn order, so a node crash can tear the complex down.
+func (c *CPU) Procs() []*sim.Proc { return c.procs }
 
 // SetRemoteFraction updates the fraction of work on non-home data, which
 // scales the miss rate (the paper's affinity-MPI heuristic).

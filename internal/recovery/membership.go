@@ -1,0 +1,180 @@
+// Package recovery implements the heartbeat/lease membership service each
+// DP node runs. Heartbeats ride the per-pair IPC TCP connections as real
+// packets, so failure-detection latency is a property of the fabric (load,
+// loss, RTO dynamics), not a constant. The service only detects and
+// bookkeeps: the cluster's recovery coordinator (in core) decides what a
+// suspicion means and drives fencing, remastering, replay, and rejoin.
+//
+// All timers go through internal/sim and every state array is indexed by
+// node id, so the service is deterministic by construction; the dcluevet
+// lint rules (derived rng streams, no wall clock, ordered teardown) hold
+// trivially — the service uses no randomness at all.
+package recovery
+
+import "dclue/internal/sim"
+
+// State is a peer's membership state as seen from one node.
+type State int
+
+// Membership states.
+const (
+	StateLive State = iota
+	StateSuspect
+	StateDown
+	StateJoining
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateLive:
+		return "live"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateJoining:
+		return "joining"
+	}
+	return "?"
+}
+
+// Hooks connects the service to its host node.
+type Hooks struct {
+	// Spawn creates a process tracked by the host node, so a crash tears
+	// the service down with everything else.
+	Spawn func(name string, fn func(*sim.Proc)) *sim.Proc
+	// SendHeartbeat ships one heartbeat packet to a peer (real wire bytes).
+	SendHeartbeat func(to int)
+	// OnSuspect fires once when a Live peer's silence exceeds the lease.
+	OnSuspect func(peer int, silentFor sim.Time)
+}
+
+// Service is one node's membership view plus the heartbeat machinery.
+type Service struct {
+	sim   *sim.Sim
+	self  int
+	nodes int
+	hooks Hooks
+
+	// Interval is the heartbeat cadence; Lease is the silence threshold
+	// after which a Live peer becomes Suspect.
+	Interval sim.Time
+	Lease    sim.Time
+
+	state     []State
+	lastHeard []sim.Time
+
+	HeartbeatsSent uint64
+	HeartbeatsRecv uint64
+	Suspicions     uint64
+}
+
+// NewService creates a membership view where every peer starts Live.
+func NewService(s *sim.Sim, self, nodes int, interval, lease sim.Time, hooks Hooks) *Service {
+	sv := &Service{
+		sim:       s,
+		self:      self,
+		nodes:     nodes,
+		hooks:     hooks,
+		Interval:  interval,
+		Lease:     lease,
+		state:     make([]State, nodes),
+		lastHeard: make([]sim.Time, nodes),
+	}
+	now := s.Now()
+	for i := range sv.lastHeard {
+		sv.lastHeard[i] = now
+	}
+	return sv
+}
+
+// Start spawns the sender and monitor processes through the tracked
+// spawner. Called at cluster setup and again after a node restart.
+func (sv *Service) Start() {
+	now := sv.sim.Now()
+	for i := range sv.lastHeard {
+		sv.lastHeard[i] = now
+	}
+	sv.hooks.Spawn("hb-send", sv.sender)
+	sv.hooks.Spawn("hb-monitor", sv.monitor)
+}
+
+// sender ships a heartbeat to every non-down peer each interval.
+func (sv *Service) sender(p *sim.Proc) {
+	for {
+		p.Sleep(sv.Interval)
+		for to := 0; to < sv.nodes; to++ {
+			if to == sv.self || sv.state[to] == StateDown {
+				continue
+			}
+			sv.HeartbeatsSent++
+			sv.hooks.SendHeartbeat(to)
+		}
+	}
+}
+
+// monitor checks leases each interval and raises suspicions.
+func (sv *Service) monitor(p *sim.Proc) {
+	for {
+		p.Sleep(sv.Interval)
+		now := p.Now()
+		for i := 0; i < sv.nodes; i++ {
+			if i == sv.self || sv.state[i] != StateLive {
+				continue
+			}
+			if silent := now - sv.lastHeard[i]; silent > sv.Lease {
+				sv.state[i] = StateSuspect
+				sv.Suspicions++
+				if sv.hooks.OnSuspect != nil {
+					sv.hooks.OnSuspect(i, silent)
+				}
+			}
+		}
+	}
+}
+
+// Observe records a heartbeat (or any sign of life) from a peer. A Suspect
+// peer that proves alive is revived to Live — false suspicions (a slow or
+// lossy fabric, not a crash) must not wedge the detector.
+func (sv *Service) Observe(from int) {
+	sv.HeartbeatsRecv++
+	sv.lastHeard[from] = sv.sim.Now()
+	if sv.state[from] == StateSuspect {
+		sv.state[from] = StateLive
+	}
+}
+
+// StateOf returns the local view of a peer.
+func (sv *Service) StateOf(i int) State { return sv.state[i] }
+
+// SetState overrides a peer's state (the coordinator's verdicts — Down at
+// fence, Joining during re-admission, Live on completion — propagate here).
+func (sv *Service) SetState(i int, st State) {
+	sv.state[i] = st
+	if st == StateLive {
+		sv.lastHeard[i] = sv.sim.Now()
+	}
+}
+
+// Coordinator returns the lowest node id currently believed live: the
+// deterministic recovery-coordinator election.
+func (sv *Service) Coordinator() int {
+	for i := 0; i < sv.nodes; i++ {
+		if sv.state[i] == StateLive {
+			return i
+		}
+	}
+	return sv.self
+}
+
+// LiveCount returns how many nodes (including self) this node believes live.
+func (sv *Service) LiveCount() int {
+	n := 0
+	for _, st := range sv.state {
+		if st == StateLive {
+			n++
+		}
+	}
+	return n
+}

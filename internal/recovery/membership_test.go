@@ -1,0 +1,115 @@
+package recovery
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+// harness wires two membership services back to back: every heartbeat is
+// delivered to the peer after a fixed wire delay, or dropped while the
+// sender is "crashed".
+type harness struct {
+	s     *sim.Sim
+	svc   [2]*Service
+	delay sim.Time
+	dead  [2]bool
+
+	suspects []int
+}
+
+func newHarness(t *testing.T, interval, lease sim.Time) *harness {
+	t.Helper()
+	h := &harness{s: sim.New(), delay: 1 * sim.Millisecond}
+	for i := 0; i < 2; i++ {
+		i := i
+		h.svc[i] = NewService(h.s, i, 2, interval, lease, Hooks{
+			Spawn: func(name string, fn func(*sim.Proc)) *sim.Proc {
+				return h.s.Spawn(name, fn)
+			},
+			SendHeartbeat: func(to int) {
+				if h.dead[i] {
+					return
+				}
+				h.s.After(h.delay, func() { h.svc[to].Observe(i) })
+			},
+			OnSuspect: func(peer int, silentFor sim.Time) {
+				if silentFor <= lease {
+					t.Errorf("suspected %d after only %v (lease %v)", peer, silentFor, lease)
+				}
+				h.suspects = append(h.suspects, peer)
+			},
+		})
+		h.svc[i].Start()
+	}
+	return h
+}
+
+func TestHealthyPeersStayLive(t *testing.T) {
+	h := newHarness(t, 100*sim.Millisecond, 400*sim.Millisecond)
+	h.s.Run(10 * sim.Second)
+	if len(h.suspects) != 0 {
+		t.Fatalf("suspicions on a healthy pair: %v", h.suspects)
+	}
+	for i := 0; i < 2; i++ {
+		if st := h.svc[i].StateOf(1 - i); st != StateLive {
+			t.Fatalf("node %d sees peer as %v, want live", i, st)
+		}
+		if h.svc[i].HeartbeatsSent == 0 || h.svc[i].HeartbeatsRecv == 0 {
+			t.Fatalf("node %d exchanged no heartbeats", i)
+		}
+	}
+}
+
+func TestSilentPeerSuspectedWithinOneLeasePlusInterval(t *testing.T) {
+	interval, lease := 100*sim.Millisecond, 400*sim.Millisecond
+	h := newHarness(t, interval, lease)
+	h.s.After(2*sim.Second, func() { h.dead[1] = true })
+	h.s.Run(10 * sim.Second)
+	if len(h.suspects) != 1 || h.suspects[0] != 1 {
+		t.Fatalf("suspects = %v, want exactly [1]", h.suspects)
+	}
+	if got := h.svc[0].StateOf(1); got != StateSuspect {
+		t.Fatalf("survivor sees dead peer as %v, want suspect", got)
+	}
+	if h.svc[0].Suspicions != 1 {
+		t.Fatalf("Suspicions = %d, want 1", h.svc[0].Suspicions)
+	}
+}
+
+func TestLateHeartbeatRevivesSuspect(t *testing.T) {
+	h := newHarness(t, 100*sim.Millisecond, 400*sim.Millisecond)
+	// Mute node 1 long enough to be suspected, then let it speak again.
+	h.s.After(2*sim.Second, func() { h.dead[1] = true })
+	h.s.After(4*sim.Second, func() { h.dead[1] = false })
+	h.s.Run(10 * sim.Second)
+	if len(h.suspects) != 1 {
+		t.Fatalf("suspects = %v, want one suspicion before the revival", h.suspects)
+	}
+	if got := h.svc[0].StateOf(1); got != StateLive {
+		t.Fatalf("revived peer still %v, want live", got)
+	}
+}
+
+func TestCoordinatorIsLowestLive(t *testing.T) {
+	s := sim.New()
+	sv := NewService(s, 2, 4, sim.Second, 4*sim.Second, Hooks{})
+	if got := sv.Coordinator(); got != 0 {
+		t.Fatalf("all-live coordinator = %d, want 0", got)
+	}
+	sv.SetState(0, StateDown)
+	sv.SetState(1, StateJoining)
+	if got := sv.Coordinator(); got != 2 {
+		t.Fatalf("coordinator with 0 down, 1 joining = %d, want self (2)", got)
+	}
+	if got := sv.LiveCount(); got != 2 {
+		t.Fatalf("LiveCount = %d, want 2 (self and node 3)", got)
+	}
+	// SetState back to Live must refresh the lease so the revived peer is
+	// not instantly re-suspected.
+	s.Run(10 * sim.Second)
+	sv.SetState(0, StateLive)
+	if got := sv.Coordinator(); got != 0 {
+		t.Fatalf("coordinator after readmitting 0 = %d, want 0", got)
+	}
+}

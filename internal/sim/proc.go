@@ -33,6 +33,10 @@ type Proc struct {
 // Name returns the process name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
 
+// Seq returns the spawn-order number, usable as a deterministic sort key
+// when a set of processes must be torn down in a reproducible order.
+func (p *Proc) Seq() uint64 { return p.seq }
+
 // Sim returns the simulation this process belongs to.
 func (p *Proc) Sim() *Sim { return p.sim }
 
@@ -204,6 +208,26 @@ func (s *Sim) Shutdown() {
 			p.wakeKill()
 		}
 	}
+}
+
+// Kill terminates a single process: parked processes unwind immediately
+// (their deferred functions run); a process whose start event has not fired
+// is marked dead so the event no-ops. Killing a finished process is a no-op.
+// Kill must be called from kernel context (inside an event callback), like
+// Shutdown — model code kills processes from fault-activation events.
+func (s *Sim) Kill(p *Proc) {
+	if s.current != nil {
+		panic("sim: Kill called from inside a process")
+	}
+	if p.done {
+		return
+	}
+	if !p.started() {
+		p.done = true
+		delete(s.procs, p)
+		return
+	}
+	p.wakeKill()
 }
 
 // started reports whether the process goroutine exists. A process whose

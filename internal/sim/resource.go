@@ -125,9 +125,12 @@ func (r *Resource) Release() {
 		panic("sim: Release on idle resource")
 	}
 	r.accountBusy()
-	if len(r.queue) > 0 {
+	for len(r.queue) > 0 {
 		w := r.queue[0]
 		r.queue = r.queue[1:]
+		if w.p.done {
+			continue // waiter was killed while queued; do not strand the server on it
+		}
 		// Server passes directly to the waiter; inUse unchanged.
 		r.sim.After(0, func() { w.p.wake(nil) })
 		return

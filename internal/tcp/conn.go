@@ -585,6 +585,12 @@ func (c *Conn) maybeFinish() {
 // stFinWait with everything acked as covering the FIN.
 func (c *Conn) finAcked() bool { return c.sndUna >= c.finSeq }
 
+// Abort kills the connection locally without sending anything: the crash
+// model for a powered-off host. The peer discovers the loss through its own
+// retransmission timeouts (and a restarted host's fresh stack drops the
+// stale segments). Safe to call from kernel context.
+func (c *Conn) Abort() { c.teardown(true) }
+
 // teardown finalizes the connection.
 func (c *Conn) teardown(reset bool) {
 	if c.state == stClosed || c.state == stReset {

@@ -8,6 +8,7 @@ package tcp
 
 import (
 	"fmt"
+	"sort"
 
 	"dclue/internal/netsim"
 	"dclue/internal/sim"
@@ -135,6 +136,26 @@ func (s *Stack) Domain() *Domain { return s.dom }
 
 // SetCosts replaces the stack's protocol cost model (offload experiments).
 func (s *Stack) SetCosts(c CostModel) { s.costs = c }
+
+// SetProcessor repoints protocol work at a new CPU complex; a restarted node
+// keeps its stack (peers hold its address) but boots fresh processors.
+func (s *Stack) SetProcessor(proc Processor) { s.proc = proc }
+
+// AbortConns abandons every connection on the stack without wire traffic —
+// the node lost power; nothing it could say would reach anyone. Connections
+// die in id order so teardown side effects stay deterministic.
+func (s *Stack) AbortConns() {
+	ids := make([]uint64, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if c, ok := s.conns[id]; ok {
+			c.Abort()
+		}
+	}
+}
 
 // Listen registers accept for connections arriving on port. The callback
 // runs in kernel context once the connection is established.
