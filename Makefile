@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint fuzz-smoke clean
+.PHONY: all build vet test race lint fuzz-smoke kernel-bench clean
 
 all: build vet lint test
 
@@ -25,6 +25,17 @@ lint:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 10s ./internal/faults
 	$(GO) test -run '^$$' -fuzz FuzzParseAllow -fuzztime 10s ./internal/lint/analysis
+
+# Kernel performance gate: scheduler microbenchmarks plus one quick reference
+# figure, compared against bench/kernel_baseline.json (>20% worse fails).
+# Refresh the baseline deliberately with:
+#   go run ./cmd/dcluebench -bench-out kernel_bench.txt -sweeps BENCH_kernel.json -write-baseline
+kernel-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedule$$|BenchmarkScheduleDepth$$|BenchmarkCancel$$|BenchmarkProcSwitch$$' -benchmem -count 3 ./internal/sim | tee kernel_bench.txt
+	$(GO) build -o dclueexp ./cmd/dclueexp
+	rm -f BENCH_kernel.json
+	./dclueexp -fig 2 -quick -j 1 -bench BENCH_kernel.json > /dev/null
+	$(GO) run ./cmd/dcluebench -bench-out kernel_bench.txt -sweeps BENCH_kernel.json -baseline bench/kernel_baseline.json
 
 clean:
 	rm -rf .dcluevet-cache

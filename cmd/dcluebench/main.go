@@ -1,0 +1,238 @@
+// dcluebench compares kernel microbenchmark results and reference-figure
+// wall-clock against a checked-in baseline, failing on regression.
+//
+// It is the gate behind the CI kernel-bench job and `make kernel-bench`:
+// the event-kernel rewrite (PR 7) bought a large per-point speedup, and this
+// tool keeps later changes from silently giving it back. Two inputs feed it:
+//
+//   - the text output of `go test -bench` over internal/sim (-bench-out),
+//     parsed for ns/op; repeated -count runs collapse to the per-benchmark
+//     minimum, which is the least noisy central tendency for CI machines;
+//   - a dclueexp -bench JSON record (-sweeps), parsed for per-figure
+//     seconds, again taking the minimum across runs in the file.
+//
+// Each measurement is compared against bench/kernel_baseline.json. A current
+// value above baseline*(1+tolerance) is a regression and the exit status is
+// 1; missing measurements that the baseline names are also failures, so a
+// renamed or deleted benchmark cannot silently drop out of the gate. Faster
+// results are reported but never fail: refreshing the baseline downward is a
+// deliberate act (-write-baseline), not an ambient ratchet.
+//
+// Exit codes: 0 ok, 1 regression or missing measurement, 2 usage/IO error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline is the checked-in reference the gate compares against. Tolerance
+// lives in the file rather than a flag default so the acceptable noise band
+// is versioned alongside the numbers it applies to.
+type baseline struct {
+	// Tolerance is the fractional regression budget: current values up to
+	// baseline*(1+Tolerance) pass. It absorbs run-to-run jitter and modest
+	// CI-machine variance; structural slowdowns exceed it.
+	Tolerance float64 `json:"tolerance"`
+	// NsPerOp maps benchmark name (no -GOMAXPROCS suffix) to ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// FigureSeconds maps figure ID (e.g. "fig02") to wall-clock seconds
+	// for the quick-mode reference run.
+	FigureSeconds map[string]float64 `json:"figure_seconds"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSchedule-8   30382518   36.09 ns/op   0 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines are portable across
+// machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchOut extracts min ns/op per benchmark from go test -bench text.
+func parseBenchOut(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := out[m[1]]; !ok || v < cur {
+			out[m[1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// sweepFigure / sweepRun / sweepFile mirror the dclueexp -bench record
+// shape; only the fields the gate reads are declared.
+type sweepFigure struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+type sweepRun struct {
+	Figures []sweepFigure `json:"figures"`
+}
+
+type sweepFile struct {
+	Runs []sweepRun `json:"runs"`
+}
+
+// parseSweeps extracts min seconds per figure ID across all runs in a
+// dclueexp -bench JSON record.
+func parseSweeps(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sf sweepFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]float64)
+	for _, run := range sf.Runs {
+		for _, fig := range run.Figures {
+			if cur, ok := out[fig.ID]; !ok || fig.Seconds < cur {
+				out[fig.ID] = fig.Seconds
+			}
+		}
+	}
+	return out, nil
+}
+
+// compare checks every baseline entry against the measured map, printing one
+// line per metric. It returns the number of failures (regressions beyond
+// tolerance, plus baseline metrics with no measurement).
+func compare(kind string, base, got map[string]float64, tol float64) int {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	for _, name := range names {
+		want := base[name]
+		cur, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %s %s: no measurement (baseline %.3g)\n", kind, name, want)
+			failures++
+			continue
+		}
+		limit := want * (1 + tol)
+		delta := (cur - want) / want * 100
+		switch {
+		case cur > limit:
+			fmt.Printf("FAIL %s %s: %.3g vs baseline %.3g (%+.1f%%, budget %.0f%%)\n",
+				kind, name, cur, want, delta, tol*100)
+			failures++
+		default:
+			fmt.Printf("ok   %s %s: %.3g vs baseline %.3g (%+.1f%%)\n",
+				kind, name, cur, want, delta)
+		}
+	}
+	return failures
+}
+
+func run() int {
+	benchOut := flag.String("bench-out", "", "go test -bench output text to check ns/op against baseline")
+	sweeps := flag.String("sweeps", "", "dclueexp -bench JSON record to check figure seconds against baseline")
+	basePath := flag.String("baseline", "bench/kernel_baseline.json", "checked-in baseline file")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the baseline from the current inputs instead of comparing")
+	tolFlag := flag.Float64("tolerance", -1, "override the baseline file's regression budget (fraction, e.g. 0.20)")
+	flag.Parse()
+	if *benchOut == "" && *sweeps == "" {
+		fmt.Fprintln(os.Stderr, "dcluebench: need -bench-out and/or -sweeps")
+		flag.Usage()
+		return 2
+	}
+
+	nsPerOp := map[string]float64{}
+	figSeconds := map[string]float64{}
+	var err error
+	if *benchOut != "" {
+		if nsPerOp, err = parseBenchOut(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dcluebench: %v\n", err)
+			return 2
+		}
+		if len(nsPerOp) == 0 {
+			fmt.Fprintf(os.Stderr, "dcluebench: %s: no benchmark result lines found\n", *benchOut)
+			return 2
+		}
+	}
+	if *sweeps != "" {
+		if figSeconds, err = parseSweeps(*sweeps); err != nil {
+			fmt.Fprintf(os.Stderr, "dcluebench: %v\n", err)
+			return 2
+		}
+		if len(figSeconds) == 0 {
+			fmt.Fprintf(os.Stderr, "dcluebench: %s: no figure timings found\n", *sweeps)
+			return 2
+		}
+	}
+
+	if *writeBaseline {
+		tol := 0.20
+		if *tolFlag >= 0 {
+			tol = *tolFlag
+		}
+		out, err := json.MarshalIndent(baseline{Tolerance: tol, NsPerOp: nsPerOp, FigureSeconds: figSeconds}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcluebench: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*basePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dcluebench: %v\n", err)
+			return 2
+		}
+		fmt.Printf("wrote %s (%d benchmarks, %d figures, tolerance %.0f%%)\n",
+			*basePath, len(nsPerOp), len(figSeconds), tol*100)
+		return 0
+	}
+
+	data, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcluebench: %v\n", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "dcluebench: %s: %v\n", *basePath, err)
+		return 2
+	}
+	tol := base.Tolerance
+	if *tolFlag >= 0 {
+		tol = *tolFlag
+	}
+
+	failures := 0
+	if *benchOut != "" {
+		failures += compare("bench", base.NsPerOp, nsPerOp, tol)
+	}
+	if *sweeps != "" {
+		failures += compare("figure", base.FigureSeconds, figSeconds, tol)
+	}
+	if failures > 0 {
+		fmt.Printf("%d regression(s) beyond the %.0f%% budget\n", failures, tol*100)
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run()) }

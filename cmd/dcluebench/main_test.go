@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchOut(t *testing.T) {
+	path := writeTemp(t, "bench.txt", `goos: linux
+goarch: amd64
+pkg: dclue/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSchedule-8      	30382518	        36.09 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedule-8      	35086632	        34.50 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCancel          	17569423	        68.16 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProcSwitch-8    	 1000000	      1280 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	dclue/internal/sim	15.147s
+`)
+	got, err := parseBenchOut(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -8 GOMAXPROCS suffix is stripped and repeats collapse to the min.
+	want := map[string]float64{
+		"BenchmarkSchedule":   34.50,
+		"BenchmarkCancel":     68.16,
+		"BenchmarkProcSwitch": 1280,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}
+
+func TestParseSweeps(t *testing.T) {
+	path := writeTemp(t, "sweeps.json", `{
+  "runs": [
+    {"jobs": 1, "figures": [
+      {"id": "fig02", "points": 10, "fingerprint": "241c68808d0de9a9", "seconds": 6.5},
+      {"id": "fig03", "points": 8, "fingerprint": "aa", "seconds": 3.1}
+    ]},
+    {"jobs": 4, "figures": [
+      {"id": "fig02", "points": 10, "fingerprint": "241c68808d0de9a9", "seconds": 5.9}
+    ]}
+  ]
+}`)
+	got, err := parseSweeps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["fig02"] != 5.9 {
+		t.Errorf("fig02 = %v, want min across runs 5.9", got["fig02"])
+	}
+	if got["fig03"] != 3.1 {
+		t.Errorf("fig03 = %v, want 3.1", got["fig03"])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkSchedule": 40,
+		"BenchmarkCancel":   70,
+		"BenchmarkGone":     10,
+	}
+	got := map[string]float64{
+		"BenchmarkSchedule": 47,  // +17.5%: within the 20% budget
+		"BenchmarkCancel":   120, // +71%: regression
+		// BenchmarkGone missing: a renamed benchmark must not drop out silently
+	}
+	if n := compare("bench", base, got, 0.20); n != 2 {
+		t.Errorf("compare = %d failures, want 2 (one regression, one missing)", n)
+	}
+	if n := compare("bench", base, map[string]float64{
+		"BenchmarkSchedule": 20, "BenchmarkCancel": 70, "BenchmarkGone": 10,
+	}, 0.20); n != 0 {
+		t.Errorf("compare = %d failures, want 0 (improvements never fail)", n)
+	}
+}

@@ -194,8 +194,10 @@ func (c *Cluster) crashNode(i int) {
 	up.SetDown(true)
 	down.SetDown(true)
 
-	// Kill every process the node owns, oldest first (spawn order) so
-	// teardown is deterministic.
+	// Tear down the CPU's continuation-style interrupt channels (queued and
+	// in-flight protocol work dies with the node), then kill every process
+	// the node owns, oldest first (spawn order) so teardown is deterministic.
+	n.cpu.Stop()
 	var procs []*sim.Proc
 	procs = append(procs, n.dbn.Procs()...)
 	procs = append(procs, n.cpu.Procs()...)

@@ -62,6 +62,17 @@ func concurrencyExempt(pkgPath string) bool {
 		strings.HasPrefix(pkgPath, "dclue/internal/lint")
 }
 
+// continuationOnly lists the hot-path packages rebuilt as continuation
+// (callback) actors: they run at per-packet/per-segment event rates where a
+// goroutine-backed sim.Proc step costs two real context switches, so
+// reintroducing Proc or Mailbox there would silently undo the kernel
+// speedup. The bare "continuation" path is the lint fixture standing in for
+// a real hot-path package (fixture packages have bare import paths).
+func continuationOnly(pkgPath string) bool {
+	return pkgPath == "dclue/internal/netsim" ||
+		pkgPath == "continuation"
+}
+
 // traceDeclExempt: the trace package's own methods are the implementation
 // behind the nil-guarded call sites, so the guard rule does not apply
 // inside it. Matching by package name (not path) lets the fixture's

@@ -27,6 +27,13 @@ func TestGoroutine(t *testing.T) {
 	linttest.Run(t, analyzers.Goroutine, linttest.Dir("goroutine"))
 }
 
+// TestGoroutineContinuationOnly exercises the continuation-only rule: the
+// fixture package stands in for a hot-path package rebuilt as callback state
+// machines, where goroutine-backed sim primitives are forbidden.
+func TestGoroutineContinuationOnly(t *testing.T) {
+	linttest.Run(t, analyzers.Goroutine, linttest.Dir("continuation"))
+}
+
 func TestFloatsum(t *testing.T) {
 	linttest.Run(t, analyzers.Floatsum, linttest.Dir("floatsum"))
 }
@@ -60,6 +67,21 @@ func TestPolicyExemptions(t *testing.T) {
 		got := analyzers.ExemptForTest(c.analyzer, c.pkg)
 		if got != c.exempt {
 			t.Errorf("%s on %s: exempt=%v, want %v", c.analyzer, c.pkg, got, c.exempt)
+		}
+	}
+	contCases := []struct {
+		pkg  string
+		cont bool
+	}{
+		{"dclue/internal/netsim", true},
+		{"continuation", true},             // the lint fixture stands in for a hot path
+		{"dclue/internal/tcp", false},      // still hosts Dial/Mailbox for low-rate callers
+		{"dclue/internal/platform", false}, // app threads remain goroutine-backed Procs
+		{"dclue/internal/core", false},
+	}
+	for _, c := range contCases {
+		if got := analyzers.ContinuationOnlyForTest(c.pkg); got != c.cont {
+			t.Errorf("continuationOnly(%s)=%v, want %v", c.pkg, got, c.cont)
 		}
 	}
 }

@@ -13,3 +13,6 @@ func ExemptForTest(analyzer, pkgPath string) bool {
 	}
 	return false
 }
+
+// ContinuationOnlyForTest exposes the continuation-only package list.
+func ContinuationOnlyForTest(pkgPath string) bool { return continuationOnly(pkgPath) }

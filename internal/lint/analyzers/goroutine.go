@@ -15,9 +15,18 @@ import (
 // only catch after the fact. sync.Mutex stays legal everywhere: mutual
 // exclusion protects shared state without creating concurrency. Test files
 // are exempt — the test harness may spawn helpers; model code may not.
+//
+// The analyzer also knows the continuation actor style: packages on the
+// continuation-only list (see continuationOnly) are per-packet hot paths
+// that were deliberately rebuilt as callback state machines, where each
+// goroutine-backed sim.Proc step would cost two real context switches.
+// There it additionally flags the goroutine-backed kernel primitives —
+// naming the sim.Proc or sim.Mailbox types, or calling sim.NewMailbox —
+// since any use of the process API has to name one of them. Pure callback
+// scheduling (sim.After/At, EventID) stays legal everywhere.
 var Goroutine = &analysis.Analyzer{
 	Name: "goroutine",
-	Doc:  "forbid go statements, channels, and sync.WaitGroup outside internal/sim and internal/runner",
+	Doc:  "forbid go statements, channels, and sync.WaitGroup outside internal/sim and internal/runner; forbid goroutine-backed sim primitives in continuation-only packages",
 	Run:  runGoroutine,
 }
 
@@ -25,6 +34,7 @@ func runGoroutine(pass *analysis.Pass) error {
 	if concurrencyExempt(pass.PkgPath) {
 		return nil
 	}
+	contOnly := continuationOnly(pass.PkgPath)
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
 			continue
@@ -37,12 +47,21 @@ func runGoroutine(pass *analysis.Pass) error {
 				pass.Reportf(n.Pos(), "channel type outside the sanctioned concurrency packages (internal/sim, internal/runner): use sim.Mailbox for model-level message passing")
 				return false // one report per channel type, not per nesting
 			case *ast.SelectorExpr:
-				if n.Sel.Name != "WaitGroup" {
+				id, ok := n.X.(*ast.Ident)
+				if !ok {
 					return true
 				}
-				if id, ok := n.X.(*ast.Ident); ok {
+				switch n.Sel.Name {
+				case "WaitGroup":
 					if path, isPkg := pass.PkgNameOf(f, id); isPkg && path == "sync" {
 						pass.Reportf(n.Pos(), "sync.WaitGroup outside the sanctioned concurrency packages (internal/sim, internal/runner)")
+					}
+				case "Proc", "Mailbox", "NewMailbox":
+					if !contOnly {
+						return true
+					}
+					if path, isPkg := pass.PkgNameOf(f, id); isPkg && isSimImport(path) {
+						pass.Reportf(n.Pos(), "sim.%s in a continuation-only package: this hot path runs as callback state machines; goroutine-backed processes would reintroduce two context switches per event", n.Sel.Name)
 					}
 				}
 			}
@@ -50,4 +69,10 @@ func runGoroutine(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// isSimImport matches the kernel package by full module path or by the bare
+// fixture path.
+func isSimImport(path string) bool {
+	return path == "dclue/internal/sim" || path == "sim"
 }

@@ -1,0 +1,27 @@
+// Package sim is a miniature of dclue/internal/sim for the continuation
+// fixture: just enough surface to exercise the goroutine analyzer's
+// continuation-only rule (Proc/Mailbox/NewMailbox flagged, After/EventID
+// legal).
+package sim
+
+type Time int64
+
+type EventID struct{ slot, gen int32 }
+
+type Sim struct{}
+
+func (s *Sim) After(d Time, fn func()) EventID { fn(); return EventID{} }
+
+func (s *Sim) Cancel(id EventID) {}
+
+type Proc struct{}
+
+func (p *Proc) Sleep(d Time) {}
+
+func (s *Sim) Spawn(name string, fn func(*Proc)) *Proc { return &Proc{} }
+
+type Mailbox struct{}
+
+func NewMailbox(s *Sim) *Mailbox { return &Mailbox{} }
+
+func (m *Mailbox) Recv(p *Proc) any { return nil }

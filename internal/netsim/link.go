@@ -18,6 +18,19 @@ type Link struct {
 	qdisc *Qdisc
 
 	busy bool
+	cur  *Packet // frame currently being serialized
+
+	// inflight holds frames that finished serialization and are propagating,
+	// oldest first. Arrival events pop from the front: the wire is FIFO, so
+	// this is exact as long as the propagation delay does not shrink while
+	// frames are in flight (SetPropagation is a setup-time knob; the model
+	// never changes it mid-run).
+	inflight pktRing
+
+	// Prebuilt continuations, so serialization and arrival events do not
+	// allocate a closure per frame.
+	serDoneFn func()
+	arriveFn  func()
 
 	// Fault-injection state (all zero on a healthy link). down models a
 	// failed wire: everything queued or in flight is lost. stalled models a
@@ -43,6 +56,8 @@ type Link struct {
 // when work arrives.
 func NewLink(n *Network, bps float64, prop sim.Time, q *Qdisc, to sink) *Link {
 	l := &Link{net: n, bps: bps, prop: prop, to: to, qdisc: q}
+	l.serDoneFn = l.serDone
+	l.arriveFn = l.arrive
 	q.link = l
 	return l
 }
@@ -90,35 +105,47 @@ func (l *Link) kick() {
 		return
 	}
 	l.busy = true
+	l.cur = pkt
 	l.lastStart = l.net.sim.Now()
-	ser := l.SerializationDelay(pkt.Size)
-	l.net.sim.After(ser, func() {
-		l.busyTime += l.net.sim.Now() - l.lastStart
-		l.busy = false
-		if l.down || (l.lossP > 0 && l.faultRnd != nil && l.faultRnd.Float64() < l.lossP) {
-			// Lost on the wire: the frame consumed its serialization slot
-			// but never arrives (link went down mid-flight, or burst loss).
-			l.dropFault(pkt)
-			l.kick()
-			return
-		}
-		if l.corruptP > 0 && l.faultRnd != nil && l.faultRnd.Float64() < l.corruptP {
-			pkt.Corrupt = true
-		}
-		l.BytesSent += uint64(pkt.Size)
-		l.PktsSent++
-		// Propagation: the wire is free for the next frame while this one
-		// flies.
-		l.net.sim.After(l.prop, func() { l.to.receive(pkt) })
+	l.net.sim.After(l.SerializationDelay(pkt.Size), l.serDoneFn)
+}
+
+// serDone fires when the frame on the wire finishes serializing.
+func (l *Link) serDone() {
+	pkt := l.cur
+	l.cur = nil
+	l.busyTime += l.net.sim.Now() - l.lastStart
+	l.busy = false
+	if l.down || (l.lossP > 0 && l.faultRnd != nil && l.faultRnd.Float64() < l.lossP) {
+		// Lost on the wire: the frame consumed its serialization slot
+		// but never arrives (link went down mid-flight, or burst loss).
+		l.dropFault(pkt)
 		l.kick()
-	})
+		return
+	}
+	if l.corruptP > 0 && l.faultRnd != nil && l.faultRnd.Float64() < l.corruptP {
+		pkt.Corrupt = true
+	}
+	l.BytesSent += uint64(pkt.Size)
+	l.PktsSent++
+	// Propagation: the wire is free for the next frame while this one
+	// flies.
+	l.inflight.push(pkt)
+	l.net.sim.After(l.prop, l.arriveFn)
+	l.kick()
+}
+
+// arrive fires when the oldest propagating frame reaches the far end.
+func (l *Link) arrive() {
+	l.to.receive(l.inflight.pop())
 }
 
 // dropFault discards a packet lost to an injected fault.
-func (l *Link) dropFault(*Packet) {
+func (l *Link) dropFault(pkt *Packet) {
 	l.FaultDrops++
 	l.net.FaultDrops++
 	l.net.Drops++
+	l.net.freePacket(pkt)
 }
 
 // SetFaultRand installs the random stream used for loss/corruption draws.

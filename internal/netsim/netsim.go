@@ -49,7 +49,10 @@ type Packet struct {
 
 // Endpoint consumes packets addressed to it.
 type Endpoint interface {
-	// Deliver is called in kernel context when a packet arrives.
+	// Deliver is called in kernel context when a packet arrives. The packet
+	// is only valid for the duration of the call: the network recycles it as
+	// soon as Deliver returns, so an endpoint that needs the contents later
+	// must copy them out (the payload itself may be retained).
 	Deliver(pkt *Packet)
 }
 
@@ -66,6 +69,11 @@ type Network struct {
 	nics      map[Addr]*NIC
 	routers   []*Router
 	portSetup func(*Qdisc) // applied to each router port at creation
+
+	// pktPool recycles Packet objects so the steady-state wire path does not
+	// allocate: AllocPacket draws one, and the fabric returns it when the
+	// packet dies (delivered, or dropped anywhere along the path).
+	pktPool []*Packet
 
 	// Delay statistics by class (end-to-end, NIC enqueue to delivery).
 	DelayByClass [NumClasses]DelayTally
@@ -103,6 +111,25 @@ func New(s *sim.Sim) *Network {
 // Sim returns the simulation the network is bound to.
 func (n *Network) Sim() *sim.Sim { return n.sim }
 
+// AllocPacket draws a zeroed packet from the recycle pool. Senders that use
+// it avoid a per-packet allocation; Send also accepts packets allocated any
+// other way.
+func (n *Network) AllocPacket() *Packet {
+	if ln := len(n.pktPool); ln > 0 {
+		pkt := n.pktPool[ln-1]
+		n.pktPool[ln-1] = nil
+		n.pktPool = n.pktPool[:ln-1]
+		return pkt
+	}
+	return &Packet{}
+}
+
+// freePacket recycles a dead packet (delivered or dropped).
+func (n *Network) freePacket(pkt *Packet) {
+	*pkt = Packet{}
+	n.pktPool = append(n.pktPool, pkt)
+}
+
 // NIC returns the NIC for addr, creating it if needed.
 func (n *Network) NIC(addr Addr) *NIC {
 	nic, ok := n.nics[addr]
@@ -126,18 +153,21 @@ func (n *Network) Send(pkt *Packet) {
 	nic.transmit(pkt)
 }
 
-// deliver hands a packet that reached its destination NIC to the endpoint.
+// deliver hands a packet that reached its destination NIC to the endpoint,
+// then recycles it (see the Endpoint.Deliver contract).
 func (n *Network) deliver(pkt *Packet) {
 	nic := n.nics[pkt.Dst]
 	if nic == nil || nic.endpoint == nil {
 		// Destination has no listener; count as a drop.
 		n.Drops++
+		n.freePacket(pkt)
 		return
 	}
 	if pkt.Corrupt {
 		// Checksum failure at the receiving host: the frame is discarded
 		// silently, so the transport sees it exactly like a loss.
 		n.CorruptDrops++
+		n.freePacket(pkt)
 		return
 	}
 	d := n.sim.Now() - pkt.sent
@@ -145,4 +175,5 @@ func (n *Network) deliver(pkt *Packet) {
 	t.N++
 	t.Sum += d
 	nic.endpoint.Deliver(pkt)
+	n.freePacket(pkt)
 }

@@ -6,7 +6,8 @@ import (
 	"dclue/internal/sim"
 )
 
-// collector is a test endpoint recording deliveries.
+// collector is a test endpoint recording deliveries. Packets are only valid
+// during Deliver (the network recycles them), so it records copies.
 type collector struct {
 	pkts  []*Packet
 	times []sim.Time
@@ -14,7 +15,8 @@ type collector struct {
 }
 
 func (c *collector) Deliver(pkt *Packet) {
-	c.pkts = append(c.pkts, pkt)
+	cp := *pkt
+	c.pkts = append(c.pkts, &cp)
 	c.times = append(c.times, c.s.Now())
 }
 

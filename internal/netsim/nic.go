@@ -10,6 +10,11 @@ type NIC struct {
 	endpoint Endpoint
 	egress   *Qdisc
 	link     *Link
+
+	// Loopback frames in flight (constant local delay, so strictly FIFO)
+	// and the prebuilt delivery continuation.
+	loopQ  pktRing
+	loopFn func()
 }
 
 // Addr returns the NIC's fabric address.
@@ -45,7 +50,11 @@ func (nic *NIC) transmit(pkt *Packet) {
 	if pkt.Dst == nic.addr {
 		// Loopback: deliver after a negligible local delay without touching
 		// the fabric.
-		nic.net.sim.After(sim.Microsecond, func() { nic.net.deliver(pkt) })
+		if nic.loopFn == nil {
+			nic.loopFn = func() { nic.net.deliver(nic.loopQ.pop()) }
+		}
+		nic.loopQ.push(pkt)
+		nic.net.sim.After(sim.Microsecond, nic.loopFn)
 		return
 	}
 	nic.egress.Enqueue(pkt)

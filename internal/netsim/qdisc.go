@@ -69,6 +69,7 @@ func (q *Qdisc) Enqueue(pkt *Packet) {
 	if !q.admit(pkt, c) {
 		q.DropsByClass[c]++
 		q.net.Drops++
+		q.net.freePacket(pkt)
 		return
 	}
 	if q.cfg.ECNThresholdBytes > 0 && pkt.ECN && !pkt.Marked &&

@@ -1,0 +1,41 @@
+package netsim
+
+// pktRing is a growable FIFO of packets. The fabric's hot paths (router
+// forwarding backlogs, link flights, NIC loopback) use it instead of
+// slice-append/reslice queues so steady-state operation does not allocate:
+// the ring grows to the high-water mark once and is reused thereafter.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) push(pkt *Packet) {
+	if r.n == len(r.buf) {
+		size := 2 * len(r.buf)
+		if size < 8 {
+			size = 8
+		}
+		grown := make([]*Packet, size)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = pkt
+	r.n++
+}
+
+func (r *pktRing) pop() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	pkt := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return pkt
+}

@@ -18,9 +18,11 @@ type Router struct {
 	fwdRate float64  // packets per second through the forwarding engine
 	latency sim.Time // fixed per-packet forwarding latency
 
-	fwdQ     []*Packet
-	fwdBusy  bool
-	fwdLimit int // max queued packets in the forwarding engine
+	fwdQ      pktRing
+	fwdBusy   bool
+	fwdLimit  int     // max queued packets in the forwarding engine
+	inService *Packet // packet in the forwarding engine
+	fwdDoneFn func()  // prebuilt completion (no closure per packet)
 
 	routes      map[Addr]*Qdisc
 	defaultPort *Qdisc
@@ -48,6 +50,7 @@ func NewRouter(n *Network, name string, fwdRate float64, latency sim.Time) *Rout
 		fwdLimit: 4096,
 		routes:   make(map[Addr]*Qdisc),
 	}
+	r.fwdDoneFn = r.fwdDone
 	n.routers = append(n.routers, r)
 	return r
 }
@@ -88,33 +91,38 @@ func (r *Router) DefaultRoute(q *Qdisc) { r.defaultPort = q }
 
 // receive implements sink: a packet arrives from some link.
 func (r *Router) receive(pkt *Packet) {
-	if len(r.fwdQ) >= r.fwdLimit {
+	if r.fwdQ.len() >= r.fwdLimit {
 		r.FwdDrops++
 		r.net.Drops++
+		r.net.freePacket(pkt)
 		return
 	}
-	r.fwdQ = append(r.fwdQ, pkt)
-	if len(r.fwdQ) > r.maxFwdQ {
-		r.maxFwdQ = len(r.fwdQ)
+	r.fwdQ.push(pkt)
+	if r.fwdQ.len() > r.maxFwdQ {
+		r.maxFwdQ = r.fwdQ.len()
 	}
 	r.pump()
 }
 
 // pump drives the forwarding engine.
 func (r *Router) pump() {
-	if r.fwdBusy || len(r.fwdQ) == 0 {
+	if r.fwdBusy || r.fwdQ.len() == 0 {
 		return
 	}
 	r.fwdBusy = true
-	pkt := r.fwdQ[0]
-	r.fwdQ = r.fwdQ[1:]
+	r.inService = r.fwdQ.pop()
 	service := sim.Time(float64(sim.Second)/r.fwdRate) + r.latency
-	r.net.sim.After(service, func() {
-		r.Forwarded++
-		r.forward(pkt)
-		r.fwdBusy = false
-		r.pump()
-	})
+	r.net.sim.After(service, r.fwdDoneFn)
+}
+
+// fwdDone fires when the forwarding engine finishes one packet.
+func (r *Router) fwdDone() {
+	pkt := r.inService
+	r.inService = nil
+	r.Forwarded++
+	r.forward(pkt)
+	r.fwdBusy = false
+	r.pump()
 }
 
 // forward places the packet on its output port.

@@ -99,7 +99,7 @@ type CPU struct {
 	sim   *sim.Sim
 	cfg   Config
 	res   *sim.Resource
-	procs []*sim.Proc // irq servers + stats ticker, for teardown on node crash
+	procs []*sim.Proc // stats ticker, for teardown on node crash
 
 	remoteFraction float64
 	cachedCPI      float64
@@ -108,8 +108,12 @@ type CPU struct {
 	instrSinceTick float64
 	instrRate      float64 // EWMA instructions/s (node-wide)
 
-	// Interrupt work queue and its servers.
-	irq *sim.Mailbox
+	// Interrupt work: a FIFO of pending tasks served by NumCPUs
+	// continuation-style "interrupt channels" (no goroutines — each channel
+	// is a tiny state machine driven by kernel callbacks; see irqService).
+	irqQ     irqRing
+	services []*irqService
+	dead     bool // set by Stop (node crash): drop all further interrupt work
 
 	// Statistics.
 	activeThreads stats.TimeWeighted
@@ -122,9 +126,72 @@ type CPU struct {
 	irqWork       float64 // instructions of interrupt work
 }
 
-type irqItem struct {
+// irqTask is one unit of interrupt work. Completion is either done() or
+// fn(arg); the latter lets hot callers (the TCP stack) pass a prebuilt
+// continuation plus argument instead of allocating a closure per segment.
+type irqTask struct {
 	pathLen float64
 	done    func()
+	fn      func(any)
+	arg     any
+}
+
+// complete invokes whichever completion the task carries.
+func (t *irqTask) complete() {
+	if t.done != nil {
+		t.done()
+	} else if t.fn != nil {
+		t.fn(t.arg)
+	}
+}
+
+// irqRing is an allocation-free FIFO of interrupt tasks.
+type irqRing struct {
+	buf  []irqTask
+	head int
+	n    int
+}
+
+func (r *irqRing) push(t irqTask) {
+	if r.n == len(r.buf) {
+		grown := make([]irqTask, 2*len(r.buf)+4)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = t
+	r.n++
+}
+
+func (r *irqRing) pop() irqTask {
+	t := r.buf[r.head]
+	r.buf[r.head] = irqTask{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return t
+}
+
+func (r *irqRing) reset() {
+	for i := range r.buf {
+		r.buf[i] = irqTask{}
+	}
+	r.head, r.n = 0, 0
+}
+
+// irqService is one interrupt channel: the continuation analogue of the old
+// goroutine-backed irq server. Its three prebuilt callbacks (start → grant →
+// finish) mirror, event for event, the park/wake sequence of the goroutine
+// version — schedule order and simulated times are identical, only the two
+// real context switches per task are gone.
+type irqService struct {
+	cpu    *CPU
+	task   irqTask
+	busy   bool
+	ev     sim.EventID // pending completion event, cancelled on Stop
+	start  func()
+	grant  func()
+	finish func()
 }
 
 // NewCPU creates the processor complex and starts its bookkeeping
@@ -134,22 +201,43 @@ func NewCPU(s *sim.Sim, cfg Config) *CPU {
 		sim:        s,
 		cfg:        cfg,
 		res:        sim.NewResource(s, cfg.NumCPUs),
-		irq:        sim.NewMailbox(s),
 		slowFactor: 1,
 	}
 	c.cachedCPI = c.computeCPI()
-	// Interrupt servers: one per processor so protocol work can use the
+	// Interrupt channels: one per processor so protocol work can use the
 	// whole complex, at priority over application threads.
 	for i := 0; i < cfg.NumCPUs; i++ {
-		c.procs = append(c.procs, s.Spawn("irq", c.irqServer))
+		svc := &irqService{cpu: c}
+		svc.start = func() { svc.doStart() }
+		svc.grant = func() { svc.doGrant() }
+		svc.finish = func() { svc.doFinish() }
+		c.services = append(c.services, svc)
 	}
 	c.procs = append(c.procs, s.Spawn("cpustats", c.ticker))
 	return c
 }
 
-// Procs returns the CPU's internal processes (irq servers and the stats
-// ticker) in spawn order, so a node crash can tear the complex down.
+// Procs returns the CPU's internal processes (the stats ticker) in spawn
+// order, so a node crash can tear the complex down. Interrupt channels are
+// not processes; Stop tears them down.
 func (c *CPU) Procs() []*sim.Proc { return c.procs }
+
+// Stop tears down the interrupt machinery on node crash: pending completion
+// events are cancelled (their done callbacks never run — the work died with
+// the node), queued tasks are dropped, and later Process calls no-op. The
+// caller separately kills the procs from Procs(). Kernel context.
+func (c *CPU) Stop() {
+	c.dead = true
+	c.irqQ.reset()
+	for _, svc := range c.services {
+		if c.sim.Scheduled(svc.ev) {
+			c.sim.Cancel(svc.ev)
+		}
+		svc.ev = sim.EventID{}
+		svc.task = irqTask{}
+		svc.busy = false
+	}
+}
 
 // SetRemoteFraction updates the fraction of work on non-home data, which
 // scales the miss rate (the paper's affinity-MPI heuristic).
@@ -276,24 +364,79 @@ func (c *CPU) runOn(p *sim.Proc, pathLen, extraCycles float64) {
 // protocol work): pathLen instructions at interrupt priority; done runs in
 // kernel context on completion. Callable from kernel or process context.
 func (c *CPU) Process(pathLen float64, done func()) {
-	c.irq.Send(irqItem{pathLen, done})
+	c.submit(irqTask{pathLen: pathLen, done: done})
 }
 
-// irqServer drains the interrupt queue on one processor.
-func (c *CPU) irqServer(p *sim.Proc) {
-	for {
-		item := c.irq.Recv(p).(irqItem)
-		c.res.Acquire(p, prioInterrupt)
-		d := c.duration(item.pathLen)
-		c.occupied += d
-		p.Sleep(d)
-		c.res.Release()
-		c.instrSinceTick += item.pathLen
-		c.instrTotal += item.pathLen
-		c.irqWork += item.pathLen
-		c.busyCycleEst += item.pathLen * c.cachedCPI
-		item.done()
+// ProcessArg implements tcp.ArgProcessor: like Process but completion is
+// fn(arg), letting per-segment callers reuse one prebuilt continuation
+// instead of allocating a closure for every task.
+func (c *CPU) ProcessArg(pathLen float64, fn func(any), arg any) {
+	c.submit(irqTask{pathLen: pathLen, fn: fn, arg: arg})
+}
+
+// submit hands a task to an idle interrupt channel (through the calendar,
+// exactly where the old mailbox dispatch scheduled the server wake-up) or
+// queues it FIFO when all channels are busy.
+func (c *CPU) submit(t irqTask) {
+	if c.dead {
+		return // crashed node: interrupt work dies with it
 	}
+	for _, svc := range c.services {
+		if !svc.busy {
+			svc.busy = true
+			svc.task = t
+			c.sim.After(0, svc.start)
+			return
+		}
+	}
+	c.irqQ.push(t)
+}
+
+// doStart begins serving the assigned task: claim a processor at interrupt
+// priority, continuing in doGrant once one is held.
+func (svc *irqService) doStart() {
+	c := svc.cpu
+	if c.dead {
+		return
+	}
+	c.res.AcquireFunc(prioInterrupt, svc.grant)
+}
+
+// doGrant runs with a processor held: occupy it for the task's service time.
+func (svc *irqService) doGrant() {
+	c := svc.cpu
+	if c.dead {
+		c.res.Release() // hand the server back; the work died with the node
+		return
+	}
+	d := c.duration(svc.task.pathLen)
+	c.occupied += d
+	svc.ev = c.sim.After(d, svc.finish)
+}
+
+// doFinish completes the task: release the processor, account the work, run
+// the completion, then pull the next queued task (if any) on this channel.
+func (svc *irqService) doFinish() {
+	c := svc.cpu
+	svc.ev = sim.EventID{}
+	c.res.Release()
+	task := svc.task
+	svc.task = irqTask{}
+	c.instrSinceTick += task.pathLen
+	c.instrTotal += task.pathLen
+	c.irqWork += task.pathLen
+	c.busyCycleEst += task.pathLen * c.cachedCPI
+	task.complete()
+	if c.dead {
+		svc.busy = false
+		return
+	}
+	if c.irqQ.n > 0 {
+		svc.task = c.irqQ.pop()
+		c.res.AcquireFunc(prioInterrupt, svc.grant)
+		return
+	}
+	svc.busy = false
 }
 
 // Utilization returns mean busy processors / capacity.

@@ -46,6 +46,8 @@ func (m *Mailbox) dispatch() {
 		m.vals = m.vals[1:]
 		if w.hasTimer {
 			m.sim.Cancel(w.timer)
+			w.timer = EventID{} // drop the stale handle; the slot will be recycled
+			w.hasTimer = false
 		}
 		m.sim.After(0, func() { w.p.wake(recvResult{v, true}) })
 	}
@@ -84,6 +86,8 @@ func (m *Mailbox) RecvTimeout(p *Proc, d Time) (any, bool) {
 	if d >= 0 {
 		w.hasTimer = true
 		w.timer = m.sim.After(d, func() {
+			w.timer = EventID{} // fired: the ID is stale from here on
+			w.hasTimer = false
 			if w.removed {
 				return
 			}

@@ -28,6 +28,7 @@ type Proc struct {
 	done        bool
 	goroutineUp bool
 	span        any
+	wakeFn      func() // prebuilt wake(nil) continuation, so Sleep never allocates
 }
 
 // Name returns the process name given at Spawn time.
@@ -60,6 +61,7 @@ func (p *Proc) Span() any { return p.span }
 // primitive, or the process is killed.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, seq: s.procSeq, resume: make(chan resumeMsg)}
+	p.wakeFn = func() { p.wake(nil) }
 	s.procSeq++
 	s.procs[p] = struct{}{}
 	s.After(0, func() { p.start(fn) })
@@ -155,17 +157,19 @@ func (p *Proc) wakeKill() {
 
 // Sleep suspends the process for d of simulated time.
 func (p *Proc) Sleep(d Time) {
-	p.sim.After(d, func() { p.wake(nil) })
+	p.sim.After(d, p.wakeFn)
 	p.park()
 }
 
 // SleepUntil suspends the process until absolute time t (no-op if t is in
-// the past).
+// the past). It schedules through At directly, so a target time beyond the
+// Time range is reported by At's own check rather than a wrapped delay.
 func (p *Proc) SleepUntil(t Time) {
 	if t <= p.sim.now {
 		return
 	}
-	p.Sleep(t - p.sim.now)
+	p.sim.At(t, p.wakeFn)
+	p.park()
 }
 
 // Yield reschedules the process at the current time, letting other pending

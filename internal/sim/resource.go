@@ -19,7 +19,8 @@ type Resource struct {
 }
 
 type resWaiter struct {
-	p       *Proc
+	p       *Proc  // goroutine-backed waiter, or
+	fn      func() // continuation waiter (callback actors; see AcquireFunc)
 	prio    int
 	arrived Time
 }
@@ -103,10 +104,35 @@ func (r *Resource) Acquire(p *Proc, prio int) {
 		return
 	}
 	w := &resWaiter{p: p, prio: prio, arrived: r.sim.now}
-	// Insert before the first waiter with a strictly larger prio value.
+	r.enqueue(w)
+	p.park()
+	r.totalWaits++
+	r.totalWaitTime += r.sim.now - w.arrived
+}
+
+// AcquireFunc is the continuation-style Acquire for callback actors: if a
+// server is free (and nobody is queued ahead) fn runs synchronously with the
+// server held; otherwise the continuation waits in the same priority-FIFO
+// queue as blocking processes and runs (via the calendar, like a woken
+// process) once a server is handed to it. The caller must eventually call
+// Release from fn's continuation chain. Kernel context only.
+func (r *Resource) AcquireFunc(prio int, fn func()) {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.accountBusy()
+		r.inUse++
+		r.lastBusy = r.inUse
+		fn()
+		return
+	}
+	r.enqueue(&resWaiter{fn: fn, prio: prio, arrived: r.sim.now})
+}
+
+// enqueue inserts w before the first waiter with a strictly larger prio
+// value (priority-FIFO).
+func (r *Resource) enqueue(w *resWaiter) {
 	i := len(r.queue)
 	for j, q := range r.queue {
-		if q.prio > prio {
+		if q.prio > w.prio {
 			i = j
 			break
 		}
@@ -114,9 +140,6 @@ func (r *Resource) Acquire(p *Proc, prio int) {
 	r.queue = append(r.queue, nil)
 	copy(r.queue[i+1:], r.queue[i:])
 	r.queue[i] = w
-	p.park()
-	r.totalWaits++
-	r.totalWaitTime += r.sim.now - w.arrived
 }
 
 // Release frees a server and, if someone is waiting, hands it over.
@@ -128,6 +151,16 @@ func (r *Resource) Release() {
 	for len(r.queue) > 0 {
 		w := r.queue[0]
 		r.queue = r.queue[1:]
+		if w.fn != nil {
+			// Continuation waiter: the server passes directly to it; the
+			// continuation runs through the calendar exactly where a woken
+			// process would. Wait accounting happens here (same simulated
+			// instant the woken process would record it).
+			r.totalWaits++
+			r.totalWaitTime += r.sim.now - w.arrived
+			r.sim.After(0, w.fn)
+			return
+		}
 		if w.p.done {
 			continue // waiter was killed while queued; do not strand the server on it
 		}

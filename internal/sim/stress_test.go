@@ -124,6 +124,73 @@ func TestMailboxConservation(t *testing.T) {
 	}
 }
 
+// TestPooledCalendarStress interleaves Cancel, Kill and Shutdown against the
+// free-listed event pool: slots recycle constantly while random holders of
+// stale EventIDs keep cancelling them. The pool's generation tags must make
+// every stale cancel a no-op — a miscount here fires the wrong event or
+// silently drops a live one, which the executed-event tally and the
+// double-run comparison would both expose.
+func TestPooledCalendarStress(t *testing.T) {
+	run := func(seed int64) (fired int, events uint64) {
+		s := New()
+		x := uint64(seed)*2654435761 + 99991
+		next := func(n int) int {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return int(x % uint64(n))
+		}
+		var ids []EventID
+		var procs []*Proc
+		var churn func()
+		churn = func() {
+			switch next(5) {
+			case 0, 1: // schedule a timer and remember its ID
+				ids = append(ids, s.After(Time(next(500)+1)*Microsecond, func() { fired++ }))
+			case 2: // cancel a random remembered ID (often already stale)
+				if len(ids) > 0 {
+					s.Cancel(ids[next(len(ids))])
+				}
+			case 3: // re-cancel the same ID twice in a row
+				if len(ids) > 0 {
+					id := ids[next(len(ids))]
+					s.Cancel(id)
+					s.Cancel(id)
+				}
+			case 4: // kill a random process (its pending sleep event goes stale)
+				if len(procs) > 0 {
+					i := next(len(procs))
+					s.Kill(procs[i])
+					procs = append(procs[:i], procs[i+1:]...)
+				}
+			}
+			s.After(Time(next(200)+1)*Microsecond, churn)
+		}
+		for i := 0; i < 8; i++ {
+			procs = append(procs, s.Spawn("w", func(p *Proc) {
+				for {
+					p.Sleep(Time(next(300)+1) * Microsecond)
+				}
+			}))
+		}
+		s.After(0, churn)
+		s.Run(200 * Millisecond)
+		s.Shutdown()
+		return fired, s.EventCount()
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		f1, e1 := run(seed)
+		f2, e2 := run(seed)
+		if f1 != f2 || e1 != e2 {
+			t.Fatalf("seed %d: nondeterministic pooled calendar (fired %d/%d, events %d/%d)",
+				seed, f1, f2, e1, e2)
+		}
+		if f1 == 0 {
+			t.Fatalf("seed %d: no timers fired; stress loop inert", seed)
+		}
+	}
+}
+
 // TestManyProcsScale sanity-checks kernel throughput: ten thousand
 // processes sleeping in a loop complete without issue.
 func TestManyProcsScale(t *testing.T) {

@@ -57,8 +57,9 @@ type Conn struct {
 	rto       sim.Time
 	rtoTimer  sim.EventID
 	rtoArmed  bool
-	rtoCount  int // consecutive expiries
-	cutPoint  int // sndNxt at last ECN-induced cut
+	rtoFn     func() // prebuilt onRTO continuation (no per-arm closure)
+	rtoCount  int    // consecutive expiries
+	cutPoint  int    // sndNxt at last ECN-induced cut
 	finQueued bool
 	finSeq    int
 
@@ -98,7 +99,7 @@ type sndSeg struct {
 
 func newConn(s *Stack, id uint64, remote netsim.Addr, class netsim.Class, ecn bool, maxRetx int) *Conn {
 	cfg := s.dom.cfg
-	return &Conn{
+	c := &Conn{
 		stack:    s,
 		id:       id,
 		remote:   remote,
@@ -112,6 +113,8 @@ func newConn(s *Stack, id uint64, remote netsim.Addr, class netsim.Class, ecn bo
 		rwndSegs: cfg.RecvWindowBytes / MSS,
 		inbox:    sim.NewMailbox(s.dom.sim),
 	}
+	c.rtoFn = c.onRTO
+	return c
 }
 
 // DialOptions tunes a new connection.
@@ -211,17 +214,16 @@ func (c *Conn) Close() {
 
 // sendControl emits a control segment of the given kind.
 func (c *Conn) sendControl(kind segKind) {
-	seg := &segment{
-		conn:    c.id,
-		kind:    kind,
-		port:    c.dialPort,
-		class:   c.class,
-		ecnOn:   c.ecnOn,
-		maxRetx: c.maxRetx,
-	}
+	seg := c.stack.dom.allocSeg()
+	seg.conn = c.id
+	seg.kind = kind
+	seg.port = c.dialPort
+	seg.class = c.class
+	seg.ecnOn = c.ecnOn
+	seg.maxRetx = c.maxRetx
 	if kind == segACK {
 		seg.ack = c.rcvNxt
-		seg.sacks = c.sackList()
+		seg.sacks = c.appendSacks(seg.sacks[:0])
 		seg.ecnEcho = c.echoECN
 		c.echoECN = false
 	}
@@ -231,21 +233,21 @@ func (c *Conn) sendControl(kind segKind) {
 	c.stack.sendSegment(seg, c.remote)
 }
 
-// sackList returns up to 16 out-of-order sequence numbers held, in sorted
-// order (map iteration order must not leak into the simulation).
-func (c *Conn) sackList() []int {
+// appendSacks appends up to 16 out-of-order sequence numbers held, in sorted
+// order (map iteration order must not leak into the simulation). The caller
+// passes a reusable buffer so steady-state acking does not allocate.
+func (c *Conn) appendSacks(buf []int) []int {
 	if len(c.oob) == 0 {
-		return nil
+		return buf
 	}
-	l := make([]int, 0, len(c.oob))
 	for seq := range c.oob {
-		l = append(l, seq)
+		buf = append(buf, seq)
 	}
-	sort.Ints(l)
-	if len(l) > 16 {
-		l = l[:16]
+	sort.Ints(buf)
+	if len(buf) > 16 {
+		buf = buf[:16]
 	}
-	return l
+	return buf
 }
 
 // flight returns outstanding unacked, un-sacked segments.
@@ -283,31 +285,33 @@ func (c *Conn) transmit(seq int) {
 	}
 	s.sent = true
 	s.sentAt = c.stack.dom.sim.Now()
-	c.stack.sendSegment(&segment{
-		conn:    c.id,
-		kind:    segData,
-		class:   c.class,
-		ecnOn:   c.ecnOn,
-		seq:     seq,
-		payload: s.payload,
-		meta:    s.meta,
-		msgSize: s.msgSize,
-		rtx:     s.rtx,
-	}, c.remote)
+	out := c.stack.dom.allocSeg()
+	out.conn = c.id
+	out.kind = segData
+	out.class = c.class
+	out.ecnOn = c.ecnOn
+	out.seq = seq
+	out.payload = s.payload
+	out.meta = s.meta
+	out.msgSize = s.msgSize
+	out.rtx = s.rtx
+	c.stack.sendSegment(out, c.remote)
 }
 
-// handleSegment is the per-connection receive path (post CPU processing).
-func (c *Conn) handleSegment(seg *segment) {
+// handleSegment is the per-connection receive path (post CPU processing). It
+// reports whether the connection retained the segment (out-of-order data held
+// for reassembly); when false the caller recycles it.
+func (c *Conn) handleSegment(seg *segment) bool {
 	if c.state == stClosed {
 		// TIME_WAIT-ish: keep acking the peer's FIN/data retransmissions so
 		// the peer can finish too.
 		if seg.kind == segFIN || seg.kind == segData {
 			c.sendControl(segACK)
 		}
-		return
+		return false
 	}
 	if c.state == stReset {
-		return
+		return false
 	}
 	switch seg.kind {
 	case segSYNACK:
@@ -331,7 +335,7 @@ func (c *Conn) handleSegment(seg *segment) {
 		if c.state == stSynRcvd {
 			c.establishPassive()
 		}
-		c.handleData(seg)
+		return c.handleData(seg)
 	case segFIN:
 		c.finRcvd = true
 		c.rfinSeq = seg.seq
@@ -340,6 +344,7 @@ func (c *Conn) handleSegment(seg *segment) {
 	case segRST:
 		c.teardown(true)
 	}
+	return false
 }
 
 // establishPassive completes the passive open.
@@ -354,8 +359,9 @@ func (c *Conn) establishPassive() {
 	}
 }
 
-// handleData processes an inbound data segment and acks it.
-func (c *Conn) handleData(seg *segment) {
+// handleData processes an inbound data segment and acks it, reporting
+// whether the segment was retained in the out-of-order buffer.
+func (c *Conn) handleData(seg *segment) (retained bool) {
 	if seg.marked {
 		c.echoECN = true
 	}
@@ -363,7 +369,7 @@ func (c *Conn) handleData(seg *segment) {
 	case seg.seq < c.rcvNxt:
 		// Duplicate; re-ack.
 	case seg.seq == c.rcvNxt:
-		c.consume(seg)
+		c.consume(seg) // caller recycles seg itself
 		for {
 			next, ok := c.oob[c.rcvNxt]
 			if !ok {
@@ -371,12 +377,18 @@ func (c *Conn) handleData(seg *segment) {
 			}
 			delete(c.oob, c.rcvNxt)
 			c.consume(next)
+			c.stack.dom.freeSeg(next)
 		}
 	default:
-		c.oob[seg.seq] = seg
+		if _, dup := c.oob[seg.seq]; !dup {
+			c.oob[seg.seq] = seg
+			retained = true
+		}
+		// A duplicate of a held segment carries nothing new; recycle it.
 	}
 	c.sendControl(segACK)
 	c.maybeFinish()
+	return retained
 }
 
 // consume advances rcvNxt over one in-order segment, delivering a message
@@ -519,7 +531,7 @@ func (c *Conn) armRTO() {
 		d = max
 	}
 	c.rtoArmed = true
-	c.rtoTimer = c.stack.dom.sim.After(d, c.onRTO)
+	c.rtoTimer = c.stack.dom.sim.After(d, c.rtoFn)
 }
 
 func (c *Conn) disarmRTO() {
@@ -527,15 +539,23 @@ func (c *Conn) disarmRTO() {
 		c.stack.dom.sim.Cancel(c.rtoTimer)
 		c.rtoArmed = false
 	}
+	// Drop the handle either way so a dead connection does not pin pool
+	// bookkeeping and a stale ID can never be cancelled twice.
+	c.rtoTimer = sim.EventID{}
 }
 
 // onRTO fires when the retransmission timer expires.
 func (c *Conn) onRTO() {
 	c.rtoArmed = false
+	c.rtoTimer = sim.EventID{}
 	c.rtoCount++
 	if c.rtoCount > c.maxRetx {
 		// Too many consecutive losses: reset, notifying the peer.
-		c.stack.sendSegment(&segment{conn: c.id, kind: segRST, class: c.class}, c.remote)
+		rst := c.stack.dom.allocSeg()
+		rst.conn = c.id
+		rst.kind = segRST
+		rst.class = c.class
+		c.stack.sendSegment(rst, c.remote)
 		c.teardown(true)
 		return
 	}

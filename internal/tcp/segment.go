@@ -36,10 +36,16 @@ func (k segKind) String() string {
 // bytes: every data segment of a connection gets the next integer. This
 // keeps the congestion/loss machinery exact while avoiding byte-range
 // bookkeeping; cwnd and windows are tracked in segments.
+//
+// Segments are pooled per Domain (see allocSeg/freeSeg): the sending stack
+// draws one, the receiving stack recycles it once fully consumed, so the
+// wire path allocates nothing in steady state.
 type segment struct {
 	conn    uint64
 	kind    segKind
-	port    int // SYN only: destination port
+	port    int         // SYN only: destination port
+	from    netsim.Addr // sender stack address (receive-path dispatch key)
+	to      netsim.Addr // destination address (send-path routing)
 	class   netsim.Class
 	ecnOn   bool
 	maxRetx int // SYN only: propagates connection policy

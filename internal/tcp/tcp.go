@@ -27,11 +27,22 @@ type Processor interface {
 	Process(pathLen float64, done func())
 }
 
+// ArgProcessor is an optional Processor extension for the per-segment hot
+// path: completion is fn(arg) with a prebuilt continuation, so the caller
+// does not allocate a closure per task. Stacks use it when the Processor
+// provides it and fall back to Process otherwise.
+type ArgProcessor interface {
+	ProcessArg(pathLen float64, fn func(any), arg any)
+}
+
 // InstantProcessor is a Processor with zero cost (ideal full offload).
 type InstantProcessor struct{}
 
 // Process implements Processor by completing immediately.
 func (InstantProcessor) Process(pathLen float64, done func()) { done() }
+
+// ProcessArg implements ArgProcessor by completing immediately.
+func (InstantProcessor) ProcessArg(pathLen float64, fn func(any), arg any) { fn(arg) }
 
 // CostModel gives the path lengths (instructions) charged for protocol
 // processing. Separate send and receive costs capture the copy asymmetry
@@ -88,6 +99,11 @@ type Domain struct {
 	cfg    Config
 	nextID uint64
 
+	// segPool recycles wire segments: the sender draws from the pool, the
+	// receiving stack returns each segment once it has been fully consumed
+	// (segments dropped in the fabric simply fall to the garbage collector).
+	segPool []*segment
+
 	// Domain-wide statistics.
 	SegsSent     uint64
 	SegsRecv     uint64
@@ -103,14 +119,38 @@ func NewDomain(n *netsim.Network, cfg Config) *Domain {
 	return &Domain{sim: n.Sim(), net: n, cfg: cfg}
 }
 
+// allocSeg draws a zeroed segment from the pool.
+func (d *Domain) allocSeg() *segment {
+	if n := len(d.segPool); n > 0 {
+		seg := d.segPool[n-1]
+		d.segPool[n-1] = nil
+		d.segPool = d.segPool[:n-1]
+		return seg
+	}
+	return &segment{}
+}
+
+// freeSeg recycles a fully-consumed segment, keeping its sack buffer.
+func (d *Domain) freeSeg(seg *segment) {
+	sacks := seg.sacks[:0]
+	*seg = segment{}
+	seg.sacks = sacks
+	d.segPool = append(d.segPool, seg)
+}
+
 // Stack is one host's TCP instance. It implements netsim.Endpoint.
 type Stack struct {
 	dom       *Domain
 	addr      netsim.Addr
 	proc      Processor
+	argProc   ArgProcessor // non-nil when proc supports the no-closure path
 	costs     CostModel
 	conns     map[uint64]*Conn
 	listeners map[int]func(*Conn)
+
+	// Prebuilt continuations for the per-segment hot path.
+	recvFn func(any)
+	sendFn func(any)
 }
 
 // NewStack creates a host stack at addr, registers it as the NIC endpoint,
@@ -124,6 +164,9 @@ func (d *Domain) NewStack(addr netsim.Addr, proc Processor, costs CostModel) *St
 		conns:     make(map[uint64]*Conn),
 		listeners: make(map[int]func(*Conn)),
 	}
+	st.argProc, _ = proc.(ArgProcessor)
+	st.recvFn = func(v any) { st.handleSegment(v.(*segment)) }
+	st.sendFn = func(v any) { st.putOnWire(v.(*segment)) }
 	d.net.NIC(addr).SetEndpoint(st)
 	return st
 }
@@ -139,7 +182,10 @@ func (s *Stack) SetCosts(c CostModel) { s.costs = c }
 
 // SetProcessor repoints protocol work at a new CPU complex; a restarted node
 // keeps its stack (peers hold its address) but boots fresh processors.
-func (s *Stack) SetProcessor(proc Processor) { s.proc = proc }
+func (s *Stack) SetProcessor(proc Processor) {
+	s.proc = proc
+	s.argProc, _ = proc.(ArgProcessor)
+}
 
 // AbortConns abandons every connection on the stack without wire traffic —
 // the node lost power; nothing it could say would reach anyone. Connections
@@ -166,29 +212,39 @@ func (s *Stack) Listen(port int, accept func(*Conn)) {
 	s.listeners[port] = accept
 }
 
-// Deliver implements netsim.Endpoint: an inbound frame.
+// Deliver implements netsim.Endpoint: an inbound frame. The packet is
+// consumed within this call (netsim recycles it on return); only the payload
+// segment travels on into protocol processing.
 func (s *Stack) Deliver(pkt *netsim.Packet) {
 	seg := pkt.Payload.(*segment)
 	if pkt.Marked {
 		seg.marked = true
 	}
 	s.dom.SegsRecv++
-	s.proc.Process(s.costs.RecvCost(seg.payload), func() {
-		s.handleSegment(seg, pkt.Src)
-	})
+	if s.argProc != nil {
+		s.argProc.ProcessArg(s.costs.RecvCost(seg.payload), s.recvFn, seg)
+		return
+	}
+	s.proc.Process(s.costs.RecvCost(seg.payload), func() { s.handleSegment(seg) })
 }
 
-// handleSegment runs after receive-side protocol processing.
-func (s *Stack) handleSegment(seg *segment, from netsim.Addr) {
+// handleSegment runs after receive-side protocol processing. It recycles the
+// segment unless the connection retained it (out-of-order data waiting for
+// reassembly).
+func (s *Stack) handleSegment(seg *segment) {
 	if seg.kind == segSYN {
-		s.handleSYN(seg, from)
+		s.handleSYN(seg, seg.from)
+		s.dom.freeSeg(seg)
 		return
 	}
 	c, ok := s.conns[seg.conn]
 	if !ok {
-		return // connection gone (reset/closed); drop silently
+		s.dom.freeSeg(seg) // connection gone (reset/closed); drop silently
+		return
 	}
-	c.handleSegment(seg)
+	if !c.handleSegment(seg) {
+		s.dom.freeSeg(seg)
+	}
 }
 
 // handleSYN creates the passive side of a connection.
@@ -213,14 +269,24 @@ func (s *Stack) handleSYN(seg *segment, from netsim.Addr) {
 // onto the wire.
 func (s *Stack) sendSegment(seg *segment, to netsim.Addr) {
 	s.dom.SegsSent++
-	s.proc.Process(s.costs.SendCost(seg.payload), func() {
-		s.dom.net.Send(&netsim.Packet{
-			Src:     s.addr,
-			Dst:     to,
-			Size:    seg.payload + HeaderBytes,
-			Class:   seg.class,
-			ECN:     seg.ecnOn && seg.kind == segData,
-			Payload: seg,
-		})
-	})
+	seg.from = s.addr
+	seg.to = to
+	if s.argProc != nil {
+		s.argProc.ProcessArg(s.costs.SendCost(seg.payload), s.sendFn, seg)
+		return
+	}
+	s.proc.Process(s.costs.SendCost(seg.payload), func() { s.putOnWire(seg) })
+}
+
+// putOnWire wraps the segment in a (pooled) packet and injects it into the
+// fabric; runs after send-side protocol processing.
+func (s *Stack) putOnWire(seg *segment) {
+	pkt := s.dom.net.AllocPacket()
+	pkt.Src = s.addr
+	pkt.Dst = seg.to
+	pkt.Size = seg.payload + HeaderBytes
+	pkt.Class = seg.class
+	pkt.ECN = seg.ecnOn && seg.kind == segData
+	pkt.Payload = seg
+	s.dom.net.Send(pkt)
 }
