@@ -26,7 +26,21 @@ type benchRun struct {
 	Quick      bool          `json:"quick"`
 	Seed       uint64        `json:"seed"`
 	TotalSec   float64       `json:"total_seconds"`
+	Farm       *benchFarm    `json:"farm,omitempty"`
 	Figures    []benchFigure `json:"figures"`
+}
+
+// benchFarm records a -farm run's coordinator counters: how many points the
+// sweep needed and how each was satisfied (checkpoint, cache, or a worker
+// execution). A warm rerun shows the same points with execs near zero.
+type benchFarm struct {
+	Workers        int    `json:"workers"`
+	Points         uint64 `json:"points"`
+	CheckpointHits uint64 `json:"checkpoint_hits"`
+	CacheHits      uint64 `json:"cache_hits"`
+	Execs          uint64 `json:"execs"`
+	Requeues       uint64 `json:"requeues"`
+	Restarts       uint64 `json:"restarts"`
 }
 
 type benchFile struct {

@@ -14,7 +14,16 @@
 //	dclueexp -all -quick -bench BENCH_sweeps.json
 //	dclueexp -run lat-decomp -quick  # latency decomposition by phase
 //	dclueexp -fig 2 -quick -trace fig2.json   # same table + Chrome trace
+//	dclueexp -all -quick -farm 4     # shard points across 4 worker processes
 //	dclueexp -list
+//
+// -farm N runs the sweep as a coordinator that shards simulation points
+// across N exec'd copies of this binary (each running in -worker mode,
+// speaking line-delimited JSON over stdin/stdout). Every completed point is
+// checkpointed atomically under -results-dir, so a killed sweep resumes
+// where it left off, and cached under -cache-dir keyed by (params, seed,
+// binary hash), so a repeated sweep is served from disk. Tables are
+// byte-identical to in-process runs at any worker count.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 
 	"dclue"
 	"dclue/internal/cliutil"
+	"dclue/internal/farm"
 )
 
 func main() {
@@ -48,16 +58,36 @@ func main() {
 		traceN    = flag.Int("trace-sample", 1, "with -trace, trace every Nth transaction per run")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep process to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		farmN     = flag.Int("farm", 0, "shard point execution across N exec'd worker processes (0 = in-process)")
+		workerF   = flag.Bool("worker", false, "farm worker mode: serve jobs over stdin/stdout and exit on EOF (spawned by -farm)")
+		resDir    = flag.String("results-dir", ".dcluefarm/results", "with -farm, per-sweep checkpoint directory (reuse it to resume an interrupted sweep)")
+		cacheDir  = flag.String("cache-dir", ".dcluefarm/cache", "with -farm, cross-sweep result cache directory (empty disables caching)")
 	)
 	flag.Parse()
+
+	if *workerF {
+		// Workers do nothing but serve jobs: no profiles, no figures, no
+		// output beyond protocol replies on stdout and diagnostics on
+		// stderr. EOF on stdin (coordinator gone) ends the process.
+		if err := farm.Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dclueexp worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 
 	stopProf, err := cliutil.StartProfiles(*cpuprof, *memprof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dclueexp:", err)
 		os.Exit(1)
 	}
-	// exit flushes the profiles before leaving (os.Exit skips defers).
+	// exit stops the worker farm and flushes the profiles before leaving
+	// (os.Exit skips defers).
+	var coord *farm.Coordinator
 	exit := func(code int) {
+		if coord != nil {
+			coord.Close()
+		}
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "dclueexp:", err)
 			if code == 0 {
@@ -70,6 +100,12 @@ func main() {
 	workers := *jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if *farmN > 0 {
+			// The farm moves point execution out of this process, so the
+			// natural in-process dispatch width is the worker count: enough
+			// in-flight points to keep every worker busy, no more.
+			workers = *farmN
+		}
 	}
 	if *seq {
 		workers = 1
@@ -82,9 +118,35 @@ func main() {
 
 	var col *dclue.TraceCollector
 	if *traceF != "" {
+		if *farmN > 0 {
+			// Breakdown histograms survive farming (workers re-attach a
+			// collector per point), but exported span events are local to
+			// each worker process and cannot be stitched back together.
+			fmt.Fprintln(os.Stderr, "dclueexp: -trace cannot be combined with -farm")
+			exit(2)
+		}
 		col = dclue.NewTraceCollector(*traceN)
 		col.KeepEvents(0)
 		opts.Trace = col
+	}
+
+	if *farmN > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			exe = os.Args[0]
+		}
+		coord, err = farm.New(farm.Config{
+			Workers:    *farmN,
+			Argv:       []string{exe, "-worker"},
+			ResultsDir: *resDir,
+			CacheDir:   *cacheDir,
+			Stderr:     os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dclueexp:", err)
+			exit(1)
+		}
+		opts.Exec = coord.Exec
 	}
 
 	var figs []dclue.Figure
@@ -176,6 +238,22 @@ func main() {
 	fmt.Fprintf(os.Stderr, "total %.1fs (%d figures, %d workers, GOMAXPROCS=%d)\n",
 		total.Seconds(), len(results), workers, runtime.GOMAXPROCS(0))
 
+	var farmStats *benchFarm
+	if coord != nil {
+		st := coord.Stats()
+		fmt.Fprintf(os.Stderr, "farm: workers=%d points=%d checkpoint=%d cache=%d exec=%d requeued=%d restarts=%d failures=%d\n",
+			*farmN, st.Points, st.CheckpointHits, st.CacheHits, st.Execs, st.Requeues, st.Restarts, st.Failures)
+		farmStats = &benchFarm{
+			Workers:        *farmN,
+			Points:         st.Points,
+			CheckpointHits: st.CheckpointHits,
+			CacheHits:      st.CacheHits,
+			Execs:          st.Execs,
+			Requeues:       st.Requeues,
+			Restarts:       st.Restarts,
+		}
+	}
+
 	if *bench != "" {
 		rec := benchRun{
 			Timestamp:  cliutil.NowUTC().Format(time.RFC3339),
@@ -185,6 +263,7 @@ func main() {
 			Quick:      *quick,
 			Seed:       *seed,
 			TotalSec:   round3(total.Seconds()),
+			Farm:       farmStats,
 		}
 		for i, r := range results {
 			points := 0

@@ -1,0 +1,126 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// Proc is one exec'd worker subprocess with pipe stdio: lines go in on
+// stdin, results come back on stdout, and stderr passes through to the
+// configured sink. It is the process-plumbing half of the experiment farm's
+// worker pool; the restart policy lives in Supervisor and the protocol in
+// internal/farm.
+type Proc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	out   io.ReadCloser
+}
+
+// StartProc launches argv[0] with argv[1:] as arguments. extraEnv entries
+// (KEY=VALUE) are appended to the parent environment; stderr receives the
+// child's stderr stream (nil discards it).
+func StartProc(argv []string, extraEnv []string, stderr io.Writer) (*Proc, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("cliutil: empty worker command")
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), extraEnv...)
+	cmd.Stderr = stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &Proc{cmd: cmd, stdin: stdin, out: out}, nil
+}
+
+// PID returns the child's process id.
+func (p *Proc) PID() int { return p.cmd.Process.Pid }
+
+// Send writes one already-framed line to the child's stdin.
+func (p *Proc) Send(line []byte) error {
+	_, err := p.stdin.Write(line)
+	return err
+}
+
+// Stdout returns the child's stdout stream.
+func (p *Proc) Stdout() io.Reader { return p.out }
+
+// Stop ends the child and reaps it: the stdin pipe is closed (a well-behaved
+// worker exits on EOF), the process is killed for good measure, and Wait
+// releases its resources. Safe to call on an already-dead child.
+func (p *Proc) Stop() {
+	p.stdin.Close()
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// CloseStdin closes the child's stdin, signalling end of input without
+// killing it; use Wait to collect the exit status.
+func (p *Proc) CloseStdin() error { return p.stdin.Close() }
+
+// Wait blocks until the child exits and returns its status.
+func (p *Proc) Wait() error { return p.cmd.Wait() }
+
+// Supervisor hands out a live worker Proc, restarting a crashed one a
+// bounded number of times. A worker that keeps dying is a broken binary or
+// a poisoned environment — restarting it forever would spin, so past
+// MaxRestarts the supervisor reports permanent failure and the caller
+// (the farm coordinator) reroutes or fails the affected points.
+//
+// A Supervisor is confined to one goroutine (each farm worker loop owns
+// exactly one); it needs and takes no locks.
+type Supervisor struct {
+	Argv     []string
+	ExtraEnv []string
+	Stderr   io.Writer
+	// MaxRestarts bounds restarts after the initial start (0 means the
+	// worker may start once and never be restarted).
+	MaxRestarts int
+
+	cur    *Proc
+	starts int
+}
+
+// Proc returns the current live worker, starting or restarting one if
+// needed. Once restarts are exhausted it returns an error forever.
+func (s *Supervisor) Proc() (*Proc, error) {
+	if s.cur != nil {
+		return s.cur, nil
+	}
+	if s.starts > s.MaxRestarts {
+		return nil, fmt.Errorf("cliutil: worker %v exhausted %d restarts", s.Argv, s.MaxRestarts)
+	}
+	p, err := StartProc(s.Argv, s.ExtraEnv, s.Stderr)
+	if err != nil {
+		return nil, err
+	}
+	s.starts++
+	s.cur = p
+	return p, nil
+}
+
+// Fail discards the current worker after a protocol or pipe failure: the
+// process is stopped and reaped, and the next Proc call starts a fresh one
+// (restart budget permitting).
+func (s *Supervisor) Fail() {
+	if s.cur != nil {
+		s.cur.Stop()
+		s.cur = nil
+	}
+}
+
+// Starts reports how many times a worker has been started (1 = the initial
+// start, each increment beyond that a restart).
+func (s *Supervisor) Starts() int { return s.starts }
+
+// Close stops the current worker, if any.
+func (s *Supervisor) Close() { s.Fail() }

@@ -159,7 +159,13 @@ type Params struct {
 	// segments and queue-occupancy gauges are kept for JSONL/Chrome export.
 	// Tracing never perturbs the simulated trajectory: a traced run's
 	// metrics (breakdown aside) are bit-identical to an untraced run's.
-	Trace *trace.Collector
+	//
+	// The collector is process-local state, not configuration: it is
+	// excluded from the JSON form of Params, which the experiment farm uses
+	// as the canonical wire and cache-key encoding of a point. Farm workers
+	// re-attach an equivalent histogram-only collector from the job's
+	// trace-sample stride instead.
+	Trace *trace.Collector `json:"-"`
 
 	// TraceLabel names this run in trace exports; empty derives a label
 	// from the cluster size and offload mode.

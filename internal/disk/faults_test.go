@@ -1,0 +1,144 @@
+package disk
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+// Fault-injection contract tests: error injection marks requests Failed
+// with exact accounting, latency factors scale (and clamp), and faults
+// never leak into throughput counters.
+
+func TestErrorProbFailsEveryRequest(t *testing.T) {
+	s := sim.New()
+	d := newDrive(s)
+	d.SetErrorProb(1)
+	failed, completed := 0, 0
+	for i := 0; i < 5; i++ {
+		r := &Request{Table: 1, Block: int64(i * 100), Size: 8192}
+		r.Done = func() {
+			completed++
+			if r.Failed {
+				failed++
+			}
+		}
+		d.Submit(r)
+	}
+	s.RunAll()
+	if completed != 5 || failed != 5 {
+		t.Fatalf("completed=%d failed=%d, want 5/5", completed, failed)
+	}
+	if d.FaultErrors != 5 {
+		t.Fatalf("FaultErrors=%d, want 5", d.FaultErrors)
+	}
+	// A failed request is not a served read or write: the data never moved.
+	if d.Reads != 0 || d.Writes != 0 || d.BytesRead != 0 || d.BytesWritten != 0 {
+		t.Fatalf("throughput counters leaked: reads=%d writes=%d br=%d bw=%d",
+			d.Reads, d.Writes, d.BytesRead, d.BytesWritten)
+	}
+}
+
+func TestAccessReportsInjectedFailure(t *testing.T) {
+	s := sim.New()
+	d := newDrive(s)
+	d.SetErrorProb(1)
+	var ok bool
+	var took sim.Time
+	s.Spawn("io", func(p *sim.Proc) {
+		start := p.Now()
+		ok = d.Access(p, 1, 0, 8192, false)
+		took = p.Now() - start
+	})
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	if ok {
+		t.Fatal("Access reported success under errProb=1")
+	}
+	// A failing request still consumes its full service time — the fault
+	// model is a media error after the mechanical work, not a fast reject.
+	if took == 0 {
+		t.Fatal("injected failure completed instantly")
+	}
+	// Clearing the fault restores success.
+	d.SetErrorProb(0)
+	s2done := false
+	s.Spawn("io2", func(p *sim.Proc) {
+		s2done = d.Access(p, 1, 0, 8192, false)
+	})
+	s.Run(20 * sim.Second)
+	s.Shutdown()
+	if !s2done {
+		t.Fatal("Access still failing after SetErrorProb(0)")
+	}
+}
+
+func TestLatencyFactorScalesServiceTime(t *testing.T) {
+	measure := func(factor float64) sim.Time {
+		s := sim.New()
+		d := newDrive(s)
+		d.SetLatencyFactor(factor)
+		var took sim.Time
+		s.Spawn("io", func(p *sim.Proc) {
+			start := p.Now()
+			d.Access(p, 2, 1000, 8192, false)
+			took = p.Now() - start
+		})
+		s.Run(10 * sim.Minute)
+		s.Shutdown()
+		return took
+	}
+	healthy := measure(1)
+	slow := measure(10)
+	if healthy == 0 || slow == 0 {
+		t.Fatalf("healthy=%v slow=%v, want nonzero access times", healthy, slow)
+	}
+	// Same seed, same geometry: the degraded access is exactly 10x.
+	if slow != 10*healthy {
+		t.Fatalf("slow=%v, want exactly 10x healthy (%v)", slow, 10*healthy)
+	}
+	// Factors below 1 clamp to healthy — fault injection can only slow a
+	// drive down, never make it faster than its geometry allows.
+	if clamped := measure(0.01); clamped != healthy {
+		t.Fatalf("factor 0.01 gave %v, want clamp to healthy %v", clamped, healthy)
+	}
+}
+
+func TestLogDiskReadAccounting(t *testing.T) {
+	s := sim.New()
+	l := NewLogDisk(s, sim.Millisecond, 100e6)
+	reads := 0
+	l.SubmitRead(4096, func() { reads++ })
+	l.Submit(8192, nil) // a write, for contrast
+	s.RunAll()
+	if reads != 1 {
+		t.Fatalf("read completions=%d, want 1", reads)
+	}
+	if l.Reads != 1 || l.BytesRead != 4096 {
+		t.Fatalf("Reads=%d BytesRead=%d, want 1/4096", l.Reads, l.BytesRead)
+	}
+	if l.Writes != 1 || l.BytesWritten != 8192 {
+		t.Fatalf("Writes=%d BytesWritten=%d, want 1/8192", l.Writes, l.BytesWritten)
+	}
+}
+
+func TestLogDiskBlockingRead(t *testing.T) {
+	s := sim.New()
+	l := NewLogDisk(s, sim.Millisecond, 100e6)
+	var took sim.Time
+	s.Spawn("reader", func(p *sim.Proc) {
+		start := p.Now()
+		l.Read(p, 65536)
+		took = p.Now() - start
+	})
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	// Fixed overhead plus 64KiB at 100 MB/s: strictly more than the bare
+	// overhead, and the byte count must be attributed to reads.
+	if took <= sim.Millisecond {
+		t.Fatalf("blocking read took %v, want > overhead", took)
+	}
+	if l.Reads != 1 || l.BytesRead != 65536 || l.Writes != 0 {
+		t.Fatalf("Reads=%d BytesRead=%d Writes=%d", l.Reads, l.BytesRead, l.Writes)
+	}
+}

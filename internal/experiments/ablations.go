@@ -56,7 +56,7 @@ func AblationQoS(o Options) Result {
 		p.CrossTrafficBps = loads[i]
 		p.CrossTrafficPriority = true
 		p.WFQRouters = wfqs[w]
-		m := fixedLoad(p, wh)
+		m := o.fixedLoad(p, wh)
 		o.logf("abl-qos wfq=%v load=%.0fM: tpmC=%.0f ftp=%.1fM delay=%.2fms",
 			wfqs[w], loads[i]/1e6, m.TpmC, m.FTPDeliveredMbps, m.MsgDelayMs)
 		ms[w*len(loads)+i] = m
@@ -120,7 +120,7 @@ func AblationSAN(o Options) Result {
 func (o Options) runPair(a, b core.Params) (core.Metrics, core.Metrics) {
 	ps := [2]core.Params{a, b}
 	var ms [2]core.Metrics
-	o.forEach(2, func(i int) { ms[i] = core.MustRun(ps[i]) })
+	o.forEach(2, func(i int) { ms[i] = o.mustRun(ps[i]) })
 	return ms[0], ms[1]
 }
 

@@ -44,6 +44,15 @@ type Options struct {
 	// tables come out the same either way.
 	Trace *trace.Collector
 
+	// Exec, when non-nil, evaluates every simulation point of every figure
+	// in place of in-process core.Run — the hook the experiment farm uses to
+	// ship points to worker processes and serve repeats from its
+	// content-addressed result cache. Exec is held to the runner.Exec
+	// contract (a pure deterministic function of Params), so the rendered
+	// tables are byte-identical whichever executor is installed; nil (the
+	// default) runs every point in-process.
+	Exec runner.Exec
+
 	// tinyRuns (test hook) shrinks workload sizing and windows far below
 	// Quick so unit tests can afford to sweep every registered figure.
 	tinyRuns bool
@@ -243,13 +252,32 @@ func (o Options) capacity(p core.Params) core.CapacityResult {
 		p.Warmup = 100 * sim.Second
 		p.Measure = 150 * sim.Second
 	}
-	return runner.Capacity(o.Pool, p, max)
+	return runner.CapacityExec(o.Pool, o.Exec, p, max)
+}
+
+// run evaluates one simulation point through the installed executor
+// (in-process core.Run by default). Every figure's points go through here or
+// through o.capacity — the single-funnel property the farm relies on.
+func (o Options) run(p core.Params) (core.Metrics, error) {
+	if o.Exec != nil {
+		return o.Exec(p)
+	}
+	return core.Run(p)
+}
+
+// mustRun is run for configurations the experiments know to be valid.
+func (o Options) mustRun(p core.Params) core.Metrics {
+	m, err := o.run(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // fixedLoad runs once at the given warehouse count.
-func fixedLoad(p core.Params, warehouses int) core.Metrics {
+func (o Options) fixedLoad(p core.Params, warehouses int) core.Metrics {
 	p.Warehouses = warehouses
-	return core.MustRun(p)
+	return o.mustRun(p)
 }
 
 // sortedCopy returns xs ascending (defensive for table rendering).

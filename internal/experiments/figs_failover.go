@@ -45,7 +45,7 @@ func FaultFailover(o Options) Result {
 	p.FaultSpec = failoverSpec(p, true)
 
 	o.logf("flt-failover: %s", p.FaultSpec)
-	m := core.MustRun(p)
+	m := o.mustRun(p)
 	rate := &stats.Series{Name: "txn/s"}
 	for _, pt := range m.Timeline {
 		rate.Add(pt.T.Seconds(), pt.TxnRate)
@@ -74,7 +74,7 @@ func FaultFailoverSize(o Options) Result {
 		p.Warehouses = 6 * sizes[i]
 		p.FaultSpec = failoverSpec(p, true)
 		o.logf("flt-failover-size: n=%d", sizes[i])
-		ms[i] = core.MustRun(p)
+		ms[i] = o.mustRun(p)
 	})
 	unavail := &stats.Series{Name: "unavail ms"}
 	rec := &stats.Series{Name: "recovery ms"}
@@ -106,7 +106,7 @@ func FaultFailoverCkpt(o Options) Result {
 		p.CheckpointInterval = sim.Time(intervals[i] * float64(sim.Second))
 		p.FaultSpec = failoverSpec(p, true)
 		o.logf("flt-failover-ckpt: interval=%gs", intervals[i])
-		ms[i] = core.MustRun(p)
+		ms[i] = o.mustRun(p)
 	})
 	rec := &stats.Series{Name: "recovery ms"}
 	replay := &stats.Series{Name: "replay KB"}

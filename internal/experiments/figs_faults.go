@@ -77,7 +77,7 @@ func FaultLossSweep(o Options) Result {
 			q.FaultSpec = fmt.Sprintf("loss:interlata:0@%g+%g=%g", start, dur, loss)
 		}
 		o.logf("flt-loss: loss=%.2f", loss)
-		ms[i] = core.MustRun(q)
+		ms[i] = o.mustRun(q)
 	})
 	tpm := &stats.Series{Name: "tpmC"}
 	retries := &stats.Series{Name: "retries/min"}
@@ -106,7 +106,7 @@ func FaultRecovery(o Options) Result {
 	p.FaultSpec = fmt.Sprintf("linkdown:node:1@%g+15;loss:interlata:0@%g+20=0.3", w+30, w+80)
 
 	o.logf("flt-recovery: %s", p.FaultSpec)
-	m := core.MustRun(p)
+	m := o.mustRun(p)
 	rate := &stats.Series{Name: "txn/s"}
 	for _, pt := range m.Timeline {
 		rate.Add(pt.T.Seconds(), pt.TxnRate)
@@ -143,7 +143,7 @@ func FaultLayers(o Options) Result {
 		q := p
 		q.FaultSpec = cases[i].spec
 		o.logf("flt-layers: %s", cases[i].name)
-		ms[i] = core.MustRun(q)
+		ms[i] = o.mustRun(q)
 	})
 	tpm := &stats.Series{Name: "tpmC"}
 	fail := &stats.Series{Name: "failures"}

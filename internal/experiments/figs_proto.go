@@ -81,7 +81,7 @@ func latencyFigure(o Options, id string, lowComp bool) Result {
 			// The paper splits the additional latency over the two
 			// inter-LATA links; the knob here is added RTT in unscaled ms.
 			p.ExtraLatency = sim.Time(rtts[i] / 2 * p.Scale * float64(sim.Millisecond))
-			ms[i] = fixedLoad(p, wh)
+			ms[i] = o.fixedLoad(p, wh)
 		})
 		t0 := ms[0].TpmC // rtts[0] is always the zero-latency point
 		for i, rtt := range rtts {

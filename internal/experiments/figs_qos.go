@@ -29,7 +29,7 @@ func crossTrafficFigure(o Options, id string, lowComp bool) Result {
 		p := base
 		p.CrossTrafficBps = loads[i]
 		p.CrossTrafficPriority = prios[pr]
-		m := fixedLoad(p, wh)
+		m := o.fixedLoad(p, wh)
 		o.logf("%s prio=%v load=%.0fMbps: tpmC=%.0f threads=%.1f ctx=%.1fK cpi=%.2f lockWait=%.0fms ftp=%.1fMbps",
 			id, prios[pr], loads[i]/1e6, m.TpmC, m.ActiveThreads, m.CtxSwitchK, m.CPI, m.LockWaitMs, m.FTPDeliveredMbps)
 		ms[pr*len(loads)+i] = m
@@ -89,7 +89,7 @@ func Fig16(o Options) Result {
 		q := p
 		q.CrossTrafficBps = 100e6
 		q.CrossTrafficPriority = true
-		m := fixedLoad(q, wh)
+		m := o.fixedLoad(q, wh)
 		retained := 0.0
 		if cap0.Metrics.TpmC > 0 {
 			retained = m.TpmC / cap0.Metrics.TpmC * 100

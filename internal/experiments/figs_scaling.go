@@ -19,7 +19,7 @@ func ipcFigure(o Options, id string, affinity float64, whPerNode int) Result {
 		n := sweep[i]
 		p := o.baseParams(n)
 		p.Affinity = affinity
-		m := fixedLoad(p, whPerNode*n)
+		m := o.fixedLoad(p, whPerNode*n)
 		o.logf("%s nodes=%d: ctl=%.1f data=%.2f", id, n, m.CtlMsgsPerTxn, m.DataMsgsPerTxn)
 		ms[i] = m
 	})
@@ -58,7 +58,7 @@ func lockFigure(o Options, id, title string, pick func(core.Metrics) float64, no
 		n := sweep[i]
 		p := o.baseParams(n)
 		p.Affinity = aff
-		m := fixedLoad(p, whPerNode*n)
+		m := o.fixedLoad(p, whPerNode*n)
 		o.logf("%s nodes=%d aff=%.1f: %v", id, n, aff, pick(m))
 		ms[a*len(sweep)+i] = m
 	})
@@ -253,7 +253,7 @@ func Fig10(o Options) Result {
 		q.Warehouses = whSlow
 		// Same offered load on the smaller database: scale terminals.
 		q.TerminalsPerWarehouse = (10*whLinear + whSlow - 1) / whSlow
-		m := core.MustRun(q)
+		m := o.mustRun(q)
 		o.logf("fig10 nodes=%d: linear wh=%d tpmC=%.0f | sqrt wh=%d tpmC=%.0f",
 			n, whLinear, r.Metrics.TpmC, whSlow, m.TpmC)
 		pairs[i] = pair{r, m}

@@ -73,7 +73,7 @@ func LatencyDecomposition(o Options) Result {
 		q.Trace = col
 		q.TraceLabel = names[i]
 		o.logf("lat-decomp: %s", names[i])
-		ms[i] = fixedLoad(q, 6*cse.nodes)
+		ms[i] = o.fixedLoad(q, 6*cse.nodes)
 	})
 
 	resp := &stats.Series{Name: "resp ms"}

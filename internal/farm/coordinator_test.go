@@ -1,0 +1,361 @@
+package farm
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"dclue/internal/core"
+	"dclue/internal/sim"
+	"dclue/internal/trace"
+)
+
+// tinyParams is a parameter set small enough that core.Run completes in
+// tens of milliseconds, so subprocess round-trip tests stay cheap.
+func tinyParams(seed uint64) core.Params {
+	p := core.DefaultParams(2)
+	p.Seed = seed
+	p.Items = 100
+	p.CustomersPerDist = 20
+	p.Warmup = 10 * sim.Second
+	p.Measure = 20 * sim.Second
+	return p
+}
+
+// testConfig wires a coordinator to helper-process workers (see TestMain).
+func testConfig(t *testing.T, workers int, mode string, extraEnv ...string) Config {
+	t.Helper()
+	return Config{
+		Workers:    workers,
+		Argv:       []string{os.Args[0]},
+		ExtraEnv:   append([]string{helperEnv + "=" + mode}, extraEnv...),
+		ResultsDir: filepath.Join(t.TempDir(), "results"),
+		CacheDir:   filepath.Join(t.TempDir(), "cache"),
+		Stderr:     io.Discard,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestCoordinatorMatchesInProcess is the farm's core contract at the unit
+// level: a point executed in a worker process returns exactly the Metrics an
+// in-process core.Run produces; a second coordinator on the same results
+// directory serves it from checkpoint; a third with a fresh results
+// directory but the same cache serves it from cache — all equal.
+func TestCoordinatorMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	seeds := []uint64{1, 2, 3}
+	want := make([]core.Metrics, len(seeds))
+	for i, s := range seeds {
+		m, err := core.Run(tinyParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m
+	}
+
+	cfg := testConfig(t, 2, "worker")
+	cold := mustNew(t, cfg)
+	for i, s := range seeds {
+		got, err := cold.Exec(tinyParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("seed %d: farm result differs from in-process run\n got %+v\nwant %+v", s, got, want[i])
+		}
+	}
+	if st := cold.Stats(); st.Execs != 3 || st.Points != 3 || st.CheckpointHits != 0 || st.CacheHits != 0 {
+		t.Fatalf("cold stats off: %+v", st)
+	}
+	cold.Close()
+
+	warm := mustNew(t, cfg) // same results dir: every point checkpointed
+	for i, s := range seeds {
+		got, err := warm.Exec(tinyParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("seed %d: checkpoint result differs", s)
+		}
+	}
+	if st := warm.Stats(); st.CheckpointHits != 3 || st.Execs != 0 {
+		t.Fatalf("warm stats off: %+v", st)
+	}
+	warm.Close()
+
+	cfg2 := cfg
+	cfg2.ResultsDir = filepath.Join(t.TempDir(), "results2")
+	cached := mustNew(t, cfg2) // fresh sweep, shared cache
+	for i, s := range seeds {
+		got, err := cached.Exec(tinyParams(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("seed %d: cache result differs", s)
+		}
+	}
+	if st := cached.Stats(); st.CacheHits != 3 || st.Execs != 0 {
+		t.Fatalf("cache stats off: %+v", st)
+	}
+}
+
+// TestCoordinatorConcurrentExec drives Exec from more goroutines than
+// workers, as the sweep pool does; run under -race this also checks the
+// coordinator's internal synchronization.
+func TestCoordinatorConcurrentExec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	c := mustNew(t, testConfig(t, 2, "worker"))
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for i := 0; i < len(errs); i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := c.Exec(tinyParams(uint64(i + 1)))
+			if err == nil && m.TpmC <= 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("point %d: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Execs != 6 {
+		t.Errorf("stats off: %+v", st)
+	}
+}
+
+// TestCoordinatorInvalidation pins exact cache invalidation at the
+// coordinator level: reruns hit; a seed flip, a parameter flip, or a code
+// flip miss — and only the affected point re-executes.
+func TestCoordinatorInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	cfg := testConfig(t, 1, "worker")
+	cfg.CodeHash = "codeA"
+	first := mustNew(t, cfg)
+	if _, err := first.Exec(tinyParams(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Exec(tinyParams(2)); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+
+	// Same cache, new sweep: seed 1 unchanged (hit), seed 2 flipped to 3
+	// (miss, one exec).
+	cfg.ResultsDir = filepath.Join(t.TempDir(), "r2")
+	second := mustNew(t, cfg)
+	if _, err := second.Exec(tinyParams(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Exec(tinyParams(3)); err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Stats(); st.CacheHits != 1 || st.Execs != 1 {
+		t.Fatalf("seed flip: want 1 hit + 1 exec, got %+v", st)
+	}
+	second.Close()
+
+	// Parameter flip: same seed, one knob changed — miss.
+	cfg.ResultsDir = filepath.Join(t.TempDir(), "r3")
+	third := mustNew(t, cfg)
+	q := tinyParams(1)
+	q.Affinity = 0.5
+	if _, err := third.Exec(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := third.Stats(); st.CacheHits != 0 || st.Execs != 1 {
+		t.Fatalf("param flip: want pure exec, got %+v", st)
+	}
+	third.Close()
+
+	// Code flip: identical point, different binary fingerprint — the whole
+	// cache is dead to it.
+	cfg.ResultsDir = filepath.Join(t.TempDir(), "r4")
+	cfg.CodeHash = "codeB"
+	fourth := mustNew(t, cfg)
+	if _, err := fourth.Exec(tinyParams(1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := fourth.Stats(); st.CacheHits != 0 || st.Execs != 1 {
+		t.Fatalf("code flip: want pure exec, got %+v", st)
+	}
+
+	// And a corrupted cache entry is recomputed, not trusted.
+	cfg.ResultsDir = filepath.Join(t.TempDir(), "r5")
+	cache, err := OpenStore(cfg.CacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fourth.Key(tinyParams(1))
+	if err := os.WriteFile(cache.Path(key), []byte(`{"key":"`+key+`","checksum":"00","metrics":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fourth.Close()
+	fifth := mustNew(t, cfg)
+	if _, err := fifth.Exec(tinyParams(1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := fifth.Stats(); st.CacheHits != 0 || st.Execs != 1 {
+		t.Fatalf("corrupt entry: want recompute, got %+v", st)
+	}
+}
+
+// TestCoordinatorTracedBreakdown: a traced point farms out with its stride,
+// the worker re-attaches a collector, and the trace-derived Breakdown comes
+// back exactly as an in-process traced run reports it.
+func TestCoordinatorTracedBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	inproc := tinyParams(1)
+	inproc.Trace = trace.NewCollector(1)
+	want, err := core.Run(inproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Breakdown.Sampled == 0 {
+		t.Fatal("fixture produced no sampled spans")
+	}
+
+	c := mustNew(t, testConfig(t, 1, "worker"))
+	farmed := tinyParams(1)
+	farmed.Trace = trace.NewCollector(1)
+	got, err := c.Exec(farmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("traced farm run differs from in-process\n got %+v\nwant %+v", got, want)
+	}
+	// The collector pointer must not leak into the key: two distinct
+	// collectors with the same stride are the same point; a different
+	// stride is a different point.
+	k1 := c.Key(farmed)
+	other := tinyParams(1)
+	other.Trace = trace.NewCollector(1)
+	if c.Key(other) != k1 {
+		t.Error("collector identity leaked into the point key")
+	}
+	other.Trace = trace.NewCollector(4)
+	if c.Key(other) == k1 {
+		t.Error("trace stride not part of the point key")
+	}
+}
+
+// TestCoordinatorWorkerKilledMidPoint: the worker is SIGKILLed after reading
+// a job and before replying — the worst moment. The coordinator requeues the
+// point, the supervisor restarts the worker, and the final result is
+// identical to an undisturbed run; the checkpoint log shows the requeue and
+// exactly one exec-done.
+func TestCoordinatorWorkerKilledMidPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	want, err := core.Run(tinyParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashDir := writeCrashTokens(t, 1)
+	cfg := testConfig(t, 1, "crashy", "DCLUE_FARM_CRASHDIR="+crashDir)
+	c := mustNew(t, cfg)
+	got, err := c.Exec(tinyParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("result after worker kill differs from in-process run")
+	}
+	st := c.Stats()
+	if st.Requeues != 1 || st.Restarts != 1 || st.Execs != 1 {
+		t.Fatalf("want 1 requeue + 1 restart + 1 exec, got %+v", st)
+	}
+	evs, err := ReadLog(filepath.Join(cfg.ResultsDir, "log.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts, requeues, dones int
+	for _, e := range evs {
+		switch e.Event {
+		case "exec-start":
+			starts++
+		case "requeue":
+			requeues++
+		case "exec-done":
+			dones++
+		}
+	}
+	if starts != 2 || requeues != 1 || dones != 1 {
+		t.Fatalf("log: want 2 starts, 1 requeue, 1 done; got %d/%d/%d (%+v)", starts, requeues, dones, evs)
+	}
+}
+
+// TestCoordinatorWorkersExhausted: a worker that keeps dying exhausts its
+// restart budget; with no workers left the point fails with a clear error
+// instead of hanging.
+func TestCoordinatorWorkersExhausted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	crashDir := writeCrashTokens(t, 10)
+	cfg := testConfig(t, 1, "crashy", "DCLUE_FARM_CRASHDIR="+crashDir)
+	cfg.WorkerRestarts = 1
+	c := mustNew(t, cfg)
+	_, err := c.Exec(tinyParams(1))
+	if err == nil {
+		t.Fatal("point succeeded with every worker dead")
+	}
+	if !strings.Contains(err.Error(), "workers dead") && !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("unhelpful failure: %v", err)
+	}
+}
+
+// TestCoordinatorDeterministicErrorNotRetried: a simulation-level failure
+// (here: a panic on invalid parameters, caught by the worker) travels
+// in-band, is not retried, and does not kill the worker — the next point on
+// the same worker succeeds.
+func TestCoordinatorDeterministicErrorNotRetried(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	c := mustNew(t, testConfig(t, 1, "worker"))
+	bad := tinyParams(1)
+	bad.Scale = 0 // core.New panics: "Params.Scale must be positive"
+	if _, err := c.Exec(bad); err == nil {
+		t.Fatal("invalid point succeeded")
+	} else if !strings.Contains(err.Error(), "Scale") {
+		t.Fatalf("error lost its cause: %v", err)
+	}
+	if st := c.Stats(); st.Failures != 1 || st.Requeues != 0 || st.Restarts != 0 {
+		t.Fatalf("deterministic failure was retried: %+v", st)
+	}
+	if _, err := c.Exec(tinyParams(1)); err != nil {
+		t.Fatalf("worker did not survive the failed point: %v", err)
+	}
+}

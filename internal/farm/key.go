@@ -1,0 +1,82 @@
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+
+	"dclue/internal/core"
+)
+
+// keyPayload is the canonical content a point key hashes: the code identity,
+// the seed and trace stride surfaced explicitly (they are the two knobs the
+// cache-correctness tests flip independently), and the full resolved
+// parameter set in its canonical JSON form. encoding/json renders struct
+// fields in declaration order and float64s in shortest round-trip form, so
+// equal Params always serialize to equal bytes.
+type keyPayload struct {
+	Code        string      `json:"code"`
+	Seed        uint64      `json:"seed"`
+	TraceSample int         `json:"trace_sample"`
+	Params      core.Params `json:"params"`
+}
+
+// PointKey returns the content-addressed identity of one simulation point:
+// hex sha256 over (code hash, seed, trace stride, canonical params JSON).
+// Two points share a key exactly when the same code would run the same
+// simulation — the condition under which a cached result may be served.
+// Flipping the seed, any single parameter, or the code hash changes the key
+// and invalidates exactly that point, nothing else.
+func PointKey(codeHash string, p core.Params, traceSample int) string {
+	b, err := json.Marshal(keyPayload{
+		Code:        codeHash,
+		Seed:        p.Seed,
+		TraceSample: traceSample,
+		Params:      p,
+	})
+	if err != nil {
+		// Params is a plain value struct (the Trace pointer is excluded
+		// from its JSON form); marshaling cannot fail.
+		panic("farm: params not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+var codeHashOnce struct {
+	sync.Once
+	hash string
+	err  error
+}
+
+// CodeHash fingerprints the running executable (hex sha256 of its bytes).
+// It is the code component of every point key: a rebuilt binary — any code
+// change at all — invalidates the whole cache, which is the conservative
+// side of the cache-coherence bargain. The hash is computed once per
+// process.
+func CodeHash() (string, error) {
+	codeHashOnce.Do(func() {
+		codeHashOnce.hash, codeHashOnce.err = hashExecutable()
+	})
+	return codeHashOnce.hash, codeHashOnce.err
+}
+
+func hashExecutable() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

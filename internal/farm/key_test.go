@@ -1,0 +1,65 @@
+package farm
+
+import (
+	"regexp"
+	"testing"
+
+	"dclue/internal/core"
+)
+
+// TestPointKeyDeterministic: the key is a pure function of its inputs and a
+// well-formed hex sha256 digest.
+func TestPointKeyDeterministic(t *testing.T) {
+	p := core.DefaultParams(4)
+	k1 := PointKey("code", p, 0)
+	k2 := PointKey("code", p, 0)
+	if k1 != k2 {
+		t.Fatalf("key not deterministic: %s vs %s", k1, k2)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(k1) {
+		t.Fatalf("not a hex sha256: %q", k1)
+	}
+}
+
+// TestPointKeyFlips pins exact invalidation: flipping the seed, a single
+// parameter, the trace stride, or the code hash each changes the key, and
+// flipping it back restores it.
+func TestPointKeyFlips(t *testing.T) {
+	base := core.DefaultParams(4)
+	k := PointKey("code", base, 0)
+
+	seedFlip := base
+	seedFlip.Seed++
+	if PointKey("code", seedFlip, 0) == k {
+		t.Error("seed flip did not change the key")
+	}
+
+	paramFlip := base
+	paramFlip.Items++
+	if PointKey("code", paramFlip, 0) == k {
+		t.Error("parameter flip did not change the key")
+	}
+
+	if PointKey("othercode", base, 0) == k {
+		t.Error("code-hash flip did not change the key")
+	}
+	if PointKey("code", base, 5) == k {
+		t.Error("trace-stride flip did not change the key")
+	}
+
+	if PointKey("code", core.DefaultParams(4), 0) != k {
+		t.Error("identical inputs produced a different key")
+	}
+}
+
+// TestCodeHashStable: the executable fingerprint is memoized and non-empty.
+func TestCodeHashStable(t *testing.T) {
+	h1, err := CodeHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := CodeHash()
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("unstable or malformed code hash: %q vs %q", h1, h2)
+	}
+}

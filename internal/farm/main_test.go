@@ -1,0 +1,102 @@
+package farm
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// The coordinator tests need real worker subprocesses. Rather than building
+// a separate binary, the test binary re-execs itself: TestMain inspects
+// DCLUE_FARM_HELPER and, when set, becomes a worker instead of running the
+// test suite (the standard helper-process pattern).
+const helperEnv = "DCLUE_FARM_HELPER"
+
+func TestMain(m *testing.M) {
+	switch mode := os.Getenv(helperEnv); mode {
+	case "":
+		os.Exit(m.Run())
+	case "worker":
+		// A faithful production worker.
+		if err := Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "helper worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "crashy":
+		crashyServe()
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown helper mode %q\n", mode)
+		os.Exit(2)
+	}
+}
+
+// crashyServe is a worker that SIGKILLs itself mid-point — after reading a
+// job, before replying — once per crash token it can claim from the
+// directory named by DCLUE_FARM_CRASHDIR. Out of tokens, it serves normally.
+// Self-SIGKILL is the genuine article: no deferred cleanup, no flush, the
+// pipe just dies, exactly as if an operator or the OOM killer shot the
+// worker.
+func crashyServe() {
+	dir := os.Getenv("DCLUE_FARM_CRASHDIR")
+	sc := NewLineScanner(os.Stdin)
+	w := bufio.NewWriter(os.Stdout)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if claimCrashToken(dir) {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}
+		var rep Reply
+		job, err := DecodeJob(line)
+		if err != nil {
+			rep = Reply{Err: err.Error()}
+		} else {
+			rep = runJob(job)
+		}
+		b, err := EncodeReply(rep)
+		if err != nil {
+			os.Exit(1)
+		}
+		w.Write(b)
+		w.Flush()
+	}
+}
+
+// claimCrashToken removes one file from dir, returning whether it won one.
+// Tokens make the crash budget race-free across concurrent workers: os.Remove
+// succeeds in exactly one claimant.
+func claimCrashToken(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// writeCrashTokens populates a fresh token directory with n claimable files.
+func writeCrashTokens(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < n; i++ {
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("tok%d", i)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}

@@ -1,0 +1,137 @@
+// Package farm is the distributed experiment farm: it shards the simulation
+// points of a sweep across exec'd worker processes, checkpoints every result
+// atomically under a results directory, and serves repeated points from a
+// content-addressed cache keyed by (params fingerprint, seed, code hash).
+//
+// The farm slots in behind the runner.Exec contract: experiments hand it the
+// exact core.Params of each point and get Metrics back, with no knowledge of
+// whether the point ran in this process, in one of N workers, or came from a
+// warm cache entry. Because every executor is held to the same pure-function
+// contract, a farm sweep's rendered tables are byte-identical to an
+// in-process -j1 run — the invariant the farm test suite pins point by point.
+//
+// Wire protocol: coordinator and worker speak line-delimited JSON over the
+// worker's stdin/stdout. One Job line in, one Reply line out, strictly in
+// order; the worker's stderr passes through for progress logs. Both decoders
+// are strict (unknown fields rejected, one object per line, bounded line
+// length) so a corrupted or interleaved stream fails fast instead of being
+// half-trusted — and, by fuzzed contract, without ever panicking or hanging.
+package farm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"dclue/internal/core"
+)
+
+// MaxLineBytes bounds one protocol line. Metrics with long timelines reach
+// tens of kilobytes; a megabyte of headroom keeps the bound far from real
+// traffic while still refusing unbounded garbage.
+const MaxLineBytes = 8 << 20
+
+// Job is one simulation point shipped coordinator -> worker.
+type Job struct {
+	// ID matches a Reply to its Job on the connection; it is per-worker
+	// conversation state, not part of the point's identity.
+	ID uint64 `json:"id"`
+	// Key is the point's content-addressed identity (see PointKey). The
+	// worker echoes it so a reply can never be attributed to the wrong
+	// point even if IDs are confused.
+	Key string `json:"key"`
+	// Params is the resolved parameter set (canonical JSON form; the
+	// process-local Trace collector is excluded by construction).
+	Params core.Params `json:"params"`
+	// TraceSample, when positive, tells the worker to attach a private
+	// histogram-only span collector with that sampling stride, so the
+	// trace-derived Metrics.Breakdown comes back populated exactly as an
+	// in-process traced run would report it.
+	TraceSample int `json:"trace_sample,omitempty"`
+}
+
+// Reply is one result shipped worker -> coordinator.
+type Reply struct {
+	ID  uint64 `json:"id"`
+	Key string `json:"key,omitempty"`
+	// Metrics is the run's outcome; nil when Err is set.
+	Metrics *core.Metrics `json:"metrics,omitempty"`
+	// Err reports a deterministic simulation failure (bad configuration,
+	// cluster construction error). Protocol failures never travel in-band:
+	// they surface as decode errors or a dead pipe.
+	Err string `json:"err,omitempty"`
+}
+
+// EncodeJob renders a Job as one protocol line (newline included).
+func EncodeJob(j Job) ([]byte, error) { return encodeLine(j) }
+
+// EncodeReply renders a Reply as one protocol line (newline included).
+func EncodeReply(r Reply) ([]byte, error) { return encodeLine(r) }
+
+func encodeLine(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeJob parses one Job line. It rejects anything but a single complete
+// JSON object with exactly Job's fields — a Reply line, a truncated line, or
+// interleaved objects all fail here rather than decode to a half-right Job.
+func DecodeJob(line []byte) (Job, error) {
+	var j Job
+	if err := decodeStrict(line, &j); err != nil {
+		return Job{}, err
+	}
+	if j.Key == "" {
+		return Job{}, errors.New("farm: job without key")
+	}
+	if j.TraceSample < 0 {
+		return Job{}, fmt.Errorf("farm: negative trace sample %d", j.TraceSample)
+	}
+	return j, nil
+}
+
+// DecodeReply parses one Reply line under the same strictness as DecodeJob.
+func DecodeReply(line []byte) (Reply, error) {
+	var r Reply
+	if err := decodeStrict(line, &r); err != nil {
+		return Reply{}, err
+	}
+	if r.Metrics == nil && r.Err == "" {
+		return Reply{}, errors.New("farm: reply carries neither metrics nor error")
+	}
+	return r, nil
+}
+
+// decodeStrict decodes exactly one JSON object from line into v, rejecting
+// unknown fields and trailing data.
+func decodeStrict(line []byte, v any) error {
+	if len(line) > MaxLineBytes {
+		return fmt.Errorf("farm: protocol line of %d bytes exceeds limit", len(line))
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("farm: bad protocol line: %w", err)
+	}
+	// A second decode must hit EOF: one object per line, nothing trailing
+	// (whitespace aside, which Decode skips).
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("farm: trailing data after protocol object")
+	}
+	return nil
+}
+
+// NewLineScanner wraps r in a scanner that yields one protocol line per Scan
+// with the MaxLineBytes bound enforced: an overlong line terminates the
+// stream with bufio.ErrTooLong instead of growing without bound.
+func NewLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), MaxLineBytes)
+	return sc
+}

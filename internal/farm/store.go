@@ -1,0 +1,108 @@
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dclue/internal/core"
+)
+
+// Store is a content-addressed result store: one file per point key holding
+// the point's Metrics plus an integrity checksum. The same type backs both
+// layers of the farm's persistence — the per-sweep results (checkpoint)
+// directory and the cross-sweep cache directory — because both answer the
+// same question: "has this exact point already been computed, and can the
+// stored answer be trusted byte for byte?"
+type Store struct {
+	dir string
+}
+
+// entry is the on-disk format. Checksum covers the raw Metrics JSON, so a
+// truncated, bit-flipped, or hand-edited entry is detected on read and
+// treated as a miss (recomputed), never trusted.
+type entry struct {
+	Key      string          `json:"key"`
+	Checksum string          `json:"checksum"`
+	Metrics  json.RawMessage `json:"metrics"`
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("farm: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the entry file for a key.
+func (s *Store) Path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the stored metrics for key. The boolean is false — a miss —
+// when no entry exists or the entry fails any integrity check; a corrupt
+// entry is reported like an absent one so callers recompute instead of
+// trusting it (the next Put atomically replaces it).
+func (s *Store) Get(key string) (core.Metrics, bool) {
+	b, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		return core.Metrics{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != key {
+		return core.Metrics{}, false
+	}
+	sum := sha256.Sum256(e.Metrics)
+	if hex.EncodeToString(sum[:]) != e.Checksum {
+		return core.Metrics{}, false
+	}
+	var m core.Metrics
+	if err := json.Unmarshal(e.Metrics, &m); err != nil {
+		return core.Metrics{}, false
+	}
+	return m, true
+}
+
+// Put stores metrics under key atomically: the entry is written to a
+// temporary file in the same directory and renamed into place, so a reader
+// (or a process killed mid-write) sees either the previous state or the
+// complete new entry, never a torn one. Concurrent writers of the same key
+// are idempotent — every writer of a key writes identical content by the
+// executor's determinism contract.
+func (s *Store) Put(key string, m core.Metrics) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("farm: marshal metrics: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	b, err := json.Marshal(entry{Key: key, Checksum: hex.EncodeToString(sum[:]), Metrics: raw})
+	if err != nil {
+		return fmt.Errorf("farm: marshal entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+key+"-*")
+	if err != nil {
+		return fmt.Errorf("farm: store put: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("farm: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("farm: store put: %w", err)
+	}
+	if err := os.Rename(name, s.Path(key)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("farm: store put: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package farm
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dclue/internal/core"
+)
+
+// sampleMetrics builds a distinctive Metrics value without running a
+// simulation; v differentiates entries.
+func sampleMetrics(v float64) core.Metrics {
+	return core.Metrics{
+		Nodes:      4,
+		Affinity:   0.8,
+		TpmC:       1234.5 + v,
+		RespTimeMs: 42.25 * v,
+		NetDrops:   uint64(v),
+		Timeline:   []core.TimelinePoint{{T: 1, TxnRate: v}},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("hit on an absent key")
+	}
+	want := sampleMetrics(3)
+	if err := s.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed metrics:\n got %+v\nwant %+v", got, want)
+	}
+	// Overwrite is atomic and last-write-wins.
+	want2 := sampleMetrics(7)
+	if err := s.Put("k1", want2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("k1"); !reflect.DeepEqual(got, want2) {
+		t.Fatalf("overwrite not visible: got %+v", got)
+	}
+}
+
+// TestStoreCorruptionDetected pins the integrity contract: a truncated,
+// bit-flipped, or mislabeled entry reads as a miss — never as data — and a
+// subsequent Put heals it.
+func TestStoreCorruptionDetected(t *testing.T) {
+	corrupt := map[string]func(path string, t *testing.T){
+		"truncated": func(path string, t *testing.T) {
+			b, _ := os.ReadFile(path)
+			if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"bit-flipped-metrics": func(path string, t *testing.T) {
+			b, _ := os.ReadFile(path)
+			// Flip a digit inside the metrics payload without breaking the
+			// JSON framing: only the checksum can catch this one.
+			s := strings.Replace(string(b), "1237.5", "9237.5", 1)
+			if s == string(b) {
+				t.Fatal("fixture drift: expected TpmC 1237.5 in entry")
+			}
+			if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"wrong-key": func(path string, t *testing.T) {
+			b, _ := os.ReadFile(path)
+			var e map[string]json.RawMessage
+			if err := json.Unmarshal(b, &e); err != nil {
+				t.Fatal(err)
+			}
+			e["key"] = json.RawMessage(`"other"`)
+			nb, _ := json.Marshal(e)
+			if err := os.WriteFile(path, nb, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"empty": func(path string, t *testing.T) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"garbage": func(path string, t *testing.T) {
+			if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, mangle := range corrupt {
+		t.Run(name, func(t *testing.T) {
+			s, err := OpenStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := sampleMetrics(3)
+			if err := s.Put("k1", want); err != nil {
+				t.Fatal(err)
+			}
+			mangle(s.Path("k1"), t)
+			if m, ok := s.Get("k1"); ok {
+				t.Fatalf("corrupt entry served as data: %+v", m)
+			}
+			// Recompute-and-Put heals the entry.
+			if err := s.Put("k1", want); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("k1"); !ok || !reflect.DeepEqual(got, want) {
+				t.Fatalf("Put did not heal corrupt entry (ok=%v)", ok)
+			}
+		})
+	}
+}
+
+// TestStoreNoTempLitter: Put leaves no temporary files behind on the happy
+// path, so a results directory holds exactly one file per point plus the log.
+func TestStoreNoTempLitter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put("k", sampleMetrics(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "k.json" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("unexpected directory contents: %v", names)
+	}
+	if filepath.Base(s.Path("k")) != "k.json" {
+		t.Fatalf("Path mismatch: %s", s.Path("k"))
+	}
+}

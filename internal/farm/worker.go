@@ -1,0 +1,81 @@
+package farm
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"dclue/internal/core"
+	"dclue/internal/trace"
+)
+
+// Serve runs the worker side of the farm protocol: it reads Job lines from
+// in, evaluates each with core.Run, and writes one Reply line per job to
+// out, in order, flushing after each so the coordinator never waits on a
+// buffered result. It returns when in reaches EOF (the coordinator closed
+// the pipe or died — an orphaned worker must exit, not linger) or on a
+// stream-level error.
+//
+// Robustness contract (pinned by FuzzWorkerProtocol): Serve never panics and
+// never blocks forever on any input byte stream. A malformed line produces
+// an in-band error Reply and the loop continues; a simulation panic is
+// caught and reported the same way, so one poisoned point cannot take the
+// worker — and its queued siblings — down with it.
+func Serve(in io.Reader, out io.Writer) error {
+	sc := NewLineScanner(in)
+	w := bufio.NewWriter(out)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rep Reply
+		job, err := DecodeJob(line)
+		if err != nil {
+			rep = Reply{Err: err.Error()}
+		} else {
+			rep = runJob(job)
+		}
+		b, err := EncodeReply(rep)
+		if err != nil {
+			// Metrics marshaling cannot fail (plain value struct), but fail
+			// loudly rather than silently dropping a reply if it ever does.
+			return fmt.Errorf("farm: encode reply: %w", err)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// runJob evaluates one job, converting panics and run errors into in-band
+// error replies.
+func runJob(job Job) (rep Reply) {
+	rep.ID, rep.Key = job.ID, job.Key
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Metrics = nil
+			rep.Err = fmt.Sprintf("farm: run panicked: %v", r)
+		}
+	}()
+	p := job.Params
+	if job.TraceSample > 0 {
+		// Re-attach the span observability layer the coordinator stripped
+		// for the wire: a private histogram-only collector with the same
+		// stride reproduces Metrics.Breakdown exactly (tracing is
+		// non-perturbing, so everything else is identical regardless).
+		p.Trace = trace.NewCollector(job.TraceSample)
+	}
+	m, err := core.Run(p)
+	if err != nil {
+		rep.Err = err.Error()
+		return rep
+	}
+	rep.Metrics = &m
+	return rep
+}

@@ -1,0 +1,197 @@
+package iscsi
+
+import (
+	"testing"
+
+	"dclue/internal/disk"
+	"dclue/internal/rng"
+	"dclue/internal/sim"
+)
+
+// These tests pin the initiator's fault-path contract: bounded retries on
+// check conditions and timeouts, exact counter accounting, late responses
+// dropped, and the failover export/unexport lifecycle.
+
+// TestCheckConditionRetriesBounded: a drive that always fails produces one
+// check condition per attempt; after MaxRetries reissues the operation
+// returns ErrIO exactly once and the counters account for every attempt.
+func TestCheckConditionRetriesBounded(t *testing.T) {
+	rg := buildRig(t, HWCosts())
+	rg.drv.SetErrorProb(1)
+	rg.init.MaxRetries = 2
+	var err error
+	rg.s.Spawn("reader", func(p *sim.Proc) {
+		for !rg.init.HasTarget(1) {
+			p.Sleep(sim.Millisecond)
+		}
+		err = rg.init.Read(p, 1, 0, 100, 8192)
+	})
+	rg.s.Run(30 * sim.Second)
+	rg.s.Shutdown()
+	if err != ErrIO {
+		t.Fatalf("err = %v, want ErrIO", err)
+	}
+	// MaxRetries=2 means 3 attempts total, each a served check condition.
+	if rg.init.IOErrors != 3 || rg.init.Failed != 1 || rg.init.Timeouts != 0 {
+		t.Fatalf("counters: ioerr=%d failed=%d timeouts=%d, want 3/1/0",
+			rg.init.IOErrors, rg.init.Failed, rg.init.Timeouts)
+	}
+	if rg.drv.FaultErrors != 3 || rg.tgt.Served != 3 {
+		t.Fatalf("drive faults=%d served=%d, want 3/3", rg.drv.FaultErrors, rg.tgt.Served)
+	}
+}
+
+// TestTransientErrorRecoveredByRetry: the error injection clears mid-run;
+// the operation succeeds without surfacing an error, having consumed at
+// least one retry.
+func TestTransientErrorRecoveredByRetry(t *testing.T) {
+	rg := buildRig(t, HWCosts())
+	rg.drv.SetErrorProb(1)
+	rg.init.MaxRetries = 100000 // effectively unbounded; the repair below ends the loop
+	rg.s.After(40*sim.Millisecond, func() { rg.drv.SetErrorProb(0) })
+	var err error
+	done := false
+	rg.s.Spawn("reader", func(p *sim.Proc) {
+		for !rg.init.HasTarget(1) {
+			p.Sleep(sim.Millisecond)
+		}
+		err = rg.init.Read(p, 1, 0, 100, 8192)
+		done = true
+	})
+	rg.s.Run(30 * sim.Second)
+	rg.s.Shutdown()
+	if !done || err != nil {
+		t.Fatalf("done=%v err=%v, want recovered success", done, err)
+	}
+	if rg.init.IOErrors == 0 || rg.init.Failed != 0 {
+		t.Fatalf("counters: ioerr=%d failed=%d, want >=1 transient and no abandonment",
+			rg.init.IOErrors, rg.init.Failed)
+	}
+}
+
+// TestTimeoutRetriesBoundedAndLateResponsesDropped: responses delayed far
+// beyond the command timeout cause bounded reissues ending in ErrIO; when
+// the stale status PDUs finally arrive they find no pending command and are
+// dropped without effect.
+func TestTimeoutRetriesBoundedAndLateResponsesDropped(t *testing.T) {
+	rg := buildRig(t, HWCosts())
+	// Every request takes ~1000x the healthy service time — far beyond the
+	// timeout — but still completes and sends its (now stale) status PDU.
+	rg.drv.SetLatencyFactor(1000)
+	rg.init.Timeout = 100 * sim.Millisecond
+	rg.init.MaxRetries = 1
+	var err error
+	var failedAt sim.Time
+	rg.s.Spawn("reader", func(p *sim.Proc) {
+		for !rg.init.HasTarget(1) {
+			p.Sleep(sim.Millisecond)
+		}
+		err = rg.init.Read(p, 1, 0, 100, 8192)
+		failedAt = p.Now()
+	})
+	// Run long enough for the delayed disk operations to finish after the
+	// initiator has given up.
+	rg.s.Run(120 * sim.Second)
+	rg.s.Shutdown()
+	if err != ErrIO {
+		t.Fatalf("err = %v, want ErrIO", err)
+	}
+	if rg.init.Timeouts != 2 || rg.init.Failed != 1 || rg.init.IOErrors != 0 {
+		t.Fatalf("counters: timeouts=%d failed=%d ioerr=%d, want 2/1/0",
+			rg.init.Timeouts, rg.init.Failed, rg.init.IOErrors)
+	}
+	if failedAt > sim.Second {
+		t.Fatalf("ErrIO surfaced at %v; timeouts did not bound the wait", failedAt)
+	}
+	// Both late responses were served by the target and dropped by the
+	// initiator: no retries were credited, nothing panicked, and the drive
+	// really did the work.
+	if rg.tgt.Served != 2 || rg.drv.Reads != 2 {
+		t.Fatalf("served=%d reads=%d, want the stale commands completed", rg.tgt.Served, rg.drv.Reads)
+	}
+}
+
+// TestZeroTimeoutWaitsForever: Timeout=0 is the pre-fault-injection
+// behaviour — no timeout machinery, the caller blocks until the status
+// arrives, however slow the drive.
+func TestZeroTimeoutWaitsForever(t *testing.T) {
+	rg := buildRig(t, HWCosts())
+	rg.drv.SetLatencyFactor(100)
+	done := false
+	rg.s.Spawn("reader", func(p *sim.Proc) {
+		for !rg.init.HasTarget(1) {
+			p.Sleep(sim.Millisecond)
+		}
+		if err := rg.init.Read(p, 1, 0, 100, 8192); err != nil {
+			t.Errorf("read failed: %v", err)
+		}
+		done = true
+	})
+	rg.s.Run(60 * sim.Second)
+	rg.s.Shutdown()
+	if !done || rg.init.Timeouts != 0 {
+		t.Fatalf("done=%v timeouts=%d, want slow success with no timeout", done, rg.init.Timeouts)
+	}
+}
+
+// TestExportLifecycle covers the failover path end to end: reading a peer
+// enclosure through a buddy target fails while unexported (check condition,
+// local drive untouched), succeeds once exported, and fails again after
+// Unexport when the owner rejoins.
+func TestExportLifecycle(t *testing.T) {
+	rg := buildRig(t, HWCosts())
+	enclDrv := disk.NewDrive(rg.s, disk.DefaultParams(1), rng.New(9))
+	rg.init.MaxRetries = 0
+
+	var errBefore, errDuring, errAfter error
+	rg.s.Spawn("failover-reader", func(p *sim.Proc) {
+		for !rg.init.HasTarget(1) {
+			p.Sleep(sim.Millisecond)
+		}
+		// Enclosure 5 not exported yet: check condition, bounded by
+		// MaxRetries=0 to a single attempt.
+		errBefore = rg.init.ReadFrom(p, 1, 5, 0, 64, 4096)
+		rg.tgt.Export(5, func(int) *disk.Drive { return enclDrv })
+		errDuring = rg.init.ReadFrom(p, 1, 5, 0, 64, 4096)
+		rg.tgt.Unexport(5)
+		errAfter = rg.init.ReadFrom(p, 1, 5, 0, 64, 4096)
+	})
+	rg.s.Run(30 * sim.Second)
+	rg.s.Shutdown()
+	if errBefore != ErrIO || errDuring != nil || errAfter != ErrIO {
+		t.Fatalf("before/during/after = %v/%v/%v, want ErrIO/nil/ErrIO", errBefore, errDuring, errAfter)
+	}
+	if enclDrv.Reads != 1 || enclDrv.BytesRead != 4096 {
+		t.Fatalf("enclosure drive reads=%d bytes=%d, want exactly the exported read",
+			enclDrv.Reads, enclDrv.BytesRead)
+	}
+	if rg.drv.Reads != 0 {
+		t.Fatalf("target's own drive served %d reads; enclosure routing leaked", rg.drv.Reads)
+	}
+	if rg.init.IOErrors != 2 || rg.init.Failed != 2 {
+		t.Fatalf("counters: ioerr=%d failed=%d, want 2/2", rg.init.IOErrors, rg.init.Failed)
+	}
+}
+
+// TestWriteFromRoutesToExportedEnclosure: the write-side failover path.
+func TestWriteFromRoutesToExportedEnclosure(t *testing.T) {
+	rg := buildRig(t, HWCosts())
+	enclDrv := disk.NewDrive(rg.s, disk.DefaultParams(1), rng.New(11))
+	rg.tgt.Export(3, func(int) *disk.Drive { return enclDrv })
+	var err error
+	rg.s.Spawn("writer", func(p *sim.Proc) {
+		for !rg.init.HasTarget(1) {
+			p.Sleep(sim.Millisecond)
+		}
+		err = rg.init.WriteFrom(p, 1, 3, 2, 10, 8192)
+	})
+	rg.s.Run(30 * sim.Second)
+	rg.s.Shutdown()
+	if err != nil {
+		t.Fatalf("failover write failed: %v", err)
+	}
+	if enclDrv.Writes != 1 || enclDrv.BytesWritten != 8192 || rg.drv.Writes != 0 {
+		t.Fatalf("writes: encl=%d (%dB) own=%d, want 1/8192/0",
+			enclDrv.Writes, enclDrv.BytesWritten, rg.drv.Writes)
+	}
+}

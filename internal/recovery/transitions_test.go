@@ -1,0 +1,157 @@
+package recovery
+
+import (
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+// Membership transition tests: which states the detector may and may not
+// move between, and how the coordinator's verdicts interact with the
+// lease machinery.
+
+// TestDownPeerNotHeartbeatedOrSuspected: once the coordinator fences a
+// peer (Down), the sender stops wasting wire bytes on it and the monitor
+// never re-suspects it — Down is terminal until re-admission.
+func TestDownPeerNotHeartbeatedOrSuspected(t *testing.T) {
+	interval, lease := 100*sim.Millisecond, 400*sim.Millisecond
+	h := newHarness(t, interval, lease)
+	h.s.After(sim.Second, func() {
+		h.dead[1] = true
+		h.svc[0].SetState(1, StateDown)
+	})
+	sentAtFence := uint64(0)
+	h.s.After(sim.Second+sim.Millisecond, func() { sentAtFence = h.svc[0].HeartbeatsSent })
+	h.s.Run(10 * sim.Second)
+	// The crashed node's own monitor legitimately suspects node 0 (node 0
+	// stopped heartbeating it); what must never appear is a suspicion OF
+	// the fenced peer.
+	for _, p := range h.suspects {
+		if p == 1 {
+			t.Fatalf("monitor suspected a fenced peer: %v", h.suspects)
+		}
+	}
+	if h.svc[0].StateOf(1) != StateDown {
+		t.Fatalf("peer state = %v, want down", h.svc[0].StateOf(1))
+	}
+	if h.svc[0].HeartbeatsSent != sentAtFence {
+		t.Fatalf("sender kept heartbeating a down peer: %d sent after fence (was %d)",
+			h.svc[0].HeartbeatsSent, sentAtFence)
+	}
+	if h.svc[0].LiveCount() != 1 || h.svc[0].Coordinator() != 0 {
+		t.Fatalf("live=%d coord=%d, want 1/0", h.svc[0].LiveCount(), h.svc[0].Coordinator())
+	}
+}
+
+// TestObserveDoesNotReviveDownPeer: a stray packet from a fenced node (the
+// classic zombie after a partial crash) must not re-admit it — only the
+// coordinator's explicit SetState does. Suspect→Live revival stays
+// Observe's job.
+func TestObserveDoesNotReviveDownPeer(t *testing.T) {
+	s := sim.New()
+	sv := NewService(s, 0, 3, 100*sim.Millisecond, 400*sim.Millisecond, Hooks{
+		Spawn:         func(name string, fn func(*sim.Proc)) *sim.Proc { return s.Spawn(name, fn) },
+		SendHeartbeat: func(int) {},
+	})
+	sv.SetState(1, StateDown)
+	sv.SetState(2, StateJoining)
+	sv.Observe(1)
+	sv.Observe(2)
+	if st := sv.StateOf(1); st != StateDown {
+		t.Fatalf("zombie heartbeat revived a down peer: %v", st)
+	}
+	if st := sv.StateOf(2); st != StateJoining {
+		t.Fatalf("heartbeat promoted a joining peer to live: %v", st)
+	}
+	// The signs of life are still recorded for when the state machine
+	// does re-admit them.
+	if sv.HeartbeatsRecv != 2 {
+		t.Fatalf("HeartbeatsRecv=%d, want 2", sv.HeartbeatsRecv)
+	}
+}
+
+// TestJoiningPeerNeverSuspected: the lease monitor only judges Live peers;
+// a silent Joining node (still replaying its log) must not accrue
+// suspicions however long it takes.
+func TestJoiningPeerNeverSuspected(t *testing.T) {
+	interval, lease := 100*sim.Millisecond, 400*sim.Millisecond
+	h := newHarness(t, interval, lease)
+	h.s.After(sim.Second, func() {
+		h.dead[1] = true
+		h.svc[0].SetState(1, StateJoining)
+	})
+	h.s.Run(20 * sim.Second)
+	if len(h.suspects) != 0 {
+		t.Fatalf("monitor suspected a joining peer: %v", h.suspects)
+	}
+	if h.svc[0].Suspicions != 0 {
+		t.Fatalf("Suspicions=%d, want 0", h.svc[0].Suspicions)
+	}
+}
+
+// TestSetStateLiveRefreshesLease: re-admitting a silent peer as Live resets
+// its lease — suspicion fires one lease after re-admission, not instantly
+// off the stale lastHeard.
+func TestSetStateLiveRefreshesLease(t *testing.T) {
+	interval, lease := 100*sim.Millisecond, 400*sim.Millisecond
+	h := newHarness(t, interval, lease)
+	// Peer 1 goes silent and is fenced immediately (before the monitor even
+	// fires), then re-admitted at t=5s while still silent.
+	h.s.After(sim.Second, func() {
+		h.dead[1] = true
+		h.svc[0].SetState(1, StateDown)
+	})
+	var readmitted sim.Time
+	h.s.After(5*sim.Second, func() {
+		readmitted = h.s.Now()
+		h.svc[0].SetState(1, StateLive)
+	})
+	var suspectedAt sim.Time
+	h.svc[0].hooks.OnSuspect = func(peer int, silentFor sim.Time) {
+		if suspectedAt == 0 {
+			suspectedAt = h.s.Now()
+		}
+	}
+	h.s.Run(20 * sim.Second)
+	if suspectedAt == 0 {
+		t.Fatal("still-silent re-admitted peer never re-suspected")
+	}
+	if got := suspectedAt - readmitted; got <= lease || got > lease+2*interval {
+		t.Fatalf("re-suspected %v after re-admission, want in (lease, lease+2*interval] = (%v, %v]",
+			got, lease, lease+2*interval)
+	}
+}
+
+// TestStartResetsLeases: Start (called again after a node restart) resets
+// every peer's lastHeard to now, so suspicion timing is measured from the
+// restart, not from stale pre-crash observations.
+func TestStartResetsLeases(t *testing.T) {
+	s := sim.New()
+	interval, lease := 100*sim.Millisecond, 400*sim.Millisecond
+	var suspectedAt sim.Time
+	sv := NewService(s, 0, 2, interval, lease, Hooks{
+		Spawn:         func(name string, fn func(*sim.Proc)) *sim.Proc { return s.Spawn(name, fn) },
+		SendHeartbeat: func(int) {},
+		OnSuspect: func(peer int, silentFor sim.Time) {
+			if suspectedAt == 0 {
+				suspectedAt = s.Now()
+			}
+		},
+	})
+	// The service object existed since t=0 but only starts at t=3s (the
+	// restart). Peer 1 never speaks.
+	var startedAt sim.Time
+	s.After(3*sim.Second, func() {
+		startedAt = s.Now()
+		sv.Start()
+	})
+	s.Run(10 * sim.Second)
+	s.Shutdown()
+	if suspectedAt == 0 {
+		t.Fatal("silent peer never suspected after restart")
+	}
+	if got := suspectedAt - startedAt; got <= lease || got > lease+2*interval {
+		t.Fatalf("suspected %v after Start, want in (lease, lease+2*interval] = (%v, %v] — lease measured from restart",
+			got, lease, lease+2*interval)
+	}
+}

@@ -22,15 +22,27 @@ type future struct {
 // to core.MeasureCapacity — speculation only ever wastes work, never
 // changes the answer.
 func Capacity(pool *Pool, p core.Params, maxPerNode int) core.CapacityResult {
+	return CapacityExec(pool, nil, p, maxPerNode)
+}
+
+// CapacityExec is Capacity with a pluggable point executor (nil = in-process
+// core.Run). Because the bisection path is a function of probe outcomes only
+// and exec is held to the deterministic Exec contract, the result is
+// byte-identical whichever executor evaluates the probes — the speculative
+// warming just overlaps farm round trips the same way it overlaps local runs.
+func CapacityExec(pool *Pool, exec Exec, p core.Params, maxPerNode int) core.CapacityResult {
+	if exec == nil {
+		exec = core.Run
+	}
 	if pool.Workers() <= 1 {
-		return core.MeasureCapacity(p, maxPerNode)
+		return core.SearchCapacity(p, maxPerNode, core.CapacityProbe(exec), nil)
 	}
 
 	var mu sync.Mutex
 	memo := map[int]*future{} // keyed by Warehouses, the only varying field
 
 	compute := func(f *future, q core.Params) {
-		f.m, f.err = core.Run(q)
+		f.m, f.err = exec(q)
 		close(f.done)
 	}
 	probe := func(q core.Params) (core.Metrics, error) {

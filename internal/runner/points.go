@@ -10,6 +10,18 @@ type Point struct {
 	Seed   uint64 // overrides Params.Seed when nonzero
 }
 
+// Resolved returns the exact parameters the point runs with: Params with the
+// seed override applied. This is the point's identity — two points with equal
+// Resolved() values are the same simulation job, which is what the experiment
+// farm's content-addressed result cache keys on.
+func (pt Point) Resolved() core.Params {
+	q := pt.Params
+	if pt.Seed != 0 {
+		q.Seed = pt.Seed
+	}
+	return q
+}
+
 // PointResult pairs a Point with its run outcome.
 type PointResult struct {
 	Point   Point
@@ -17,18 +29,46 @@ type PointResult struct {
 	Err     error
 }
 
-// RunPoints evaluates every point on the pool and returns results indexed
-// like the input, regardless of completion order: the merged output of a
-// parallel sweep is identical to a sequential one.
+// Exec evaluates one resolved simulation point. It must behave as a pure,
+// deterministic function of its Params: callers (the capacity search, the
+// sweep merge step, the golden-figure regressions) assume two Exec calls
+// with equal Params return identical Metrics. core.Run is the in-process
+// executor; the experiment farm substitutes one that ships the point to a
+// worker process or serves it from the content-addressed result cache —
+// indistinguishable to the sweep by this contract.
+type Exec func(core.Params) (core.Metrics, error)
+
+// Enumerate builds a point list from an index function. The enumeration
+// order is the definition order (0..n-1) and callers must keep mk a pure
+// function of its index, so the same sweep enumerates the same points in the
+// same stable order in every process — the property that lets a farm
+// coordinator and its workers, or an interrupted and a resumed sweep, agree
+// on what point a result belongs to.
+func Enumerate(n int, mk func(i int) Point) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = mk(i)
+	}
+	return pts
+}
+
+// RunPoints evaluates every point in-process on the pool. See RunPointsExec.
 func (p *Pool) RunPoints(pts []Point) []PointResult {
+	return p.RunPointsExec(core.Run, pts)
+}
+
+// RunPointsExec evaluates every point through exec on the pool and returns
+// results indexed like the input, regardless of completion order: the merged
+// output of a parallel sweep is identical to a sequential one, whatever the
+// executor. A nil exec runs in-process.
+func (p *Pool) RunPointsExec(exec Exec, pts []Point) []PointResult {
+	if exec == nil {
+		exec = core.Run
+	}
 	out := make([]PointResult, len(pts))
 	p.Map(len(pts), func(i int) {
-		q := pts[i].Params
-		if pts[i].Seed != 0 {
-			q.Seed = pts[i].Seed
-		}
 		out[i].Point = pts[i]
-		out[i].Metrics, out[i].Err = core.Run(q)
+		out[i].Metrics, out[i].Err = exec(pts[i].Resolved())
 	})
 	return out
 }
