@@ -25,6 +25,7 @@ type benchRun struct {
 	NumCPU     int           `json:"numcpu"`
 	Quick      bool          `json:"quick"`
 	Seed       uint64        `json:"seed"`
+	Telemetry  bool          `json:"telemetry,omitempty"`
 	TotalSec   float64       `json:"total_seconds"`
 	Farm       *benchFarm    `json:"farm,omitempty"`
 	Figures    []benchFigure `json:"figures"`

@@ -14,7 +14,9 @@
 //	dclueexp -all -quick -bench BENCH_sweeps.json
 //	dclueexp -run lat-decomp -quick  # latency decomposition by phase
 //	dclueexp -fig 2 -quick -trace fig2.json   # same table + Chrome trace
+//	dclueexp -run util-decomp -quick -telemetry util.jsonl -telemetry-bucket 5
 //	dclueexp -all -quick -farm 4     # shard points across 4 worker processes
+//	dclueexp -all -quick -farm 4 -status :8080   # live progress at /status
 //	dclueexp -list
 //
 // -farm N runs the sweep as a coordinator that shards simulation points
@@ -29,6 +31,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
@@ -56,6 +60,9 @@ func main() {
 		bench     = flag.String("bench", "", "append a run record (figures, fingerprints, wall-clock) to this JSON file")
 		traceF    = flag.String("trace", "", "trace every run's transaction spans and write them to this file (.jsonl = JSONL; else Chrome trace_event JSON); tables are unaffected")
 		traceN    = flag.Int("trace-sample", 1, "with -trace, trace every Nth transaction per run")
+		telemF    = flag.String("telemetry", "", "record per-component utilization telemetry for every run and write it to this file (.prom/.txt = Prometheus text snapshot; else JSONL timeseries); tables are unaffected")
+		telemBkt  = flag.Float64("telemetry-bucket", 0, "with -telemetry, timeline bucket size in simulated seconds (0 = end-of-run scalars only)")
+		statusA   = flag.String("status", "", "serve a live status endpoint on this address (e.g. :8080): farm progress JSON at /status, Prometheus telemetry snapshot at /metrics")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep process to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		farmN     = flag.Int("farm", 0, "shard point execution across N exec'd worker processes (0 = in-process)")
@@ -130,6 +137,22 @@ func main() {
 		opts.Trace = col
 	}
 
+	var tel *dclue.TelemetryCollector
+	if *telemF != "" {
+		if *farmN > 0 {
+			// Metrics.UtilDecomp survives farming (workers re-attach a
+			// collector per point), but the registries behind the JSONL and
+			// Prometheus exports die with each worker process.
+			fmt.Fprintln(os.Stderr, "dclueexp: -telemetry cannot be combined with -farm")
+			exit(2)
+		}
+		tel = dclue.NewTelemetryCollector(dclue.Time(*telemBkt * float64(dclue.Second)))
+		opts.Telemetry = tel
+	} else if *telemBkt != 0 {
+		fmt.Fprintln(os.Stderr, "dclueexp: -telemetry-bucket requires -telemetry")
+		exit(2)
+	}
+
 	if *farmN > 0 {
 		exe, err := os.Executable()
 		if err != nil {
@@ -149,6 +172,17 @@ func main() {
 		opts.Exec = coord.Exec
 	}
 
+	if *statusA != "" {
+		ln, err := net.Listen("tcp", *statusA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dclueexp: status:", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "status: serving on http://%s (/status, /metrics)\n", ln.Addr())
+		//lint:allow goroutine the status endpoint serves HTTP beside the sweep and only reads lock-protected snapshots, never sim state
+		go http.Serve(ln, newStatusServer(coord, tel))
+	}
+
 	var figs []dclue.Figure
 	unknown := func(what, id string) {
 		fmt.Fprintf(os.Stderr, "unknown %s %q; try -list\n", what, id)
@@ -159,6 +193,7 @@ func main() {
 		fs = append(fs, dclue.AblationList()...)
 		fs = append(fs, dclue.FaultList()...)
 		fs = append(fs, dclue.TraceList()...)
+		fs = append(fs, dclue.TelemetryList()...)
 		return fs
 	}
 	switch {
@@ -169,7 +204,7 @@ func main() {
 		exit(0)
 	case *runID != "":
 		figs = pick(everything(), func(f dclue.Figure) bool {
-			return f.ID == *runID || f.ID == "flt-"+*runID || f.ID == "abl-"+*runID || f.ID == "lat-"+*runID
+			return f.ID == *runID || f.ID == "flt-"+*runID || f.ID == "abl-"+*runID || f.ID == "lat-"+*runID || f.ID == "util-"+*runID
 		})
 		if figs == nil {
 			unknown("experiment", *runID)
@@ -241,8 +276,14 @@ func main() {
 	var farmStats *benchFarm
 	if coord != nil {
 		st := coord.Stats()
-		fmt.Fprintf(os.Stderr, "farm: workers=%d points=%d checkpoint=%d cache=%d exec=%d requeued=%d restarts=%d failures=%d\n",
-			*farmN, st.Points, st.CheckpointHits, st.CacheHits, st.Execs, st.Requeues, st.Restarts, st.Failures)
+		alive := 0
+		for _, ws := range coord.Status().Workers {
+			if ws.Alive {
+				alive++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "farm: workers=%d points=%d checkpoint=%d cache=%d exec=%d requeued=%d restarts=%d failures=%d alive=%d\n",
+			*farmN, st.Points, st.CheckpointHits, st.CacheHits, st.Execs, st.Requeues, st.Restarts, st.Failures, alive)
 		farmStats = &benchFarm{
 			Workers:        *farmN,
 			Points:         st.Points,
@@ -262,6 +303,7 @@ func main() {
 			NumCPU:     runtime.NumCPU(),
 			Quick:      *quick,
 			Seed:       *seed,
+			Telemetry:  tel != nil,
 			TotalSec:   round3(total.Seconds()),
 			Farm:       farmStats,
 		}
@@ -288,6 +330,13 @@ func main() {
 			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceF)
+	}
+	if tel != nil {
+		if err := tel.WriteFile(*telemF); err != nil {
+			fmt.Fprintln(os.Stderr, "dclueexp: telemetry:", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote %s\n", *telemF)
 	}
 	exit(0)
 }

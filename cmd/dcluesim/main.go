@@ -11,6 +11,8 @@
 //	dcluesim -nodes 4 -faults "crash:dp1@200+0;restart:dp1@260+0" -timeline 5
 //	dcluesim -nodes 4 -trace trace.json            # Chrome trace_event file
 //	dcluesim -nodes 4 -trace spans.jsonl -trace-sample 10
+//	dcluesim -nodes 4 -telemetry util.jsonl -telemetry-bucket 5
+//	dcluesim -nodes 4 -telemetry snapshot.prom     # Prometheus text snapshot
 package main
 
 import (
@@ -51,6 +53,8 @@ func main() {
 		jobs       = flag.Int("j", 0, "workers for the -capacity search (0 = GOMAXPROCS; single runs are unaffected)")
 		traceFile  = flag.String("trace", "", "trace transaction spans and write them to this file (.jsonl = JSONL events; anything else = Chrome trace_event JSON for chrome://tracing or Perfetto)")
 		traceEvery = flag.Int("trace-sample", 1, "with -trace, trace every Nth transaction (deterministic modular sampling)")
+		telemFile  = flag.String("telemetry", "", "record per-component utilization telemetry and write it to this file (.prom/.txt = Prometheus text snapshot; anything else = JSONL timeseries)")
+		telemBkt   = flag.Float64("telemetry-bucket", 0, "with -telemetry, timeline bucket size in simulated seconds (0 = end-of-run scalars only)")
 		cpuprof    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
 		memprof    = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -108,15 +112,29 @@ func main() {
 		col.KeepEvents(0)
 		p.Trace = col
 	}
+	var tel *dclue.TelemetryCollector
+	if *telemFile != "" {
+		tel = dclue.NewTelemetryCollector(dclue.Time(*telemBkt * float64(dclue.Second)))
+		p.Telemetry = tel
+	} else if *telemBkt != 0 {
+		fmt.Fprintln(os.Stderr, "dcluesim: -telemetry-bucket requires -telemetry")
+		exit(2)
+	}
 	writeTrace := func() {
-		if col == nil {
-			return
+		if col != nil {
+			if err := col.WriteFile(*traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, "dcluesim: trace:", err)
+				exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceFile)
 		}
-		if err := col.WriteFile(*traceFile); err != nil {
-			fmt.Fprintln(os.Stderr, "dcluesim: trace:", err)
-			exit(1)
+		if tel != nil {
+			if err := tel.WriteFile(*telemFile); err != nil {
+				fmt.Fprintln(os.Stderr, "dcluesim: telemetry:", err)
+				exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "telemetry: wrote %s\n", *telemFile)
 		}
-		fmt.Fprintf(os.Stderr, "trace: wrote %s\n", *traceFile)
 	}
 
 	start := time.Now()

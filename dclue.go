@@ -32,6 +32,7 @@ import (
 	"dclue/internal/faults"
 	"dclue/internal/runner"
 	"dclue/internal/sim"
+	"dclue/internal/telemetry"
 	"dclue/internal/trace"
 )
 
@@ -184,6 +185,46 @@ type LatencyBreakdown = core.LatencyBreakdown
 // NewTraceCollector returns a collector sampling every n-th transaction per
 // run (n <= 1 traces every transaction).
 func NewTraceCollector(n int) *TraceCollector { return trace.NewCollector(n) }
+
+// TelemetryCollector is the unified metrics registry: set one on
+// Params.Telemetry (or ExperimentOptions.Telemetry) and every run registers
+// per-component utilization instruments — link busy time and bytes attributed
+// to traffic class (IPC, iSCSI, client, FTP, heartbeat), NIC and router-port
+// queue occupancy, per-node CPU busy split, per-spindle disk utilization,
+// GCS message rates and lock waits, and recovery phase timelines — plus the
+// Metrics.UtilDecomp summary. Registries are exportable as a JSONL
+// timeseries or a Prometheus text snapshot (WriteFile, WriteJSONL,
+// WritePrometheus). Telemetry never perturbs a run: metrics outside the
+// decomposition are bit-identical with telemetry on or off
+// (Metrics.FingerprintSansTelemetry is the regression hook).
+type TelemetryCollector = telemetry.Collector
+
+// NewTelemetryCollector returns a collector whose instrument timelines use
+// the given bucket width; bucket 0 records end-of-run scalars only.
+func NewTelemetryCollector(bucket Time) *TelemetryCollector {
+	return telemetry.NewCollector(bucket)
+}
+
+// UtilDecomp is the telemetry-derived utilization decomposition inside
+// Metrics.
+type UtilDecomp = core.UtilDecomp
+
+// ClassUtil splits link busy seconds by traffic class.
+type ClassUtil = core.ClassUtil
+
+// TelemetryList returns the telemetry experiments (the utilization-
+// decomposition table).
+func TelemetryList() []Figure { return experiments.TelemetryFigures() }
+
+// RunTelemetry runs the telemetry experiment with the given id
+// ("util-decomp" or "decomp").
+func RunTelemetry(id string, o ExperimentOptions) (ExperimentResult, bool) {
+	f, ok := experiments.LookupTelemetry(id)
+	if !ok {
+		return ExperimentResult{}, false
+	}
+	return f.Run(o), true
+}
 
 // TraceList returns the span-tracing experiments (the latency-decomposition
 // table).

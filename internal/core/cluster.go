@@ -13,6 +13,7 @@ import (
 	"dclue/internal/sim"
 	"dclue/internal/stats"
 	"dclue/internal/tcp"
+	"dclue/internal/telemetry"
 	"dclue/internal/tpcc"
 	"dclue/internal/trace"
 )
@@ -106,6 +107,17 @@ type Cluster struct {
 	// and gauges of this run land there.
 	tr *trace.Run
 
+	// telReg is this run's telemetry registry when Params.Telemetry is set
+	// (nil otherwise). The instrument handles are kept so collect can
+	// cross-check attribution and attachEngine can re-attach across node
+	// restarts; see cluster_telemetry.go.
+	telReg   *telemetry.Registry
+	telLinks []telLink
+	telCPU   []*telemetry.CPUTel
+	telGCS   []*telemetry.GCSTel
+	telDisks []*telemetry.DiskTel
+	telLogs  []*telemetry.DiskTel
+
 	// allCommits counts every commit from t=0 (warmup included) so the
 	// throughput timeline can show degradation and recovery around fault
 	// windows that straddle the warmup boundary.
@@ -135,6 +147,9 @@ func New(p Params) (*Cluster, error) {
 	c.respHist = newRespHist()
 	if p.Trace != nil {
 		c.tr = p.Trace.NewRun(p.traceLabel())
+	}
+	if p.Telemetry != nil {
+		c.initTelemetry()
 	}
 
 	// Network.
@@ -226,6 +241,12 @@ func New(p Params) (*Cluster, error) {
 	// Client cloud: infinite client-side compute (the paper does not model
 	// client performance), its own stack.
 	c.clientStack = c.Dom.NewStack(netsim.AddrClientCloud, tcp.InstantProcessor{}, p.tcpCosts())
+
+	// Fabric and disk instruments attach once topology and nodes exist (the
+	// per-node engine instruments attached inside attachEngine above).
+	if c.telReg != nil {
+		c.instrumentFabric()
+	}
 
 	// Prewarm: each node starts with its own partition resident, hottest
 	// tables first (DCLUE builds the database in memory; this removes the
@@ -478,6 +499,12 @@ func (c *Cluster) attachEngine(n *node, frames int, opCosts *db.OpCosts) {
 	if c.rec != nil {
 		c.rec.wireNode(n)
 	}
+	if c.telReg != nil {
+		// Re-attach across restarts: the node keeps its cumulative
+		// instruments even though the CPU and engine are rebuilt.
+		n.cpu.SetTelemetry(c.telCPU[i])
+		n.dbn.GCS.SetTelemetry(c.telGCS[i])
+	}
 
 	// Estimated remote-work fraction for the MPI heuristic (§2.3): queries
 	// landing off-home touch remote data.
@@ -488,7 +515,9 @@ func (c *Cluster) attachEngine(n *node, frames int, opCosts *db.OpCosts) {
 // setup dials the static mesh (2 connections per server pair: IPC and
 // iSCSI, §2.3) and then starts terminals and cross traffic.
 func (c *Cluster) setup(p *sim.Proc) {
-	ipcOpts := tcp.DialOptions{Class: netsim.ClassBestEffort, MaxRetx: 1000}
+	ipcOpts := tcp.DialOptions{Class: netsim.ClassBestEffort, MaxRetx: 1000, TC: telemetry.ClassIPC}
+	stoOpts := ipcOpts
+	stoOpts.TC = telemetry.ClassISCSI
 	for i := 0; i < c.P.Nodes; i++ {
 		for j := i + 1; j < c.P.Nodes; j++ {
 			ipc := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), PortIPC, ipcOpts)
@@ -497,7 +526,7 @@ func (c *Cluster) setup(p *sim.Proc) {
 				return
 			}
 			c.bindIPC(i, j, ipc)
-			sto := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), iscsi.Port, ipcOpts)
+			sto := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), iscsi.Port, stoOpts)
 			if sto == nil {
 				c.fail(fmt.Errorf("core: iSCSI dial %d->%d failed during setup", i, j))
 				return

@@ -12,6 +12,7 @@ import (
 	"dclue/internal/recovery"
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
+	"dclue/internal/telemetry"
 )
 
 // This file is the cluster's crash-recovery coordinator: it wires the
@@ -293,6 +294,7 @@ func recTimeout(p Params) sim.Time {
 func (r *recState) recover(p *sim.Proc, self, dead int) {
 	c := r.c
 	g := c.nodes[self].dbn.GCS
+	tFence := p.Now()
 
 	// FENCE: local first, then every survivor, gathering acks.
 	r.fenceLocal(self, dead)
@@ -315,6 +317,8 @@ func (r *recState) recover(p *sim.Proc, self, dead int) {
 		}
 	}
 	r.dropWait(id)
+
+	tRemaster := p.Now()
 
 	// REMASTER: become surrogate master and rebuild the dead partition's
 	// directory from survivors' holdings (the catalog is shared state, so
@@ -350,8 +354,10 @@ func (r *recState) recover(p *sim.Proc, self, dead int) {
 	}
 	r.dropWait(id)
 
+	tReplay := p.Now()
 	r.replay(p, self, dead)
 
+	tOpen := p.Now()
 	r.openLocal(self, dead)
 	for j := range c.nodes {
 		if j == self || r.down[j] {
@@ -364,6 +370,13 @@ func (r *recState) recover(p *sim.Proc, self, dead int) {
 	r.recTimeSum += now - r.suspectAt[dead]
 	r.unavailSum += now - r.crashAt[dead]
 	r.recovering[dead] = false
+	if reg := c.telReg; reg != nil {
+		comp := fmt.Sprintf("recover-%d", dead)
+		reg.RecordPhase(comp, "fence", tFence, tRemaster)
+		reg.RecordPhase(comp, "remaster", tRemaster, tReplay)
+		reg.RecordPhase(comp, "replay", tReplay, tOpen)
+		reg.RecordPhase(comp, "open", tOpen, now)
+	}
 }
 
 // replay performs the log scan and dirty-block reapplication. The scan runs
@@ -579,6 +592,9 @@ func (r *recState) readmit(p *sim.Proc, self, node int, reqID uint64) {
 	g.SendCtl(node, db.MsgJoinOK{ReqID: reqID, Node: node})
 	r.readmitted++
 	r.readmitSum += p.Now() - r.restartAt[node]
+	if reg := c.telReg; reg != nil {
+		reg.RecordPhase(fmt.Sprintf("rejoin-%d", node), "readmit", r.restartAt[node], p.Now())
+	}
 }
 
 // rejoin runs on a restarted node: re-dial the mesh, ask the coordinator
@@ -586,7 +602,9 @@ func (r *recState) readmit(p *sim.Proc, self, node int, reqID uint64) {
 // resume membership and checkpointing.
 func (r *recState) rejoin(p *sim.Proc, i int) {
 	c := r.c
-	opts := tcp.DialOptions{Class: netsim.ClassBestEffort, MaxRetx: 1000}
+	opts := tcp.DialOptions{Class: netsim.ClassBestEffort, MaxRetx: 1000, TC: telemetry.ClassIPC}
+	stoOpts := opts
+	stoOpts.TC = telemetry.ClassISCSI
 	for j := 0; j < c.P.Nodes; j++ {
 		if j == i || r.down[j] {
 			continue
@@ -596,7 +614,7 @@ func (r *recState) rejoin(p *sim.Proc, i int) {
 			continue // peer died in the meantime; skip it
 		}
 		c.bindIPC(i, j, ipc)
-		sto := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), iscsi.Port, opts)
+		sto := tcp.Dial(p, c.nodes[i].stack, netsim.NodeAddr(j), iscsi.Port, stoOpts)
 		if sto == nil {
 			continue
 		}

@@ -93,6 +93,69 @@ type Metrics struct {
 	// Params.Trace was set). It is the only trace-dependent part of Metrics;
 	// FingerprintSansTrace hashes everything but it.
 	Breakdown LatencyBreakdown
+
+	// UtilDecomp is the telemetry-derived utilization decomposition (zero
+	// value unless Params.Telemetry was set). It is the only
+	// telemetry-dependent part of Metrics; FingerprintSansTelemetry hashes
+	// everything but it.
+	UtilDecomp UtilDecomp
+}
+
+// ClassUtil is busy-seconds attributed to each traffic class over a group
+// of links.
+type ClassUtil struct {
+	IPC       float64
+	ISCSI     float64
+	Client    float64
+	FTP       float64
+	Heartbeat float64
+	Other     float64
+}
+
+// Sum returns the total attributed busy-seconds.
+func (u ClassUtil) Sum() float64 {
+	return u.IPC + u.ISCSI + u.Client + u.FTP + u.Heartbeat + u.Other
+}
+
+// add accumulates another group of links into this one.
+func (u ClassUtil) add(v ClassUtil) ClassUtil {
+	u.IPC += v.IPC
+	u.ISCSI += v.ISCSI
+	u.Client += v.Client
+	u.FTP += v.FTP
+	u.Heartbeat += v.Heartbeat
+	u.Other += v.Other
+	return u
+}
+
+// UtilDecomp decomposes the fabric's busy time by traffic class and reports
+// the component utilization scalars of a telemetered run. Busy-seconds are
+// cumulative from t=0 (telemetry, like recovery, is not reset at the warmup
+// boundary: utilization timelines must show the whole run).
+type UtilDecomp struct {
+	Enabled    bool
+	ElapsedSec float64 // simulated seconds covered (warmup + measure)
+
+	// Per-class attributed busy-seconds by link group, and each group's
+	// total busy time from the links' own counters. By construction each
+	// group's ClassUtil.Sum() equals its *BusySec exactly; AttribMismatch
+	// counts links where the integer identity failed (always 0).
+	InterLata        ClassUtil
+	NodeLinks        ClassUtil
+	ClientLink       ClassUtil
+	InterLataBusySec float64
+	NodeLinksBusySec float64
+	ClientBusySec    float64
+	AttribMismatch   int
+
+	// Component utilization scalars, summed over nodes/spindles.
+	CPUThreadSec   float64
+	CPUIrqSec      float64
+	DiskBusySec    float64
+	LogDiskBusySec float64
+	GCSCtlMsgs     uint64
+	GCSDataMsgs    uint64
+	LockWaitSec    float64
 }
 
 // LatencyBreakdown decomposes the sampled transactions' client-observed
@@ -150,6 +213,18 @@ func (m Metrics) Fingerprint() uint64 {
 // percentiles stay in the hash: they are always-on and must match too.
 func (m Metrics) FingerprintSansTrace() uint64 {
 	m.Breakdown = LatencyBreakdown{}
+	return m.Fingerprint()
+}
+
+// FingerprintSansTelemetry hashes the metrics with the telemetry-derived
+// utilization decomposition zeroed out. The invariant every telemetered run
+// is held to is
+//
+//	telemetered.FingerprintSansTelemetry() == plain.Fingerprint()
+//
+// — telemetry observes the trajectory without perturbing it.
+func (m Metrics) FingerprintSansTelemetry() uint64 {
+	m.UtilDecomp = UtilDecomp{}
 	return m.Fingerprint()
 }
 
@@ -288,6 +363,9 @@ func (c *Cluster) collect() Metrics {
 		b.TotalP99Ms = c.tr.TotalQuantileMs(0.99)
 		b.PeakQueueBytes, b.PeakQueuePkts = c.tr.PeakGauge()
 	}
+	if c.telReg != nil {
+		c.collectTelemetry(&m)
+	}
 	return m
 }
 
@@ -313,6 +391,12 @@ func (m Metrics) String() string {
 		fmt.Fprintf(&b, "  faults: drops=%d corrupt=%d fetchTO=%d fetchFail=%d logFB=%d iscsiTO=%d iscsiFail=%d diskErr=%d diskRetry=%d diskFail=%d\n",
 			m.FaultDrops, m.CorruptDrops, m.FetchTimeouts, m.FetchFails, m.LogFallbacks,
 			m.IscsiTimeouts, m.IscsiFailed, m.DiskErrors, m.DiskRetries, m.DiskFailures)
+	}
+	if u := m.UtilDecomp; u.Enabled {
+		fmt.Fprintf(&b, "  util: interlata[ipc=%.1fs iscsi=%.1fs client=%.1fs ftp=%.1fs hb=%.1fs other=%.1fs] cpu=%.1fs irq=%.1fs disk=%.1fs log=%.1fs mismatch=%d\n",
+			u.InterLata.IPC, u.InterLata.ISCSI, u.InterLata.Client, u.InterLata.FTP,
+			u.InterLata.Heartbeat, u.InterLata.Other,
+			u.CPUThreadSec, u.CPUIrqSec, u.DiskBusySec, u.LogDiskBusySec, u.AttribMismatch)
 	}
 	if m.Crashes > 0 {
 		fmt.Fprintf(&b, "  recovery: crashes=%d restarts=%d recovered=%d readmitted=%d detect=%.1fms recovery=%.1fms unavail=%.1fms readmit=%.1fms\n",

@@ -15,6 +15,7 @@ import (
 	"dclue/internal/iscsi"
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
+	"dclue/internal/telemetry"
 	"dclue/internal/tpcc"
 	"dclue/internal/trace"
 )
@@ -170,6 +171,26 @@ type Params struct {
 	// TraceLabel names this run in trace exports; empty derives a label
 	// from the cluster size and offload mode.
 	TraceLabel string
+
+	// Telemetry, when non-nil, enables the unified metrics registry
+	// (internal/telemetry): the run registers per-component utilization
+	// instruments — links and router ports with traffic-class attribution,
+	// queue occupancy, CPU thread/IRQ busy, per-spindle disk utilization,
+	// GCS message rates and lock waits, recovery phase timelines — and
+	// reports Metrics.UtilDecomp. Like tracing, telemetry never perturbs the
+	// simulated trajectory: an instrumented run's metrics (UtilDecomp aside)
+	// are bit-identical to an uninstrumented run's
+	// (Metrics.FingerprintSansTelemetry is the regression hook).
+	//
+	// The collector is process-local state, not configuration: it is
+	// excluded from the JSON form of Params, which the experiment farm uses
+	// as the canonical wire and cache-key encoding of a point. Farm workers
+	// re-attach an equivalent collector from the job's telemetry fields.
+	Telemetry *telemetry.Collector `json:"-"`
+
+	// TelemetryLabel names this run in telemetry exports; empty derives a
+	// label from the cluster size and offload mode.
+	TelemetryLabel string
 }
 
 // DefaultParams returns the paper's baseline configuration at scale 100
@@ -207,6 +228,14 @@ func DefaultParams(nodes int) Params {
 		MaxTxnRetries: 10,
 		RetryDelay:    sim.Time(0.5 * float64(sim.Millisecond) * scale),
 	}
+}
+
+// telemetryLabel names this run in telemetry exports.
+func (p *Params) telemetryLabel() string {
+	if p.TelemetryLabel != "" {
+		return p.TelemetryLabel
+	}
+	return p.traceLabel()
 }
 
 // heartbeat resolves the membership heartbeat cadence.

@@ -7,6 +7,7 @@ import (
 	"dclue/internal/rng"
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
+	"dclue/internal/telemetry"
 	"dclue/internal/tpcc"
 	"dclue/internal/trace"
 )
@@ -42,7 +43,7 @@ func (c *Cluster) terminal(p *sim.Proc, w, t int) {
 			c.rec.clientRetries++
 		}
 		conn := tcp.Dial(p, c.clientStack, nodeAddrOf(target), PortClient,
-			tcp.DialOptions{Class: netsim.ClassBestEffort, MaxRetx: 50})
+			tcp.DialOptions{Class: netsim.ClassBestEffort, MaxRetx: 50, TC: telemetry.ClassClient})
 		if conn == nil {
 			p.Sleep(1 * sim.Second)
 			continue

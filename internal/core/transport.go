@@ -5,6 +5,7 @@ import (
 	"dclue/internal/iscsi"
 	"dclue/internal/netsim"
 	"dclue/internal/tcp"
+	"dclue/internal/telemetry"
 )
 
 // ipcEnvelope frames a GCS message on the IPC TCP connection.
@@ -58,7 +59,10 @@ func (t *ipcTransport) Send(to int, m db.Msg, size int, data bool) {
 // exactly the signal the lease monitor consumes.
 func (t *ipcTransport) sendHeartbeat(to int) {
 	if conn := t.conns[to]; conn != nil {
-		conn.Enqueue(hbEnvelope{from: t.self}, hbBytes)
+		// Heartbeats ride the IPC connection but attribute as their own
+		// traffic class, so telemetry can separate liveness chatter from
+		// cache-fusion messaging on the same wire.
+		conn.EnqueueTC(hbEnvelope{from: t.self}, hbBytes, telemetry.ClassHeartbeat)
 	}
 }
 

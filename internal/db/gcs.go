@@ -5,6 +5,7 @@ import (
 
 	"dclue/internal/sim"
 	"dclue/internal/stats"
+	"dclue/internal/telemetry"
 )
 
 // ErrFetchFailed aborts the current transaction attempt: a block fetch kept
@@ -345,6 +346,10 @@ type GCS struct {
 	// the amount a crash at this instant would force recovery to replay.
 	redoBytes int64
 
+	// tel, when set, records message rates and lock-wait timelines. Nil on
+	// untelemetered runs (the fast path).
+	tel *telemetry.GCSTel
+
 	Stats GCSStats
 }
 
@@ -382,6 +387,19 @@ func NewGCS(s *sim.Sim, self int, cat *Catalog, host Host, cache *BufferCache,
 // all nodes exist).
 func (g *GCS) SetTransport(tr Transport) { g.tr = tr }
 
+// SetTelemetry attaches a GCS instrument (nil detaches). The cluster
+// re-attaches it when a crashed node boots a fresh engine.
+func (g *GCS) SetTelemetry(t *telemetry.GCSTel) { g.tel = t }
+
+// recordLockWait charges the elapsed wait to stats and, when telemetry is
+// attached, to the lock-wait timeline.
+func (g *GCS) recordLockWait(start sim.Time) {
+	g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+	if g.tel != nil {
+		g.tel.OnLockWait(start, g.sim.Now())
+	}
+}
+
 // Locks exposes the master-side lock service (tests, stats).
 func (g *GCS) Locks() *LockService { return g.locks }
 
@@ -396,6 +414,9 @@ type fwdState struct {
 // sendCtl charges send-side handling and ships a control message.
 func (g *GCS) sendCtl(to int, m Msg) {
 	g.Stats.CtlMsgsSent++
+	if g.tel != nil {
+		g.tel.OnCtlMsg(g.sim.Now())
+	}
 	g.host.Process(g.costs.CtlMsgHandle, func() { g.tr.Send(to, m, CtlMsgBytes, false) })
 }
 
@@ -403,6 +424,9 @@ func (g *GCS) sendCtl(to int, m Msg) {
 func (g *GCS) sendData(to int, m Msg, size int) {
 	g.Stats.DataMsgsSent++
 	g.Stats.DataBytes += uint64(size)
+	if g.tel != nil {
+		g.tel.OnDataMsg(g.sim.Now())
+	}
 	g.host.Process(g.costs.DataMsgHandle, func() { g.tr.Send(to, m, size, true) })
 }
 

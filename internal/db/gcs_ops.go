@@ -483,11 +483,11 @@ func (g *GCS) acquireLock(p *sim.Proc, txn TxnRef, res ResourceID, mode LockMode
 			g.locks.Cancel(res, txn)
 			g.Stats.LockFails++
 			g.Stats.noteFail(res.Table)
-			g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+			g.recordLockWait(start)
 			g.host.Dispatch(p, g.costs.ResumeDispatch)
 			return false, true
 		}
-		g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+		g.recordLockWait(start)
 		g.host.Dispatch(p, g.costs.ResumeDispatch)
 		return true, true
 	}
@@ -504,7 +504,7 @@ func (g *GCS) acquireLock(p *sim.Proc, txn TxnRef, res ResourceID, mode LockMode
 		g.Stats.noteFail(res.Table)
 		g.Stats.LockWaits++
 		g.Stats.noteWait(res.Table)
-		g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+		g.recordLockWait(start)
 		return false, true
 	}
 	switch r := v.(type) {
@@ -512,7 +512,7 @@ func (g *GCS) acquireLock(p *sim.Proc, txn TxnRef, res ResourceID, mode LockMode
 		if r.Waited {
 			g.Stats.LockWaits++
 			g.Stats.noteWait(res.Table)
-			g.Stats.LockWaitTime.Add((g.sim.Now() - start).Seconds())
+			g.recordLockWait(start)
 		}
 		return true, r.Waited
 	case MsgLockDeny:

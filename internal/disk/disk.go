@@ -11,6 +11,7 @@ import (
 
 	"dclue/internal/rng"
 	"dclue/internal/sim"
+	"dclue/internal/telemetry"
 )
 
 // Params describes a drive. Values are for the scaled system (the paper
@@ -78,7 +79,14 @@ type Drive struct {
 	queueSamples   uint64
 	totalLatency   sim.Time
 	completedTotal uint64
+
+	// tel, when set, records every service interval. Nil on untelemetered
+	// runs (the fast path).
+	tel *telemetry.DiskTel
 }
+
+// SetTelemetry attaches a per-spindle utilization instrument (nil detaches).
+func (d *Drive) SetTelemetry(t *telemetry.DiskTel) { d.tel = t }
 
 // NewDrive creates an idle drive.
 func NewDrive(s *sim.Sim, params Params, rnd *rng.Stream) *Drive {
@@ -144,6 +152,9 @@ func (d *Drive) pump() {
 	d.lastStart = start
 	d.sim.After(svc, func() {
 		d.busyTime += d.sim.Now() - d.lastStart
+		if d.tel != nil {
+			d.tel.OnIO(d.lastStart, d.sim.Now(), r.Write)
+		}
 		if r.Failed {
 			d.FaultErrors++
 		} else if r.Write {
@@ -268,7 +279,15 @@ type LogDisk struct {
 	BytesRead    uint64
 	busyTime     sim.Time
 	lastStart    sim.Time
+
+	// tel, when set, records every batch service interval. Nil on
+	// untelemetered runs (the fast path).
+	tel *telemetry.DiskTel
 }
+
+// SetTelemetry attaches a utilization instrument (nil detaches). Batches
+// count as writes (reads only appear during recovery log scans).
+func (l *LogDisk) SetTelemetry(t *telemetry.DiskTel) { l.tel = t }
 
 type logReq struct {
 	size int
@@ -351,6 +370,9 @@ func (l *LogDisk) pump() {
 	l.lastStart = l.sim.Now()
 	l.sim.After(svc, func() {
 		l.busyTime += l.sim.Now() - l.lastStart
+		if l.tel != nil {
+			l.tel.OnIO(l.lastStart, l.sim.Now(), !batch[0].read)
+		}
 		for _, r := range batch {
 			if r.read {
 				l.Reads++

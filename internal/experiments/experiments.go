@@ -18,6 +18,7 @@ import (
 	"dclue/internal/runner"
 	"dclue/internal/sim"
 	"dclue/internal/stats"
+	"dclue/internal/telemetry"
 	"dclue/internal/trace"
 )
 
@@ -43,6 +44,13 @@ type Options struct {
 	// nil, lat-decomp allocates a private histogram-only collector, so its
 	// tables come out the same either way.
 	Trace *trace.Collector
+
+	// Telemetry, when non-nil, is the metrics registry collector every
+	// figure's runs attach to (the CLI passes one configured for JSONL
+	// export). When nil, util-decomp allocates a private collector, so its
+	// tables come out the same either way. Telemetry never changes a table —
+	// the non-perturbation guarantee the telemetry tests hold the layer to.
+	Telemetry *telemetry.Collector
 
 	// Exec, when non-nil, evaluates every simulation point of every figure
 	// in place of in-process core.Run — the hook the experiment farm uses to
@@ -187,10 +195,11 @@ func (o Options) baseParams(nodes int) core.Params {
 		p.Warmup = 10 * sim.Second
 		p.Measure = 20 * sim.Second
 	}
-	// Tracing attaches to every figure's runs (nil disables); it never
-	// changes a table — the non-perturbation guarantee the trace tests hold
-	// the layer to.
+	// Tracing and telemetry attach to every figure's runs (nil disables);
+	// neither ever changes a table — the non-perturbation guarantee their
+	// test suites hold both layers to.
 	p.Trace = o.Trace
+	p.Telemetry = o.Telemetry
 	return p
 }
 

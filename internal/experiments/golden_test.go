@@ -16,10 +16,10 @@ var update = flag.Bool("update", false, "rewrite the golden figure fixtures unde
 // one QoS/cross-traffic figure, the fault-loss sweep, and the failover
 // timeline. Any change to model output shows up as an explicit, reviewable
 // fixture diff.
-var goldenFigures = []string{"fig02", "fig03", "fig06", "fig16", "flt-loss", "lat-decomp", "flt-failover"}
+var goldenFigures = []string{"fig02", "fig03", "fig06", "fig16", "flt-loss", "lat-decomp", "flt-failover", "util-decomp"}
 
 // findFigure looks an id up across the paper figures, fault experiments,
-// ablations and trace experiments.
+// ablations, trace and telemetry experiments.
 func findFigure(id string) (Figure, bool) {
 	if f, ok := Lookup(id); ok {
 		return f, true
@@ -28,6 +28,9 @@ func findFigure(id string) (Figure, bool) {
 		return f, true
 	}
 	if f, ok := LookupTrace(id); ok {
+		return f, true
+	}
+	if f, ok := LookupTelemetry(id); ok {
 		return f, true
 	}
 	return LookupAblation(id)

@@ -100,10 +100,60 @@ type Coordinator struct {
 	logMu   sync.Mutex
 	logFile *os.File
 
-	mu     sync.Mutex
-	stats  Stats
-	alive  int
-	nextID uint64
+	mu      sync.Mutex
+	stats   Stats
+	alive   int
+	nextID  uint64
+	workers []WorkerStatus
+	points  map[string]string
+}
+
+// WorkerStatus is one worker slot's live state, as reported by Status.
+type WorkerStatus struct {
+	ID       int    `json:"id"`
+	Alive    bool   `json:"alive"`
+	Restarts uint64 `json:"restarts"` // process restarts after crashes
+	Served   uint64 `json:"served"`   // replies successfully read
+	Current  string `json:"current,omitempty"` // key of the point in flight
+}
+
+// Status is a live snapshot of the farm: the cumulative counters, each
+// worker slot's health, and every point's current state
+// (queued | running | done | failed | checkpoint-hit | cache-hit).
+type Status struct {
+	Stats   Stats             `json:"stats"`
+	Workers []WorkerStatus    `json:"workers"`
+	Points  map[string]string `json:"points"`
+}
+
+// Status returns a consistent snapshot for the live status endpoint.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := make([]WorkerStatus, len(c.workers))
+	copy(ws, c.workers)
+	pts := make(map[string]string, len(c.points))
+	for k, v := range c.points {
+		pts[k] = v
+	}
+	return Status{Stats: c.stats, Workers: ws, Points: pts}
+}
+
+// setPoint records a point's current state.
+func (c *Coordinator) setPoint(key, state string) {
+	c.mu.Lock()
+	if c.points == nil {
+		c.points = make(map[string]string)
+	}
+	c.points[key] = state
+	c.mu.Unlock()
+}
+
+// setWorker mutates one worker slot's status under the lock.
+func (c *Coordinator) setWorker(id int, f func(*WorkerStatus)) {
+	c.mu.Lock()
+	f(&c.workers[id])
+	c.mu.Unlock()
 }
 
 // New opens the stores and spawn-supervises cfg.Workers worker processes.
@@ -158,6 +208,11 @@ func New(cfg Config) (*Coordinator, error) {
 		quit:     make(chan struct{}),
 		logFile:  logFile,
 		alive:    cfg.Workers,
+		points:   make(map[string]string),
+	}
+	c.workers = make([]WorkerStatus, cfg.Workers)
+	for i := range c.workers {
+		c.workers[i] = WorkerStatus{ID: i, Alive: true}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		sup := &cliutil.Supervisor{
@@ -196,19 +251,24 @@ func (c *Coordinator) Stats() Stats {
 // Key returns the content-addressed identity Exec would use for p — the
 // cache-correctness tests compare keys across parameter flips through this.
 func (c *Coordinator) Key(p core.Params) string {
-	p, sample := splitTrace(p)
-	return PointKey(c.codeHash, p, sample)
+	p, ex := splitAttachments(p)
+	return PointKey(c.codeHash, p, ex)
 }
 
-// splitTrace strips the process-local collector from p, returning the wire
-// form and the trace stride the worker should re-attach (0 = untraced).
-func splitTrace(p core.Params) (core.Params, int) {
-	sample := 0
+// splitAttachments strips the process-local collectors from p, returning the
+// wire form and the attachment extras the worker should re-attach.
+func splitAttachments(p core.Params) (core.Params, Extras) {
+	var ex Extras
 	if p.Trace != nil {
-		sample = p.Trace.SampleEvery()
+		ex.TraceSample = p.Trace.SampleEvery()
 		p.Trace = nil
 	}
-	return p, sample
+	if p.Telemetry != nil {
+		ex.Telemetry = true
+		ex.TelemetryBucket = p.Telemetry.Bucket()
+		p.Telemetry = nil
+	}
+	return p, ex
 }
 
 // Exec satisfies runner.Exec: it serves the point from this sweep's
@@ -217,11 +277,12 @@ func splitTrace(p core.Params) (core.Params, int) {
 // identical results wherever they are computed, so the calling sweep cannot
 // tell the difference (beyond wall-clock).
 func (c *Coordinator) Exec(p core.Params) (core.Metrics, error) {
-	wire, sample := splitTrace(p)
-	key := PointKey(c.codeHash, wire, sample)
+	wire, ex := splitAttachments(p)
+	key := PointKey(c.codeHash, wire, ex)
 
 	if m, ok := c.results.Get(key); ok {
 		c.count(func(s *Stats) { s.Points++; s.CheckpointHits++ })
+		c.setPoint(key, "checkpoint-hit")
 		c.logEvent(LogEvent{Event: "checkpoint-hit", Key: key})
 		return m, nil
 	}
@@ -233,6 +294,7 @@ func (c *Coordinator) Exec(p core.Params) (core.Metrics, error) {
 				return core.Metrics{}, err
 			}
 			c.count(func(s *Stats) { s.Points++; s.CacheHits++ })
+			c.setPoint(key, "cache-hit")
 			c.logEvent(LogEvent{Event: "cache-hit", Key: key})
 			return m, nil
 		}
@@ -242,8 +304,10 @@ func (c *Coordinator) Exec(p core.Params) (core.Metrics, error) {
 	c.nextID++
 	id := c.nextID
 	c.mu.Unlock()
+	c.setPoint(key, "queued")
 	pd := &pending{
-		job:  Job{ID: id, Key: key, Params: wire, TraceSample: sample},
+		job: Job{ID: id, Key: key, Params: wire, TraceSample: ex.TraceSample,
+			Telemetry: ex.Telemetry, TelemetryBucket: ex.TelemetryBucket},
 		done: make(chan pointResult, 1),
 	}
 	select {
@@ -255,6 +319,7 @@ func (c *Coordinator) Exec(p core.Params) (core.Metrics, error) {
 	case r := <-pd.done:
 		if r.err != nil {
 			c.count(func(s *Stats) { s.Points++; s.Failures++ })
+			c.setPoint(key, "failed")
 			c.logEvent(LogEvent{Event: "exec-fail", Key: key})
 			return core.Metrics{}, r.err
 		}
@@ -267,6 +332,7 @@ func (c *Coordinator) Exec(p core.Params) (core.Metrics, error) {
 			}
 		}
 		c.count(func(s *Stats) { s.Points++; s.Execs++ })
+		c.setPoint(key, "done")
 		c.logEvent(LogEvent{Event: "exec-done", Key: key})
 		return r.m, nil
 	case <-c.quit:
@@ -316,6 +382,8 @@ func (c *Coordinator) serve(id int, sup *cliutil.Supervisor, sc **bufio.Scanner,
 			c.mu.Lock()
 			c.alive--
 			last := c.alive == 0
+			c.workers[id].Alive = false
+			c.workers[id].Current = ""
 			c.mu.Unlock()
 			if last {
 				pd.done <- pointResult{err: fmt.Errorf("farm: all workers dead: %w", err)}
@@ -329,9 +397,12 @@ func (c *Coordinator) serve(id int, sup *cliutil.Supervisor, sc **bufio.Scanner,
 			*sc = NewLineScanner(w.Stdout())
 			if fresh > 1 {
 				c.count(func(s *Stats) { s.Restarts++ })
+				c.setWorker(id, func(ws *WorkerStatus) { ws.Restarts++ })
 			}
 		}
 
+		c.setPoint(pd.job.Key, "running")
+		c.setWorker(id, func(ws *WorkerStatus) { ws.Current = pd.job.Key })
 		c.logEvent(LogEvent{Event: "exec-start", Key: pd.job.Key, Worker: id})
 		line, err := EncodeJob(pd.job)
 		if err != nil {
@@ -347,6 +418,7 @@ func (c *Coordinator) serve(id int, sup *cliutil.Supervisor, sc **bufio.Scanner,
 			c.workerDied(id, sup, sc, pd)
 			continue
 		}
+		c.setWorker(id, func(ws *WorkerStatus) { ws.Served++; ws.Current = "" })
 		if rep.Err != "" {
 			// In-band: a deterministic simulation failure. Retrying would
 			// reproduce it, so report it as the point's result.
@@ -365,6 +437,8 @@ func (c *Coordinator) workerDied(id int, sup *cliutil.Supervisor, sc **bufio.Sca
 	sup.Fail()
 	*sc = nil
 	c.count(func(s *Stats) { s.Requeues++ })
+	c.setWorker(id, func(ws *WorkerStatus) { ws.Current = "" })
+	c.setPoint(pd.job.Key, "queued")
 	c.logEvent(LogEvent{Event: "requeue", Key: pd.job.Key, Worker: id})
 }
 

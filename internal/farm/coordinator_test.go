@@ -316,6 +316,50 @@ func TestCoordinatorWorkerKilledMidPoint(t *testing.T) {
 	}
 }
 
+// TestCoordinatorStatus: the live snapshot the -status endpoint serves tracks
+// per-worker health (liveness, restart and served counts) and per-point
+// states through a sweep that loses a worker mid-point.
+func TestCoordinatorStatus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	crashDir := writeCrashTokens(t, 1)
+	cfg := testConfig(t, 1, "crashy", "DCLUE_FARM_CRASHDIR="+crashDir)
+	c := mustNew(t, cfg)
+	if _, err := c.Exec(tinyParams(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(tinyParams(2)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if len(st.Workers) != 1 {
+		t.Fatalf("want 1 worker slot, got %d", len(st.Workers))
+	}
+	w := st.Workers[0]
+	if !w.Alive || w.Restarts != 1 || w.Served != 2 || w.Current != "" {
+		t.Fatalf("worker slot off after kill+recovery: %+v", w)
+	}
+	if len(st.Points) != 2 {
+		t.Fatalf("want 2 points tracked, got %d: %+v", len(st.Points), st.Points)
+	}
+	for k, state := range st.Points {
+		if state != "done" {
+			t.Errorf("point %.12s: want done, got %q", k, state)
+		}
+	}
+	if st.Stats != c.Stats() {
+		t.Fatalf("status stats diverge from Stats(): %+v vs %+v", st.Stats, c.Stats())
+	}
+	// A re-executed point flips its state to the hit kind that served it.
+	if _, err := c.Exec(tinyParams(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Status().Points[c.Key(tinyParams(1))]; got != "checkpoint-hit" {
+		t.Fatalf("re-served point state: want checkpoint-hit, got %q", got)
+	}
+}
+
 // TestCoordinatorWorkersExhausted: a worker that keeps dying exhausts its
 // restart budget; with no workers left the point fails with a clear error
 // instead of hanging.

@@ -9,37 +9,50 @@ import (
 	"sync"
 
 	"dclue/internal/core"
+	"dclue/internal/sim"
 )
 
+// Extras carries the process-local attachments stripped from Params for the
+// wire that are nonetheless part of a point's identity: the trace stride and
+// the telemetry configuration both change what the run reports (Breakdown,
+// UtilDecomp), so a cached result computed without them must never be served
+// for a point that wants them.
+type Extras struct {
+	TraceSample     int      `json:"trace_sample"`
+	Telemetry       bool     `json:"telemetry,omitempty"`
+	TelemetryBucket sim.Time `json:"telemetry_bucket,omitempty"`
+}
+
 // keyPayload is the canonical content a point key hashes: the code identity,
-// the seed and trace stride surfaced explicitly (they are the two knobs the
+// the seed and attachment extras surfaced explicitly (they are the knobs the
 // cache-correctness tests flip independently), and the full resolved
 // parameter set in its canonical JSON form. encoding/json renders struct
 // fields in declaration order and float64s in shortest round-trip form, so
 // equal Params always serialize to equal bytes.
 type keyPayload struct {
-	Code        string      `json:"code"`
-	Seed        uint64      `json:"seed"`
-	TraceSample int         `json:"trace_sample"`
-	Params      core.Params `json:"params"`
+	Code   string      `json:"code"`
+	Seed   uint64      `json:"seed"`
+	Extras Extras      `json:"extras"`
+	Params core.Params `json:"params"`
 }
 
 // PointKey returns the content-addressed identity of one simulation point:
-// hex sha256 over (code hash, seed, trace stride, canonical params JSON).
+// hex sha256 over (code hash, seed, extras, canonical params JSON).
 // Two points share a key exactly when the same code would run the same
-// simulation — the condition under which a cached result may be served.
-// Flipping the seed, any single parameter, or the code hash changes the key
-// and invalidates exactly that point, nothing else.
-func PointKey(codeHash string, p core.Params, traceSample int) string {
+// simulation and report the same result — the condition under which a cached
+// result may be served. Flipping the seed, any single parameter, any extra,
+// or the code hash changes the key and invalidates exactly that point,
+// nothing else.
+func PointKey(codeHash string, p core.Params, ex Extras) string {
 	b, err := json.Marshal(keyPayload{
-		Code:        codeHash,
-		Seed:        p.Seed,
-		TraceSample: traceSample,
-		Params:      p,
+		Code:   codeHash,
+		Seed:   p.Seed,
+		Extras: ex,
+		Params: p,
 	})
 	if err != nil {
-		// Params is a plain value struct (the Trace pointer is excluded
-		// from its JSON form); marshaling cannot fail.
+		// Params is a plain value struct (the Trace and Telemetry pointers
+		// are excluded from its JSON form); marshaling cannot fail.
 		panic("farm: params not marshalable: " + err.Error())
 	}
 	sum := sha256.Sum256(b)

@@ -5,14 +5,15 @@ import (
 	"testing"
 
 	"dclue/internal/core"
+	"dclue/internal/sim"
 )
 
 // TestPointKeyDeterministic: the key is a pure function of its inputs and a
 // well-formed hex sha256 digest.
 func TestPointKeyDeterministic(t *testing.T) {
 	p := core.DefaultParams(4)
-	k1 := PointKey("code", p, 0)
-	k2 := PointKey("code", p, 0)
+	k1 := PointKey("code", p, Extras{})
+	k2 := PointKey("code", p, Extras{})
 	if k1 != k2 {
 		t.Fatalf("key not deterministic: %s vs %s", k1, k2)
 	}
@@ -22,32 +23,39 @@ func TestPointKeyDeterministic(t *testing.T) {
 }
 
 // TestPointKeyFlips pins exact invalidation: flipping the seed, a single
-// parameter, the trace stride, or the code hash each changes the key, and
-// flipping it back restores it.
+// parameter, the trace stride, the telemetry attachment, or the code hash
+// each changes the key, and flipping it back restores it.
 func TestPointKeyFlips(t *testing.T) {
 	base := core.DefaultParams(4)
-	k := PointKey("code", base, 0)
+	k := PointKey("code", base, Extras{})
 
 	seedFlip := base
 	seedFlip.Seed++
-	if PointKey("code", seedFlip, 0) == k {
+	if PointKey("code", seedFlip, Extras{}) == k {
 		t.Error("seed flip did not change the key")
 	}
 
 	paramFlip := base
 	paramFlip.Items++
-	if PointKey("code", paramFlip, 0) == k {
+	if PointKey("code", paramFlip, Extras{}) == k {
 		t.Error("parameter flip did not change the key")
 	}
 
-	if PointKey("othercode", base, 0) == k {
+	if PointKey("othercode", base, Extras{}) == k {
 		t.Error("code-hash flip did not change the key")
 	}
-	if PointKey("code", base, 5) == k {
+	if PointKey("code", base, Extras{TraceSample: 5}) == k {
 		t.Error("trace-stride flip did not change the key")
 	}
+	tele := PointKey("code", base, Extras{Telemetry: true})
+	if tele == k {
+		t.Error("telemetry flip did not change the key")
+	}
+	if PointKey("code", base, Extras{Telemetry: true, TelemetryBucket: sim.Second}) == tele {
+		t.Error("telemetry-bucket flip did not change the key")
+	}
 
-	if PointKey("code", core.DefaultParams(4), 0) != k {
+	if PointKey("code", core.DefaultParams(4), Extras{}) != k {
 		t.Error("identical inputs produced a different key")
 	}
 }

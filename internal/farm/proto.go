@@ -27,6 +27,7 @@ import (
 	"io"
 
 	"dclue/internal/core"
+	"dclue/internal/sim"
 )
 
 // MaxLineBytes bounds one protocol line. Metrics with long timelines reach
@@ -51,6 +52,13 @@ type Job struct {
 	// trace-derived Metrics.Breakdown comes back populated exactly as an
 	// in-process traced run would report it.
 	TraceSample int `json:"trace_sample,omitempty"`
+	// Telemetry tells the worker to attach a private telemetry collector so
+	// the telemetry-derived Metrics.UtilDecomp comes back populated exactly
+	// as an in-process telemetered run would report it (registries stay in
+	// the worker; only the decomposition scalars travel). TelemetryBucket is
+	// the collector's timeline bucket width and requires Telemetry.
+	Telemetry       bool     `json:"telemetry,omitempty"`
+	TelemetryBucket sim.Time `json:"telemetry_bucket,omitempty"`
 }
 
 // Reply is one result shipped worker -> coordinator.
@@ -92,6 +100,12 @@ func DecodeJob(line []byte) (Job, error) {
 	}
 	if j.TraceSample < 0 {
 		return Job{}, fmt.Errorf("farm: negative trace sample %d", j.TraceSample)
+	}
+	if j.TelemetryBucket < 0 {
+		return Job{}, fmt.Errorf("farm: negative telemetry bucket %d", j.TelemetryBucket)
+	}
+	if j.TelemetryBucket != 0 && !j.Telemetry {
+		return Job{}, errors.New("farm: telemetry bucket without telemetry")
 	}
 	return j, nil
 }

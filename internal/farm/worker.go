@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"dclue/internal/core"
+	"dclue/internal/telemetry"
 	"dclue/internal/trace"
 )
 
@@ -70,6 +71,12 @@ func runJob(job Job) (rep Reply) {
 		// stride reproduces Metrics.Breakdown exactly (tracing is
 		// non-perturbing, so everything else is identical regardless).
 		p.Trace = trace.NewCollector(job.TraceSample)
+	}
+	if job.Telemetry {
+		// Same re-attachment for the telemetry registry: the worker-private
+		// collector reproduces Metrics.UtilDecomp; the registries themselves
+		// die with the worker (JSONL export is an in-process feature).
+		p.Telemetry = telemetry.NewCollector(job.TelemetryBucket)
 	}
 	m, err := core.Run(p)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"dclue/internal/rng"
 	"dclue/internal/sim"
 	"dclue/internal/tcp"
+	"dclue/internal/telemetry"
 )
 
 // Port is the FTP server listener port.
@@ -120,7 +121,7 @@ func (g *Generator) Start() {
 func (g *Generator) transfer(p *sim.Proc, size int, get bool) {
 	g.Started++
 	conn := tcp.Dial(p, g.stack, g.target, Port,
-		tcp.DialOptions{Class: g.class, MaxRetx: 50})
+		tcp.DialOptions{Class: g.class, MaxRetx: 50, TC: telemetry.ClassFTP})
 	if conn == nil {
 		g.Failed++
 		return

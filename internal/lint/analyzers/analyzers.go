@@ -1,7 +1,7 @@
-// Package analyzers holds dcluevet's determinism lint suite: six analyzers
-// that enforce, at the source level, the invariants the runtime tests
-// (fingerprint determinism, golden figures, trace non-perturbation) can
-// only observe after the fact. Each analyzer documents the invariant it
+// Package analyzers holds dcluevet's determinism lint suite: seven
+// analyzers that enforce, at the source level, the invariants the runtime
+// tests (fingerprint determinism, golden figures, trace and telemetry
+// non-perturbation) can only observe after the fact. Each analyzer documents the invariant it
 // guards; internal/lint/RULES.md is the human catalog.
 package analyzers
 
@@ -20,6 +20,7 @@ func All() []*analysis.Analyzer {
 		Goroutine,
 		Floatsum,
 		Tracenil,
+		Telemnil,
 	}
 }
 
@@ -75,10 +76,3 @@ func continuationOnly(pkgPath string) bool {
 		pkgPath == "continuation"
 }
 
-// traceDeclExempt: the trace package's own methods are the implementation
-// behind the nil-guarded call sites, so the guard rule does not apply
-// inside it. Matching by package name (not path) lets the fixture's
-// miniature trace package stand in for the real one.
-func traceDeclExempt(pkgName string) bool {
-	return pkgName == "trace"
-}

@@ -42,6 +42,10 @@ func TestTracenil(t *testing.T) {
 	linttest.Run(t, analyzers.Tracenil, linttest.Dir("tracenil"))
 }
 
+func TestTelemnil(t *testing.T) {
+	linttest.Run(t, analyzers.Telemnil, linttest.Dir("telemnil"))
+}
+
 // TestPolicyExemptions pins the sanctioned-package lists: a rename that
 // silently widened or narrowed an exemption would otherwise only surface
 // as a confusing self-host failure.

@@ -1,0 +1,37 @@
+package analyzers
+
+import "dclue/internal/lint/analysis"
+
+// Telemnil enforces the zero-cost untelemetered fast path, the telemetry
+// sibling of tracenil: Params.Telemetry and every instrument handle derived
+// from it (telemetry.Collector, Registry, LinkTel, QueueTel, CPUTel,
+// DiskTel, GCSTel) are nil on an untelemetered run, so model code may only
+// call their methods behind a nil check. The hooks sit on the hottest paths
+// in the simulator — per-packet link transmits, per-dispatch CPU
+// accounting, per-IO disk completions — where a missing guard is a
+// nil-pointer crash on the common path that no telemetered test would ever
+// see. Guard tracking is shared with tracenil (see nilRule and nilVisitor
+// in tracenil.go).
+var Telemnil = &analysis.Analyzer{
+	Name: "telemnil",
+	Doc:  "require a nil check around every call on a telemetry handle (Collector/Registry/*Tel); untelemetered runs carry nil handles on the fast path",
+	Run:  runTelemnil,
+}
+
+// telemetryRule: the nilable instrument handle types, by name within any
+// package named "telemetry".
+var telemetryRule = &nilRule{
+	pkg: "telemetry",
+	handles: map[string]bool{
+		"Collector": true,
+		"Registry":  true,
+		"LinkTel":   true,
+		"QueueTel":  true,
+		"CPUTel":    true,
+		"DiskTel":   true,
+		"GCSTel":    true,
+	},
+	offPath: "untelemetered",
+}
+
+func runTelemnil(pass *analysis.Pass) error { return runNilRule(pass, telemetryRule) }

@@ -1,0 +1,44 @@
+// Package telemetry is a miniature of dclue/internal/telemetry for the
+// telemnil fixture: same handle type names, nil-value fast-path contract
+// included. Being named "telemetry", it is itself exempt from the guard
+// rule (it is the implementation the guards protect).
+package telemetry
+
+type Collector struct{ regs []*Registry }
+
+type Registry struct {
+	label string
+	links []*LinkTel
+}
+
+type LinkTel struct {
+	Name string
+	busy int64
+}
+
+type CPUTel struct {
+	Name string
+	busy int64
+}
+
+func NewCollector(bucket int64) *Collector { return &Collector{} }
+
+func (c *Collector) NewRegistry(label string) *Registry {
+	r := &Registry{label: label}
+	c.regs = append(c.regs, r)
+	return r
+}
+
+func (c *Collector) Registries() []*Registry { return c.regs }
+
+func (r *Registry) NewLink(name string) *LinkTel {
+	l := &LinkTel{Name: name}
+	r.links = append(r.links, l)
+	return l
+}
+
+func (r *Registry) Links() []*LinkTel { return r.links }
+
+func (l *LinkTel) OnTransmit(from, to int64) { l.busy += to - from }
+
+func (t *CPUTel) OnBusy(from, to int64) { t.busy += to - from }

@@ -31,16 +31,33 @@ var Tracenil = &analysis.Analyzer{
 	Run:  runTracenil,
 }
 
-// traceHandleTypes are the nilable handle types, by name within any
-// package named "trace".
-var traceHandleTypes = map[string]bool{
-	"Collector": true,
-	"Run":       true,
-	"Span":      true,
+// nilRule parametrizes the nil-guard analyzers (tracenil, telemnil): which
+// package declares the nilable handle types and how the diagnostic words
+// the disabled fast path. The declaring package itself is exempt — its
+// methods are the implementation the guards protect — matched by package
+// name so each fixture's miniature package behaves like the real one.
+type nilRule struct {
+	pkg     string          // package name declaring the handle types
+	handles map[string]bool // nilable handle type names within that package
+	offPath string          // adjective for the handle-disabled fast path
 }
 
-func runTracenil(pass *analysis.Pass) error {
-	if traceDeclExempt(pass.Pkg.Name()) {
+// traceRule: the nilable span-observability handle types, by name within
+// any package named "trace".
+var traceRule = &nilRule{
+	pkg: "trace",
+	handles: map[string]bool{
+		"Collector": true,
+		"Run":       true,
+		"Span":      true,
+	},
+	offPath: "untraced",
+}
+
+func runTracenil(pass *analysis.Pass) error { return runNilRule(pass, traceRule) }
+
+func runNilRule(pass *analysis.Pass, rule *nilRule) error {
+	if pass.Pkg.Name() == rule.pkg {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -49,7 +66,7 @@ func runTracenil(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			v := &nilVisitor{pass: pass}
+			v := &nilVisitor{pass: pass, rule: rule}
 			v.stmts(fd.Body.List, newGuards())
 		}
 	}
@@ -72,6 +89,7 @@ func (g guards) clone() guards {
 
 type nilVisitor struct {
 	pass *analysis.Pass
+	rule *nilRule
 }
 
 // stmts visits a statement list, applying the early-exit guard pattern:
@@ -309,7 +327,7 @@ func (v *nilVisitor) checkCall(call *ast.CallExpr, g guards) {
 			return // package-qualified function call, not a method
 		}
 	}
-	name, ok := traceHandleType(v.pass.TypeOf(recv))
+	name, ok := v.rule.handleType(v.pass.TypeOf(recv))
 	if !ok {
 		return
 	}
@@ -317,13 +335,13 @@ func (v *nilVisitor) checkCall(call *ast.CallExpr, g guards) {
 		return
 	}
 	v.pass.Reportf(call.Pos(),
-		"call to (%s).%s on a possibly-nil trace handle (*trace.%s): the untraced fast path needs `if %s != nil` first",
-		types.ExprString(recv), sel.Sel.Name, name, types.ExprString(recv))
+		"call to (%s).%s on a possibly-nil %s handle (*%s.%s): the %s fast path needs `if %s != nil` first",
+		types.ExprString(recv), sel.Sel.Name, v.rule.pkg, v.rule.pkg, name, v.rule.offPath, types.ExprString(recv))
 }
 
-// traceHandleType reports whether t (or its pointee) is one of the nilable
-// handle types declared in a package named "trace".
-func traceHandleType(t types.Type) (string, bool) {
+// handleType reports whether t (or its pointee) is one of the rule's
+// nilable handle types, declared in the rule's package (matched by name).
+func (r *nilRule) handleType(t types.Type) (string, bool) {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
@@ -332,10 +350,10 @@ func traceHandleType(t types.Type) (string, bool) {
 		return "", false
 	}
 	obj := named.Obj()
-	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "trace" {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != r.pkg {
 		return "", false
 	}
-	if !traceHandleTypes[obj.Name()] {
+	if !r.handles[obj.Name()] {
 		return "", false
 	}
 	return obj.Name(), true

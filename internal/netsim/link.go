@@ -3,6 +3,7 @@ package netsim
 import (
 	"dclue/internal/rng"
 	"dclue/internal/sim"
+	"dclue/internal/telemetry"
 )
 
 // Link is a unidirectional wire: it serializes packets at the configured
@@ -49,6 +50,10 @@ type Link struct {
 	FaultDrops uint64 // packets lost to injected faults on this link
 	busyTime   sim.Time
 	lastStart  sim.Time
+
+	// tel, when set, attributes every serialization slice to the packet's
+	// traffic class. Nil on untelemetered runs (the fast path).
+	tel *telemetry.LinkTel
 }
 
 // NewLink creates a link of the given bandwidth (bits/s) and one-way
@@ -114,7 +119,15 @@ func (l *Link) kick() {
 func (l *Link) serDone() {
 	pkt := l.cur
 	l.cur = nil
-	l.busyTime += l.net.sim.Now() - l.lastStart
+	now := l.net.sim.Now()
+	l.busyTime += now - l.lastStart
+	if l.tel != nil {
+		// The identical integer slice just added to busyTime, attributed to
+		// exactly one class: per-class sums equal BusyTime exactly. Recorded
+		// before the fault-drop check because a dropped frame still consumed
+		// its wire time.
+		l.tel.OnTransmit(pkt.TC, l.lastStart, now, pkt.Size)
+	}
 	l.busy = false
 	if l.down || (l.lossP > 0 && l.faultRnd != nil && l.faultRnd.Float64() < l.lossP) {
 		// Lost on the wire: the frame consumed its serialization slot
@@ -192,3 +205,11 @@ func (l *Link) SetPropagation(d sim.Time) { l.prop = d }
 
 // Propagation returns the current one-way propagation delay.
 func (l *Link) Propagation() sim.Time { return l.prop }
+
+// BusyTime returns the accumulated wire time of completed serializations —
+// the exact integer total the telemetry layer's per-class attribution must
+// sum to.
+func (l *Link) BusyTime() sim.Time { return l.busyTime }
+
+// SetTelemetry attaches a per-class busy-time instrument (nil detaches).
+func (l *Link) SetTelemetry(t *telemetry.LinkTel) { l.tel = t }

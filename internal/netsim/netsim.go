@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"dclue/internal/sim"
+	"dclue/internal/telemetry"
 )
 
 // Addr identifies an endpoint (a server node, the client cloud, or an
@@ -39,10 +40,11 @@ type Packet struct {
 	Dst     Addr
 	Size    int // bytes on the wire
 	Class   Class
-	ECN     bool // ECN-capable transport
-	Marked  bool // congestion experienced
-	Corrupt bool // payload damaged in flight; dropped at the receiving NIC
-	Payload any  // opaque to the network (a TCP segment)
+	TC      telemetry.Class // workload traffic class, for telemetry attribution only
+	ECN     bool            // ECN-capable transport
+	Marked  bool            // congestion experienced
+	Corrupt bool            // payload damaged in flight; dropped at the receiving NIC
+	Payload any             // opaque to the network (a TCP segment)
 
 	sent sim.Time // enqueue time at the source NIC, for delay stats
 }

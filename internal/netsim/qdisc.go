@@ -1,6 +1,9 @@
 package netsim
 
-import "dclue/internal/rng"
+import (
+	"dclue/internal/rng"
+	"dclue/internal/telemetry"
+)
 
 // QdiscConfig sets the per-class queue limits of an output queue.
 type QdiscConfig struct {
@@ -46,7 +49,14 @@ type Qdisc struct {
 	// Statistics.
 	DropsByClass [NumClasses]uint64
 	MaxDepth     int
+
+	// tel, when set, tracks byte occupancy at every enqueue/dequeue. Nil on
+	// untelemetered runs (the fast path).
+	tel *telemetry.QueueTel
 }
+
+// SetTelemetry attaches a queue-occupancy instrument (nil detaches).
+func (q *Qdisc) SetTelemetry(t *telemetry.QueueTel) { q.tel = t }
 
 // NewQdisc returns an empty queue with the given limits, in the paper's
 // default arrangement (strict priority, tail drop).
@@ -82,6 +92,9 @@ func (q *Qdisc) Enqueue(pkt *Packet) {
 	if d := q.Depth(); d > q.MaxDepth {
 		q.MaxDepth = d
 	}
+	if q.tel != nil {
+		q.tel.OnDepth(q.net.sim.Now(), q.Depth())
+	}
 	if q.link != nil {
 		q.link.kick()
 	}
@@ -89,6 +102,15 @@ func (q *Qdisc) Enqueue(pkt *Packet) {
 
 // dequeue removes the next packet under the configured discipline.
 func (q *Qdisc) dequeue() *Packet {
+	pkt := q.pick()
+	if pkt != nil && q.tel != nil {
+		q.tel.OnDepth(q.net.sim.Now(), q.Depth())
+	}
+	return pkt
+}
+
+// pick removes the next packet without touching instrumentation.
+func (q *Qdisc) pick() *Packet {
 	if q.discipline == DiscWFQ {
 		return q.wfqDequeue()
 	}

@@ -18,6 +18,7 @@ import (
 
 	"dclue/internal/sim"
 	"dclue/internal/stats"
+	"dclue/internal/telemetry"
 	"dclue/internal/trace"
 )
 
@@ -124,7 +125,14 @@ type CPU struct {
 	ctxCycles     float64
 	dispatches    uint64
 	irqWork       float64 // instructions of interrupt work
+
+	// tel, when set, records every thread and interrupt busy interval. Nil
+	// on untelemetered runs (the fast path).
+	tel *telemetry.CPUTel
 }
+
+// SetTelemetry attaches a busy-interval instrument (nil detaches).
+func (c *CPU) SetTelemetry(t *telemetry.CPUTel) { c.tel = t }
 
 // irqTask is one unit of interrupt work. Completion is either done() or
 // fn(arg); the latter lets hot callers (the TCP stack) pass a prebuilt
@@ -351,6 +359,9 @@ func (c *CPU) runOn(p *sim.Proc, pathLen, extraCycles float64) {
 	c.res.Acquire(p, prioThread)
 	d := c.duration(pathLen) + sim.Time(c.slowFactor*extraCycles/c.cfg.ClockHz*float64(sim.Second))
 	c.occupied += d
+	if c.tel != nil {
+		c.tel.OnBusy(false, p.Now(), p.Now()+d)
+	}
 	p.Sleep(d)
 	c.res.Release()
 	c.instrSinceTick += pathLen
@@ -411,6 +422,10 @@ func (svc *irqService) doGrant() {
 	}
 	d := c.duration(svc.task.pathLen)
 	c.occupied += d
+	if c.tel != nil {
+		now := c.sim.Now()
+		c.tel.OnBusy(true, now, now+d)
+	}
 	svc.ev = c.sim.After(d, svc.finish)
 }
 

@@ -1,0 +1,121 @@
+package stats
+
+import "dclue/internal/sim"
+
+// Bucketed accumulates a quantity into fixed-width simulated-time buckets —
+// the timeline primitive behind the telemetry layer's per-component
+// utilization timeseries. Bucket i covers [i*width, (i+1)*width); the bucket
+// slice grows on demand, so an instrument never needs to know the run length
+// up front. All methods are allocation-free once the slice has grown past
+// the latest time seen, which keeps them safe on simulation hot paths.
+type Bucketed struct {
+	width   sim.Time
+	buckets []float64
+}
+
+// NewBucketed returns an accumulator with the given bucket width. A
+// non-positive width returns nil: the caller's nil fast path then disables
+// the timeline while scalar accumulation continues, which is exactly the
+// "-telemetry without -telemetry-bucket" configuration.
+func NewBucketed(width sim.Time) *Bucketed {
+	if width <= 0 {
+		return nil
+	}
+	return &Bucketed{width: width}
+}
+
+// Width returns the bucket width.
+func (b *Bucketed) Width() sim.Time { return b.width }
+
+// Len returns the number of buckets touched so far (trailing buckets that
+// were never written do not exist).
+func (b *Bucketed) Len() int { return len(b.buckets) }
+
+// Value returns bucket i's accumulated value; out-of-range buckets are 0,
+// so callers can iterate a merged pair of timelines by the longer length.
+func (b *Bucketed) Value(i int) float64 {
+	if i < 0 || i >= len(b.buckets) {
+		return 0
+	}
+	return b.buckets[i]
+}
+
+// Start returns the inclusive start time of bucket i.
+func (b *Bucketed) Start(i int) sim.Time { return sim.Time(i) * b.width }
+
+// grow ensures bucket i exists.
+func (b *Bucketed) grow(i int) {
+	for len(b.buckets) <= i {
+		b.buckets = append(b.buckets, 0)
+	}
+}
+
+// index maps a time to its bucket, clamping negative times to bucket 0.
+func (b *Bucketed) index(t sim.Time) int {
+	if t < 0 {
+		return 0
+	}
+	return int(t / b.width)
+}
+
+// AddAt adds v to the bucket containing t. Events exactly on a boundary
+// land in the later bucket (half-open intervals).
+func (b *Bucketed) AddAt(t sim.Time, v float64) {
+	i := b.index(t)
+	b.grow(i)
+	b.buckets[i] += v
+}
+
+// AddSpan distributes v over [from, to) proportionally to each bucket's
+// overlap with the span: a busy interval that straddles a boundary credits
+// each side with its share, so per-bucket values sum to exactly the values
+// added regardless of how spans align with the grid. A zero-length span
+// degenerates to AddAt(from, v).
+func (b *Bucketed) AddSpan(from, to sim.Time, v float64) {
+	if to < from {
+		from, to = to, from
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to <= from {
+		b.AddAt(from, v)
+		return
+	}
+	lo, hi := b.index(from), b.index(to)
+	// A span ending exactly on a boundary has zero overlap with the bucket
+	// that boundary opens.
+	if hi > lo && to == b.Start(hi) {
+		hi--
+	}
+	b.grow(hi)
+	if lo == hi {
+		b.buckets[lo] += v
+		return
+	}
+	span := float64(to - from)
+	for i := lo; i <= hi; i++ {
+		s, e := b.Start(i), b.Start(i+1)
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		b.buckets[i] += v * float64(e-s) / span
+	}
+}
+
+// Merge adds o's buckets into b. Widths must match; merging nil is a no-op.
+func (b *Bucketed) Merge(o *Bucketed) {
+	if o == nil {
+		return
+	}
+	if o.width != b.width {
+		panic("stats: Bucketed.Merge: width mismatch")
+	}
+	b.grow(len(o.buckets) - 1)
+	for i, v := range o.buckets {
+		b.buckets[i] += v
+	}
+}

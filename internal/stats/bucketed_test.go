@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dclue/internal/sim"
+)
+
+func TestBucketedNonPositiveWidthIsNil(t *testing.T) {
+	if NewBucketed(0) != nil || NewBucketed(-sim.Second) != nil {
+		t.Fatal("non-positive width must return nil (timeline disabled)")
+	}
+}
+
+func TestBucketedAddAtBoundaries(t *testing.T) {
+	b := NewBucketed(10)
+	b.AddAt(0, 1)  // first instant of bucket 0
+	b.AddAt(9, 1)  // last instant of bucket 0
+	b.AddAt(10, 1) // boundary opens bucket 1 (half-open intervals)
+	b.AddAt(25, 1) // middle of bucket 2
+	if got := []float64{b.Value(0), b.Value(1), b.Value(2)}; got[0] != 2 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("boundary placement wrong: %v", got)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", b.Len())
+	}
+}
+
+func TestBucketedEmptyBuckets(t *testing.T) {
+	b := NewBucketed(10)
+	b.AddAt(5, 1)
+	b.AddAt(45, 1)
+	// Buckets 1..3 were skipped entirely: they must exist (so an exporter
+	// can walk a dense timeline) and read as zero.
+	if b.Len() != 5 {
+		t.Fatalf("Len=%d, want 5 (empty buckets materialized up to the last write)", b.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		if b.Value(i) != 0 {
+			t.Fatalf("bucket %d = %v, want 0", i, b.Value(i))
+		}
+	}
+	// Out-of-range reads are 0, not a panic.
+	if b.Value(-1) != 0 || b.Value(99) != 0 {
+		t.Fatal("out-of-range Value must be 0")
+	}
+}
+
+func TestBucketedAddSpanProportional(t *testing.T) {
+	b := NewBucketed(10)
+	// Span [5, 25) = 20 units: 1/4 in bucket 0, 1/2 in bucket 1, 1/4 in 2.
+	b.AddSpan(5, 25, 8)
+	want := []float64{2, 4, 2}
+	for i, w := range want {
+		if math.Abs(b.Value(i)-w) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b.Value(i), w)
+		}
+	}
+	// Conservation: the distributed shares sum to exactly what was added.
+	sum := 0.0
+	for i := 0; i < b.Len(); i++ {
+		sum += b.Value(i)
+	}
+	if math.Abs(sum-8) > 1e-12 {
+		t.Fatalf("span mass not conserved: sum %v, want 8", sum)
+	}
+}
+
+func TestBucketedAddSpanEdges(t *testing.T) {
+	b := NewBucketed(10)
+	b.AddSpan(10, 20, 3) // exactly one bucket: no division, lands whole
+	if b.Value(1) != 3 {
+		t.Fatalf("aligned span: bucket 1 = %v, want 3", b.Value(1))
+	}
+	b.AddSpan(0, 10, 2) // ends exactly on a boundary: nothing leaks into bucket 1
+	if b.Value(0) != 2 || b.Value(1) != 3 {
+		t.Fatalf("boundary-ending span leaked: %v %v", b.Value(0), b.Value(1))
+	}
+	b.AddSpan(35, 35, 5) // zero-length span degenerates to AddAt
+	if b.Value(3) != 5 {
+		t.Fatalf("zero-length span: bucket 3 = %v, want 5", b.Value(3))
+	}
+	b.AddSpan(48, 42, 6) // reversed endpoints are normalized
+	if math.Abs(b.Value(4)-6) > 1e-12 {
+		t.Fatalf("reversed span: bucket 4 = %v, want 6", b.Value(4))
+	}
+}
+
+func TestBucketedMerge(t *testing.T) {
+	a := NewBucketed(10)
+	a.AddAt(5, 1)
+	b := NewBucketed(10)
+	b.AddAt(5, 2)
+	b.AddAt(25, 4)
+
+	a.Merge(b)
+	if a.Value(0) != 3 || a.Value(1) != 0 || a.Value(2) != 4 {
+		t.Fatalf("merge wrong: %v %v %v", a.Value(0), a.Value(1), a.Value(2))
+	}
+	if a.Len() != 3 {
+		t.Fatalf("merge did not extend: Len=%d, want 3", a.Len())
+	}
+	a.Merge(nil) // no-op
+	if a.Value(0) != 3 {
+		t.Fatal("nil merge changed values")
+	}
+
+	// Merging the longer into the shorter must also work (grow path), and
+	// mismatched widths must be loud.
+	c := NewBucketed(10)
+	c.Merge(a)
+	if c.Value(2) != 4 {
+		t.Fatalf("merge into empty: bucket 2 = %v, want 4", c.Value(2))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width-mismatch merge must panic")
+		}
+	}()
+	c.Merge(NewBucketed(20))
+}
+
+func TestBucketedStart(t *testing.T) {
+	b := NewBucketed(sim.Second)
+	if b.Start(0) != 0 || b.Start(3) != 3*sim.Second {
+		t.Fatalf("Start wrong: %v %v", b.Start(0), b.Start(3))
+	}
+	if b.Width() != sim.Second {
+		t.Fatalf("Width = %v", b.Width())
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"dclue/internal/netsim"
 	"dclue/internal/sim"
+	"dclue/internal/telemetry"
 )
 
 // Connection states.
@@ -36,6 +37,7 @@ type Conn struct {
 	id      uint64
 	remote  netsim.Addr
 	class   netsim.Class
+	tc      telemetry.Class // default traffic class for messages and control segments
 	ecnOn   bool
 	maxRetx int
 	state   connState
@@ -90,6 +92,7 @@ type sndSeg struct {
 	payload int
 	meta    any
 	msgSize int
+	tc      telemetry.Class
 	sentAt  sim.Time
 	acked   bool
 	sacked  bool
@@ -97,13 +100,14 @@ type sndSeg struct {
 	sent    bool
 }
 
-func newConn(s *Stack, id uint64, remote netsim.Addr, class netsim.Class, ecn bool, maxRetx int) *Conn {
+func newConn(s *Stack, id uint64, remote netsim.Addr, class netsim.Class, tc telemetry.Class, ecn bool, maxRetx int) *Conn {
 	cfg := s.dom.cfg
 	c := &Conn{
 		stack:    s,
 		id:       id,
 		remote:   remote,
 		class:    class,
+		tc:       tc,
 		ecnOn:    ecn && cfg.ECN,
 		maxRetx:  maxRetx,
 		cwnd:     2,
@@ -120,7 +124,8 @@ func newConn(s *Stack, id uint64, remote netsim.Addr, class netsim.Class, ecn bo
 // DialOptions tunes a new connection.
 type DialOptions struct {
 	Class   netsim.Class
-	MaxRetx int // 0 means DefaultMaxRetx
+	TC      telemetry.Class // traffic class for telemetry attribution
+	MaxRetx int             // 0 means DefaultMaxRetx
 }
 
 // Dial opens a connection from s to the given address and port, blocking
@@ -132,7 +137,7 @@ func Dial(p *sim.Proc, s *Stack, to netsim.Addr, port int, opts DialOptions) *Co
 		maxRetx = DefaultMaxRetx
 	}
 	s.dom.nextID++
-	c := newConn(s, s.dom.nextID, to, opts.Class, true, maxRetx)
+	c := newConn(s, s.dom.nextID, to, opts.Class, opts.TC, true, maxRetx)
 	c.state = stSynSent
 	c.dialPort = port
 	s.conns[c.id] = c
@@ -168,7 +173,13 @@ func (c *Conn) IsReset() bool { return c.state == stReset }
 // the final segment and is handed to the peer's OnMessage. Enqueue never
 // blocks; the send buffer is unbounded and actual transmission is paced by
 // the congestion and receive windows. Safe from kernel or process context.
-func (c *Conn) Enqueue(meta any, size int) {
+func (c *Conn) Enqueue(meta any, size int) { c.EnqueueTC(meta, size, c.tc) }
+
+// EnqueueTC is Enqueue with an explicit traffic class for this message's
+// segments, for senders that multiplex workloads over one connection (the
+// membership heartbeats riding the IPC mesh). The class is inert data: it
+// only feeds telemetry attribution, never queueing or pacing decisions.
+func (c *Conn) EnqueueTC(meta any, size int, tc telemetry.Class) {
 	if c.state == stClosed || c.state == stReset {
 		return
 	}
@@ -187,7 +198,7 @@ func (c *Conn) Enqueue(meta any, size int) {
 			chunk = 1 // zero-length app message still needs a carrier
 		}
 		remaining -= chunk
-		seg := &sndSeg{payload: chunk}
+		seg := &sndSeg{payload: chunk, tc: tc}
 		if remaining <= 0 {
 			seg.meta = meta
 			seg.msgSize = size
@@ -219,6 +230,7 @@ func (c *Conn) sendControl(kind segKind) {
 	seg.kind = kind
 	seg.port = c.dialPort
 	seg.class = c.class
+	seg.tc = c.tc
 	seg.ecnOn = c.ecnOn
 	seg.maxRetx = c.maxRetx
 	if kind == segACK {
@@ -289,6 +301,7 @@ func (c *Conn) transmit(seq int) {
 	out.conn = c.id
 	out.kind = segData
 	out.class = c.class
+	out.tc = s.tc
 	out.ecnOn = c.ecnOn
 	out.seq = seq
 	out.payload = s.payload
@@ -555,6 +568,7 @@ func (c *Conn) onRTO() {
 		rst.conn = c.id
 		rst.kind = segRST
 		rst.class = c.class
+		rst.tc = c.tc
 		c.stack.sendSegment(rst, c.remote)
 		c.teardown(true)
 		return

@@ -1,6 +1,9 @@
 package tcp
 
-import "dclue/internal/netsim"
+import (
+	"dclue/internal/netsim"
+	"dclue/internal/telemetry"
+)
 
 // segment kinds.
 type segKind int
@@ -47,6 +50,7 @@ type segment struct {
 	from    netsim.Addr // sender stack address (receive-path dispatch key)
 	to      netsim.Addr // destination address (send-path routing)
 	class   netsim.Class
+	tc      telemetry.Class // workload traffic class, telemetry attribution only
 	ecnOn   bool
 	maxRetx int // SYN only: propagates connection policy
 

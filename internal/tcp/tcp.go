@@ -258,7 +258,7 @@ func (s *Stack) handleSYN(seg *segment, from netsim.Addr) {
 	if !ok {
 		return // no listener: black-hole (dialer will time out)
 	}
-	c := newConn(s, seg.conn, from, seg.class, seg.ecnOn, seg.maxRetx)
+	c := newConn(s, seg.conn, from, seg.class, seg.tc, seg.ecnOn, seg.maxRetx)
 	c.state = stSynRcvd
 	c.acceptFn = accept
 	s.conns[seg.conn] = c
@@ -286,6 +286,7 @@ func (s *Stack) putOnWire(seg *segment) {
 	pkt.Dst = seg.to
 	pkt.Size = seg.payload + HeaderBytes
 	pkt.Class = seg.class
+	pkt.TC = seg.tc
 	pkt.ECN = seg.ecnOn && seg.kind == segData
 	pkt.Payload = seg
 	s.dom.net.Send(pkt)

@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dclue/internal/stats"
+)
+
+// Export. Two formats, both deterministic (registries sorted by label,
+// instruments in registration order, classes in enum order, buckets
+// ascending):
+//
+//   - JSONL timeseries (WriteFile / WriteJSONL): one object per scalar
+//     instrument plus one per non-empty timeline bucket — the raw material
+//     for utilization-over-time plots.
+//   - Prometheus text exposition (WritePrometheus): the end-of-run scalar
+//     snapshot, also served live by `dclueexp -status`.
+//
+// Only sealed registries are exported: a run's instruments are written by
+// its simulation goroutine without locks, so the collector exposes a
+// registry to readers only after Seal establishes the happens-before edge.
+
+// Seal publishes r to the export side; call it once, after the run's last
+// instrument write. Export functions ignore unsealed registries.
+func (c *Collector) Seal(r *Registry) {
+	c.mu.Lock()
+	c.sealed = append(c.sealed, r)
+	c.mu.Unlock()
+}
+
+// sortRegistries orders registries by label (labels are unique per run in
+// every caller; ties keep their relative order).
+func sortRegistries(rs []*Registry) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].label < rs[j].label })
+}
+
+// sealedRegistries snapshots the exportable set in label order.
+func (c *Collector) sealedRegistries() []*Registry {
+	c.mu.Lock()
+	out := make([]*Registry, len(c.sealed))
+	copy(out, c.sealed)
+	c.mu.Unlock()
+	sortRegistries(out)
+	return out
+}
+
+// WriteFile writes the export to path, picking the format from the
+// extension: ".prom" or ".txt" selects the Prometheus text snapshot,
+// anything else the JSONL timeseries.
+func (c *Collector) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	write := c.WriteJSONL
+	if ext := filepath.Ext(path); ext == ".prom" || ext == ".txt" {
+		write = c.WritePrometheus
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rec is one JSONL line. json.Marshal sorts map keys, so the per-line field
+// order is deterministic too.
+type rec map[string]any
+
+// WriteJSONL writes one JSON object per line: scalar records per instrument
+// and `*_tl` records per non-empty timeline bucket.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	emit := func(r rec) error { return enc.Encode(r) }
+	for _, reg := range c.sealedRegistries() {
+		if err := reg.writeJSONL(emit); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// tlRecords emits one record per non-empty bucket of tl, with base's fields
+// plus t (bucket start, seconds) and v.
+func tlRecords(emit func(rec) error, base rec, tl *stats.Bucketed) error {
+	if tl == nil {
+		return nil
+	}
+	for i := 0; i < tl.Len(); i++ {
+		v := tl.Value(i)
+		if v == 0 {
+			continue
+		}
+		r := rec{}
+		for k, val := range base {
+			r[k] = val
+		}
+		r["t"] = tl.Start(i).Seconds()
+		r["v"] = round9(v)
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// round9 trims float noise to nanosecond-ish resolution so exported JSON
+// stays compact and stable.
+func round9(v float64) float64 {
+	return float64(int64(v*1e9+0.5)) / 1e9
+}
+
+func (r *Registry) writeJSONL(emit func(rec) error) error {
+	run := r.label
+	for _, l := range r.links {
+		for _, cls := range Classes() {
+			if l.Pkts[cls] == 0 {
+				continue
+			}
+			if err := emit(rec{
+				"run": run, "kind": "link", "name": l.Name, "class": cls.String(),
+				"busy_s": l.Busy[cls].Seconds(), "bytes": l.Bytes[cls], "pkts": l.Pkts[cls],
+			}); err != nil {
+				return err
+			}
+			if err := tlRecords(emit, rec{
+				"run": run, "kind": "link_tl", "name": l.Name, "class": cls.String(),
+			}, l.tl[cls]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, q := range r.queues {
+		if err := emit(rec{
+			"run": run, "kind": "queue", "name": q.Name,
+			"mean_bytes": round9(q.Occ.Mean(q.last)), "max_bytes": q.Occ.Max(),
+		}); err != nil {
+			return err
+		}
+		if err := tlRecords(emit, rec{"run": run, "kind": "queue_tl", "name": q.Name}, q.tl); err != nil {
+			return err
+		}
+	}
+	for _, cpu := range r.cpus {
+		if err := emit(rec{
+			"run": run, "kind": "cpu", "name": cpu.Name,
+			"thread_busy_s": cpu.ThreadBusy.Seconds(), "irq_busy_s": cpu.IRQBusy.Seconds(),
+		}); err != nil {
+			return err
+		}
+		if err := tlRecords(emit, rec{"run": run, "kind": "cpu_tl", "name": cpu.Name, "comp": "thread"}, cpu.tlThread); err != nil {
+			return err
+		}
+		if err := tlRecords(emit, rec{"run": run, "kind": "cpu_tl", "name": cpu.Name, "comp": "irq"}, cpu.tlIRQ); err != nil {
+			return err
+		}
+	}
+	for _, d := range r.disks {
+		if err := emit(rec{
+			"run": run, "kind": "disk", "name": d.Name,
+			"busy_s": d.Busy.Seconds(), "reads": d.Reads, "writes": d.Writes,
+		}); err != nil {
+			return err
+		}
+		if err := tlRecords(emit, rec{"run": run, "kind": "disk_tl", "name": d.Name}, d.tl); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.gcs {
+		if err := emit(rec{
+			"run": run, "kind": "gcs", "name": g.Name,
+			"ctl_msgs": g.CtlMsgs, "data_msgs": g.DataMsgs,
+			"lock_waits": g.LockWait.N(), "lock_wait_s": round9(g.LockWait.Sum()),
+		}); err != nil {
+			return err
+		}
+		if err := tlRecords(emit, rec{"run": run, "kind": "gcs_tl", "name": g.Name, "metric": "ctl"}, g.tlCtl); err != nil {
+			return err
+		}
+		if err := tlRecords(emit, rec{"run": run, "kind": "gcs_tl", "name": g.Name, "metric": "data"}, g.tlData); err != nil {
+			return err
+		}
+		if err := tlRecords(emit, rec{"run": run, "kind": "gcs_tl", "name": g.Name, "metric": "lockwait"}, g.tlWait); err != nil {
+			return err
+		}
+	}
+	for _, ph := range r.phases {
+		if err := emit(rec{
+			"run": run, "kind": "phase", "component": ph.Component, "phase": ph.Phase,
+			"start_s": ph.Start.Seconds(), "end_s": ph.End.Seconds(),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus writes the scalar snapshot in Prometheus text exposition
+// format: every sealed run's instruments as labeled samples.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	regs := c.sealedRegistries()
+
+	section := func(name, typ, help string, emit func(*Registry)) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, r := range regs {
+			emit(r)
+		}
+	}
+
+	section("dclue_link_busy_seconds", "counter", "Wire busy time per link and traffic class.", func(r *Registry) {
+		for _, l := range r.links {
+			for _, cls := range Classes() {
+				if l.Pkts[cls] == 0 {
+					continue
+				}
+				fmt.Fprintf(bw, "dclue_link_busy_seconds{run=%q,link=%q,class=%q} %g\n",
+					r.label, l.Name, cls.String(), l.Busy[cls].Seconds())
+			}
+		}
+	})
+	section("dclue_link_bytes_total", "counter", "Bytes serialized per link and traffic class.", func(r *Registry) {
+		for _, l := range r.links {
+			for _, cls := range Classes() {
+				if l.Pkts[cls] == 0 {
+					continue
+				}
+				fmt.Fprintf(bw, "dclue_link_bytes_total{run=%q,link=%q,class=%q} %d\n",
+					r.label, l.Name, cls.String(), l.Bytes[cls])
+			}
+		}
+	})
+	section("dclue_queue_max_bytes", "gauge", "Peak queue occupancy in bytes.", func(r *Registry) {
+		for _, q := range r.queues {
+			fmt.Fprintf(bw, "dclue_queue_max_bytes{run=%q,queue=%q} %g\n", r.label, q.Name, q.Occ.Max())
+		}
+	})
+	section("dclue_cpu_busy_seconds", "counter", "CPU busy time split by component.", func(r *Registry) {
+		for _, cpu := range r.cpus {
+			fmt.Fprintf(bw, "dclue_cpu_busy_seconds{run=%q,cpu=%q,comp=\"thread\"} %g\n", r.label, cpu.Name, cpu.ThreadBusy.Seconds())
+			fmt.Fprintf(bw, "dclue_cpu_busy_seconds{run=%q,cpu=%q,comp=\"irq\"} %g\n", r.label, cpu.Name, cpu.IRQBusy.Seconds())
+		}
+	})
+	section("dclue_disk_busy_seconds", "counter", "Disk service busy time per spindle.", func(r *Registry) {
+		for _, d := range r.disks {
+			fmt.Fprintf(bw, "dclue_disk_busy_seconds{run=%q,disk=%q} %g\n", r.label, d.Name, d.Busy.Seconds())
+		}
+	})
+	section("dclue_disk_ops_total", "counter", "Disk operations per spindle and direction.", func(r *Registry) {
+		for _, d := range r.disks {
+			fmt.Fprintf(bw, "dclue_disk_ops_total{run=%q,disk=%q,op=\"read\"} %d\n", r.label, d.Name, d.Reads)
+			fmt.Fprintf(bw, "dclue_disk_ops_total{run=%q,disk=%q,op=\"write\"} %d\n", r.label, d.Name, d.Writes)
+		}
+	})
+	section("dclue_gcs_msgs_total", "counter", "Cache-fusion messages sent per node and kind.", func(r *Registry) {
+		for _, g := range r.gcs {
+			fmt.Fprintf(bw, "dclue_gcs_msgs_total{run=%q,node=%q,kind=\"ctl\"} %d\n", r.label, g.Name, g.CtlMsgs)
+			fmt.Fprintf(bw, "dclue_gcs_msgs_total{run=%q,node=%q,kind=\"data\"} %d\n", r.label, g.Name, g.DataMsgs)
+		}
+	})
+	section("dclue_lock_wait_seconds_total", "counter", "Total lock-wait time per node.", func(r *Registry) {
+		for _, g := range r.gcs {
+			fmt.Fprintf(bw, "dclue_lock_wait_seconds_total{run=%q,node=%q} %g\n", r.label, g.Name, round9(g.LockWait.Sum()))
+		}
+	})
+	section("dclue_recovery_phase_seconds", "gauge", "Recorded recovery phase durations.", func(r *Registry) {
+		for _, ph := range r.phases {
+			fmt.Fprintf(bw, "dclue_recovery_phase_seconds{run=%q,component=%q,phase=%q} %g\n",
+				r.label, ph.Component, ph.Phase, (ph.End - ph.Start).Seconds())
+		}
+	})
+	return bw.Flush()
+}
