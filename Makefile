@@ -16,7 +16,7 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# Determinism lint: the six dcluevet analyzers over the whole module.
+# Determinism lint: the nine dcluevet analyzers over the whole module.
 # Facts are cached in .dcluevet-cache so repeat runs re-lint only what
 # changed. See internal/lint/RULES.md for the rule catalog.
 lint:

@@ -1,15 +1,18 @@
-// Command dcluevet runs the determinism lint suite over the module: six
-// analyzers that enforce at the source level the invariants the runtime
-// regressions (fingerprint determinism, byte-identical parallel sweeps,
-// trace non-perturbation) check at run time. See internal/lint/RULES.md for
-// the rule catalog and the //lint:allow suppression syntax.
+// Command dcluevet runs the determinism and lifetime lint suite over the
+// module: nine analyzers that enforce at the source level the invariants
+// the runtime regressions (fingerprint determinism, byte-identical parallel
+// sweeps, trace non-perturbation, pool balance) check at run time. See
+// internal/lint/RULES.md for the rule catalog and the //lint:allow
+// suppression syntax.
 //
 // Usage:
 //
 //	dcluevet [flags] [packages]      # default ./...
 //	dcluevet -list                   # describe the analyzers
-//	dcluevet -only simtime,simrand ./internal/...
+//	dcluevet -only poolown,eventid ./internal/...
 //	dcluevet -cache .dcluevet-cache ./...
+//	dcluevet -sarif findings.sarif   # also write SARIF 2.1.0 for code scanning
+//	dcluevet -allow-audit            # report stale //lint:allow directives
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -27,10 +30,12 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list the analyzers and the invariant each enforces")
-		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		cacheDir = flag.String("cache", "", "facts-cache directory: per-package findings keyed by transitive content hash")
-		verbose  = flag.Bool("v", false, "print loader warnings (stubbed imports, degraded types)")
+		list       = flag.Bool("list", false, "list the analyzers and the invariant each enforces")
+		only       = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		cacheDir   = flag.String("cache", "", "facts-cache directory: per-package findings keyed by transitive content hash")
+		sarifFile  = flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file (for GitHub code scanning upload)")
+		allowAudit = flag.Bool("allow-audit", false, "also report //lint:allow directives that suppress nothing (runs the full suite, bypasses the cache)")
+		verbose    = flag.Bool("v", false, "print loader warnings (stubbed imports, degraded types)")
 	)
 	flag.Parse()
 
@@ -42,6 +47,13 @@ func main() {
 	}
 
 	suite := analyzers.All()
+	if *only != "" && *allowAudit {
+		// A filtered suite cannot tell a stale directive from one whose
+		// analyzer simply didn't run; the audit only means something over
+		// the full suite.
+		fmt.Fprintln(os.Stderr, "dcluevet: -allow-audit runs the full suite; ignoring -only")
+		*only = ""
+	}
 	if *only != "" {
 		byName := make(map[string]*analysis.Analyzer)
 		for _, a := range suite {
@@ -59,9 +71,10 @@ func main() {
 	}
 
 	opts := lint.Options{
-		Patterns:  flag.Args(),
-		Analyzers: suite,
-		CacheDir:  *cacheDir,
+		Patterns:   flag.Args(),
+		Analyzers:  suite,
+		CacheDir:   *cacheDir,
+		AllowAudit: *allowAudit,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
@@ -71,6 +84,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dcluevet:", err)
 		os.Exit(2)
 	}
+	if *sarifFile != "" {
+		if err := writeSARIFFile(*sarifFile, findings, suite); err != nil {
+			fmt.Fprintln(os.Stderr, "dcluevet: writing sarif:", err)
+			os.Exit(2)
+		}
+	}
 	for _, f := range findings {
 		fmt.Println(f)
 	}
@@ -78,4 +97,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcluevet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// writeSARIFFile renders findings relative to the working directory, which
+// in CI is the repository checkout — exactly what %SRCROOT% means to the
+// code-scanning upload.
+func writeSARIFFile(path string, findings []lint.Finding, suite []*analysis.Analyzer) error {
+	root, _ := os.Getwd()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lint.WriteSARIF(f, findings, suite, root); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

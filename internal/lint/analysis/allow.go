@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 	"unicode"
 )
@@ -75,17 +76,25 @@ func ParseAllow(text string) (a Allow, ok bool, err error) {
 type AllowSet struct {
 	fset *token.FileSet
 	// byLine maps file name and line to the directives written there.
-	byLine map[string]map[int][]Allow
+	byLine map[string]map[int][]*allowEntry
 	// Malformed collects directives that failed to parse, as diagnostics
 	// attributed to the "allow" pseudo-analyzer.
 	Malformed []Diagnostic
+}
+
+// allowEntry is one well-formed directive plus the bookkeeping the stale
+// audit needs: where it sits and whether it suppressed anything this run.
+type allowEntry struct {
+	Allow
+	pos  token.Pos
+	used bool
 }
 
 // CollectAllows scans every comment of files for lint:allow directives.
 // known limits the accepted analyzer names; a directive naming an unknown
 // analyzer is malformed (it would otherwise silently suppress nothing).
 func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) *AllowSet {
-	s := &AllowSet{fset: fset, byLine: make(map[string]map[int][]Allow)}
+	s := &AllowSet{fset: fset, byLine: make(map[string]map[int][]*allowEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -103,10 +112,10 @@ func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 				pos := fset.Position(c.Pos())
 				m := s.byLine[pos.Filename]
 				if m == nil {
-					m = make(map[int][]Allow)
+					m = make(map[int][]*allowEntry)
 					s.byLine[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], a)
+				m[pos.Line] = append(m[pos.Line], &allowEntry{Allow: a, pos: c.Pos()})
 			}
 		}
 	}
@@ -124,11 +133,37 @@ func (s *AllowSet) Allowed(analyzer string, pos token.Pos) bool {
 	for _, line := range []int{p.Line, p.Line - 1} {
 		for _, a := range m[line] {
 			if a.Analyzer == analyzer {
+				a.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// Stale returns one diagnostic per directive that suppressed nothing in
+// this run — candidates for removal (the -allow-audit report). Only
+// meaningful after the full suite's diagnostics have been filtered through
+// the set; a directive for an analyzer that did not run is reported as
+// stale, which is why the audit bypasses -only and the facts cache.
+func (s *AllowSet) Stale() []Diagnostic {
+	var entries []*allowEntry
+	for _, m := range s.byLine {
+		for _, line := range m {
+			entries = append(entries, line...)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].pos < entries[j].pos })
+	var out []Diagnostic
+	for _, e := range entries {
+		if !e.used {
+			out = append(out, Diagnostic{
+				Pos:     e.pos,
+				Message: fmt.Sprintf("stale lint:allow %s (%s): it suppresses no diagnostic; remove it", e.Analyzer, e.Reason),
+			})
+		}
+	}
+	return out
 }
 
 // Filter returns the diagnostics from the named analyzer not suppressed by

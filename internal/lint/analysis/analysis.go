@@ -30,6 +30,14 @@ type Analyzer struct {
 	// pass.Report/Reportf. The returned error aborts the whole lint run
 	// (reserved for internal failures, not findings).
 	Run func(*Pass) error
+
+	// Summarize, when non-nil, runs over every package before any Run —
+	// including packages whose findings replay from the facts cache — so
+	// interprocedural analyzers can publish per-function facts (ownership
+	// summaries, contract directives) that dependent packages' Run passes
+	// consume. It must not report diagnostics; the driver ignores reports
+	// made during Summarize.
+	Summarize func(*Pass) error
 }
 
 // Pass is the unit of work handed to an Analyzer: one package, parsed and
@@ -50,6 +58,11 @@ type Pass struct {
 	// PkgPath is the import path ("dclue/internal/core"); policy decisions
 	// (sanctioned packages) key off it.
 	PkgPath string
+
+	// Facts is the run-wide cross-package blackboard (see Facts). Never nil
+	// when driven by internal/lint or linttest; analyzers that use it should
+	// still tolerate nil for ad-hoc harnesses.
+	Facts *Facts
 
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)

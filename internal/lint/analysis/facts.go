@@ -1,0 +1,34 @@
+package analysis
+
+// Facts is the cross-package blackboard for interprocedural analyzers: one
+// store lives for the whole lint run, and every Pass sees it. Because the
+// loader hands packages to the driver in dependency order (see
+// internal/lint/load), an analyzer's Summarize hook can publish facts about
+// a package's exported functions and rely on them being present when a
+// dependent package is analyzed — the same one-directional flow as
+// go/analysis package facts, without the serialization machinery.
+//
+// Keys are namespaced strings (convention: "<analyzer>:<kind>:<object>",
+// e.g. "own:sum:(*dclue/internal/netsim.Qdisc).Enqueue"); values are
+// analyzer-owned. The store is not safe for concurrent use — the lint
+// driver runs packages sequentially, which is also what keeps facts-flow
+// deterministic.
+type Facts struct {
+	m map[string]any
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: make(map[string]any)} }
+
+// Set publishes a fact, replacing any previous value under key.
+func (f *Facts) Set(key string, v any) { f.m[key] = v }
+
+// Get retrieves a fact; ok is false when nothing was published under key.
+func (f *Facts) Get(key string) (any, bool) {
+	v, ok := f.m[key]
+	return v, ok
+}
+
+// Len returns the number of published facts (used by cache tests to assert
+// summaries still flow on facts-cache hits).
+func (f *Facts) Len() int { return len(f.m) }

@@ -1,8 +1,9 @@
-// Package analyzers holds dcluevet's determinism lint suite: seven
-// analyzers that enforce, at the source level, the invariants the runtime
-// tests (fingerprint determinism, golden figures, trace and telemetry
-// non-perturbation) can only observe after the fact. Each analyzer documents the invariant it
-// guards; internal/lint/RULES.md is the human catalog.
+// Package analyzers holds dcluevet's determinism and lifetime lint suite:
+// nine analyzers that enforce, at the source level, the invariants the
+// runtime tests (fingerprint determinism, golden figures, trace and
+// telemetry non-perturbation, pool balance) can only observe after the
+// fact. Each analyzer documents the invariant it guards;
+// internal/lint/RULES.md is the human catalog.
 package analyzers
 
 import (
@@ -21,6 +22,8 @@ func All() []*analysis.Analyzer {
 		Floatsum,
 		Tracenil,
 		Telemnil,
+		Poolown,
+		Eventid,
 	}
 }
 

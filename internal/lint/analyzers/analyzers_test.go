@@ -46,6 +46,14 @@ func TestTelemnil(t *testing.T) {
 	linttest.Run(t, analyzers.Telemnil, linttest.Dir("telemnil"))
 }
 
+func TestPoolown(t *testing.T) {
+	linttest.Run(t, analyzers.Poolown, linttest.Dir("poolown"))
+}
+
+func TestEventid(t *testing.T) {
+	linttest.Run(t, analyzers.Eventid, linttest.Dir("eventid"))
+}
+
 // TestPolicyExemptions pins the sanctioned-package lists: a rename that
 // silently widened or narrowed an exemption would otherwise only surface
 // as a confusing self-host failure.

@@ -1,0 +1,373 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dclue/internal/lint/analysis"
+)
+
+// Eventid is the lifetime state machine for stored timer handles — the
+// exact bug class the event-kernel rewrite had to hotfix twice (stale
+// rtoTimer, stale mailbox waiter timer). A sim.EventID held in a struct
+// field is a claim ticket on a heap slot; once the event fires or is
+// cancelled the slot is recycled, and a stale field handed to Cancel later
+// can revoke an unrelated event. The analyzer finds every assignment of an
+// After/At result into an EventID field and proves the fire callback zeroes
+// that field; every Cancel(recv.field) call must likewise be followed by a
+// zeroing in the same function.
+var Eventid = &analysis.Analyzer{
+	Name: "eventid",
+	Doc: "struct fields of type sim.EventID armed via At/After must be zeroed " +
+		"on the fire-callback and cancel paths. EventIDs are generation-tagged " +
+		"slot tickets into the recycled event heap; a field left holding a " +
+		"fired or cancelled ticket is a stale handle whose slot another event " +
+		"now owns. The callback may zero the field directly, or through a " +
+		"method or same-package helper the analyzer can resolve; func-typed " +
+		"fields are accepted when every assignment to them zeroes the field.",
+	Run: runEventid,
+}
+
+// fieldKey names one EventID-holding struct field, "pkgpath.Type.field".
+type fieldKey string
+
+func runEventid(pass *analysis.Pass) error {
+	v := &eventidVisitor{
+		pass:     pass,
+		zeroes:   make(map[*types.Func]map[fieldKey]bool),
+		fieldFns: make(map[fieldKey][]ast.Expr),
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn := funcObjOf(pass, fd); fn != nil {
+					v.decls = append(v.decls, fnDecl{fn, fd})
+				}
+			}
+		}
+	}
+	v.buildZeroSets()
+	v.collectFieldFns()
+	for _, d := range v.decls {
+		v.checkFunc(d.fn, d.fd)
+	}
+	return nil
+}
+
+// fnDecl pairs a declaration with its object; the analyzer walks functions
+// in file order so diagnostics and field-value collection stay
+// deterministic.
+type fnDecl struct {
+	fn *types.Func
+	fd *ast.FuncDecl
+}
+
+type eventidVisitor struct {
+	pass  *analysis.Pass
+	decls []fnDecl
+	// zeroes maps each package function to the EventID fields it provably
+	// zeroes (directly or through same-package calls, to a fixpoint).
+	zeroes map[*types.Func]map[fieldKey]bool
+	// fieldFns gathers every value assigned to a func-typed struct field
+	// anywhere in the package (`c.rtoFn = c.onRTO`), so a callback passed as
+	// `c.rtoFn` can be checked against all its possible values.
+	fieldFns map[fieldKey][]ast.Expr
+}
+
+func funcObjOf(pass *analysis.Pass, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// isEventID reports whether t is the sim package's EventID type.
+func isEventID(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "EventID" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// fieldKeyOf resolves a selector expression base.field of EventID (or any)
+// type to its owning struct's key. ok is false when the base is not a named
+// struct (or pointer to one).
+func (v *eventidVisitor) fieldKeyOf(sel *ast.SelectorExpr) (fieldKey, bool) {
+	t := v.pass.TypeOf(sel.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	return fieldKey(n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + sel.Sel.Name), true
+}
+
+// keyLabel renders a field key for diagnostics without the package path.
+func keyLabel(k fieldKey) string {
+	s := string(k)
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+// isZeroAssign reports whether stmt assigns a zero EventID composite
+// literal into an EventID field, returning that field's key.
+func (v *eventidVisitor) isZeroAssign(stmt ast.Stmt) (fieldKey, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+	if !ok || !isEventID(v.pass.TypeOf(sel)) {
+		return "", false
+	}
+	cl, ok := ast.Unparen(as.Rhs[0]).(*ast.CompositeLit)
+	if !ok || len(cl.Elts) != 0 || !isEventID(v.pass.TypeOf(cl)) {
+		return "", false
+	}
+	return v.fieldKeyOf(sel)
+}
+
+// calleeFunc resolves a call to its *types.Func (methods included).
+func (v *eventidVisitor) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := v.pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if s, ok := v.pass.TypesInfo.Selections[fun]; ok {
+			f, _ := s.Obj().(*types.Func)
+			return f
+		}
+		f, _ := v.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// buildZeroSets computes, to a fixpoint, which EventID fields each package
+// function zeroes: direct `recv.f = sim.EventID{}` assignments plus the
+// zero sets of same-package functions it calls unconditionally or not —
+// the analysis is may-not-must on purpose: a callback that zeroes the field
+// on only some paths still shows intent, and path-splitting every callback
+// would drown the real bug class (no zeroing anywhere) in noise.
+func (v *eventidVisitor) buildZeroSets() {
+	for _, d := range v.decls {
+		v.zeroes[d.fn] = make(map[fieldKey]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range v.decls {
+			set := v.zeroes[d.fn]
+			ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if k, ok := v.isZeroAssign(n); ok && !set[k] {
+						set[k] = true
+						changed = true
+					}
+				case *ast.CallExpr:
+					if callee := v.calleeFunc(n); callee != nil {
+						for k := range v.zeroes[callee] {
+							if !set[k] {
+								set[k] = true
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectFieldFns records every expression assigned to a func()-typed
+// struct field in the package.
+func (v *eventidVisitor) collectFieldFns() {
+	for _, d := range v.decls {
+		ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if _, isSig := v.pass.TypeOf(sel).Underlying().(*types.Signature); !isSig {
+					continue
+				}
+				if k, ok := v.fieldKeyOf(sel); ok {
+					v.fieldFns[k] = append(v.fieldFns[k], as.Rhs[i])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFunc scans one function for arm sites and Cancel calls.
+func (v *eventidVisitor) checkFunc(fn *types.Func, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			v.checkArm(n)
+		case *ast.CallExpr:
+			v.checkCancel(fn, n)
+		}
+		return true
+	})
+}
+
+// checkArm handles `recv.field = <sim>.After(d, cb)` / `.At(t, cb)`: the
+// callback must zero the field.
+func (v *eventidVisitor) checkArm(as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+	if !ok || !isEventID(v.pass.TypeOf(sel)) {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := v.calleeFunc(call)
+	if callee == nil || (callee.Name() != "After" && callee.Name() != "At") {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 || !isEventID(sig.Results().At(0).Type()) {
+		return
+	}
+	key, ok := v.fieldKeyOf(sel)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	v.checkCallback(call.Args[len(call.Args)-1], key, as.Pos())
+}
+
+// checkCallback proves one callback value zeroes key, recursing through
+// func-typed fields. armPos anchors the diagnostic.
+func (v *eventidVisitor) checkCallback(cb ast.Expr, key fieldKey, armPos token.Pos) {
+	switch cb := ast.Unparen(cb).(type) {
+	case *ast.FuncLit:
+		if !v.litZeroes(cb, key) {
+			v.pass.Reportf(armPos,
+				"sim.EventID field %s is armed here but the callback never zeroes it; a fired timer leaves a stale handle that a later Cancel can revoke someone else's event with",
+				keyLabel(key))
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		// Method value (c.onRTO), package function, or func-typed field
+		// (c.rtoFn): resolve what actually runs.
+		if fn := v.funcValue(cb); fn != nil {
+			if !v.zeroes[fn][key] {
+				v.pass.Reportf(armPos,
+					"sim.EventID field %s is armed here but callback %s never zeroes it; the fired timer leaves a stale handle",
+					keyLabel(key), fn.Name())
+			}
+			return
+		}
+		if sel, ok := cb.(*ast.SelectorExpr); ok {
+			if fk, ok := v.fieldKeyOf(sel); ok {
+				if vals := v.fieldFns[fk]; len(vals) > 0 {
+					for _, val := range vals {
+						v.checkCallback(val, key, armPos)
+					}
+					return
+				}
+			}
+		}
+		v.reportUnresolvable(armPos, key)
+	default:
+		v.reportUnresolvable(armPos, key)
+	}
+}
+
+// funcValue resolves a method value or function identifier to its
+// *types.Func (nil for func-typed variables and fields).
+func (v *eventidVisitor) funcValue(e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := v.pass.TypesInfo.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if s, ok := v.pass.TypesInfo.Selections[e]; ok {
+			f, _ := s.Obj().(*types.Func)
+			return f
+		}
+		f, _ := v.pass.TypesInfo.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func (v *eventidVisitor) reportUnresolvable(armPos token.Pos, key fieldKey) {
+	v.pass.Reportf(armPos,
+		"sim.EventID field %s is armed with a callback the analyzer cannot resolve; use a func literal, method value, or func-typed field so the zeroing obligation can be checked",
+		keyLabel(key))
+}
+
+// litZeroes reports whether a func literal zeroes key, directly or through
+// a resolvable call.
+func (v *eventidVisitor) litZeroes(lit *ast.FuncLit, key fieldKey) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if k, ok := v.isZeroAssign(n); ok && k == key {
+				found = true
+			}
+		case *ast.CallExpr:
+			if callee := v.calleeFunc(n); callee != nil && v.zeroes[callee][key] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCancel handles `<sim>.Cancel(recv.field)`: the enclosing function
+// must zero the field (before or after — may-analysis, see buildZeroSets).
+func (v *eventidVisitor) checkCancel(enclosing *types.Func, call *ast.CallExpr) {
+	callee := v.calleeFunc(call)
+	if callee == nil || callee.Name() != "Cancel" || callee.Pkg() == nil || callee.Pkg().Name() != "sim" {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || !isEventID(sig.Params().At(0).Type()) {
+		return
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	if !ok || !isEventID(v.pass.TypeOf(sel)) {
+		return
+	}
+	key, ok := v.fieldKeyOf(sel)
+	if !ok {
+		return
+	}
+	if !v.zeroes[enclosing][key] {
+		v.pass.Reportf(call.Pos(),
+			"sim.EventID field %s is cancelled here but never zeroed in %s; the stale handle can match a recycled event slot",
+			keyLabel(key), enclosing.Name())
+	}
+}

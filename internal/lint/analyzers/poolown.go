@@ -1,0 +1,49 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"dclue/internal/lint/analysis"
+	"dclue/internal/lint/own"
+)
+
+// Poolown proves the pooled-object lifetime contracts introduced by the
+// allocation-free kernel rewrite: every object obtained from a //pool:alloc
+// function (Network.AllocPacket, Domain.allocSeg) must reach exactly one
+// free or hand-off on every path, and borrowed objects (Endpoint.Deliver's
+// packet) must be neither freed nor retained. The Summarize hook feeds the
+// interprocedural engine in internal/lint/own; Run checks each function
+// body against the accumulated World.
+var Poolown = &analysis.Analyzer{
+	Name: "poolown",
+	Doc: "pooled objects must be freed or handed off exactly once on every path. " +
+		"The object-pool rewrite traded GC safety for by-convention lifetimes: a " +
+		"leaked Packet silently shrinks the pool, a double free corrupts the free " +
+		"list, and a use after free reads a recycled object. Contract functions " +
+		"are marked with //pool:alloc, //pool:free, //pool:sink and //pool:borrow " +
+		"doc directives; everything else gets a summary derived from its body, so " +
+		"ownership facts flow through helpers across package boundaries.",
+	Summarize: own.Summarize,
+	Run:       runPoolown,
+}
+
+func runPoolown(pass *analysis.Pass) error {
+	w := own.Shared(pass.Facts)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fl := own.NewFlow(pass, w, func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			})
+			fl.Check(fd)
+		}
+	}
+	return nil
+}

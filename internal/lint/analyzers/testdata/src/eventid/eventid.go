@@ -1,0 +1,116 @@
+// Package eventid is the fixture for the stored-timer-handle analyzer: a
+// miniature of the conn/platform timer shapes (direct literal callback,
+// method value, func-typed field, transitive zero through a helper) seeded
+// with the stale-EventID bugs the event-kernel hotfixes fixed by hand.
+package eventid
+
+import "sim"
+
+type Conn struct {
+	s     *sim.Sim
+	timer sim.EventID
+	rtoFn func()
+}
+
+func (c *Conn) fire() {}
+
+func (c *Conn) onFire() {
+	c.timer = sim.EventID{}
+	c.fire()
+}
+
+// --- violations ---
+
+func (c *Conn) armNoZero(d sim.Time) {
+	c.timer = c.s.After(d, func() { c.fire() }) // want `never zeroes`
+}
+
+func (c *Conn) armOpaque(d sim.Time, cb func()) {
+	c.timer = c.s.After(d, cb) // want `cannot resolve`
+}
+
+type Svc struct {
+	s  *sim.Sim
+	ev sim.EventID
+}
+
+func (s *Svc) cancelNoZero() {
+	s.s.Cancel(s.ev) // want `never zeroed`
+}
+
+// Looper's func-typed field only ever holds a non-zeroing step.
+type Looper struct {
+	s    *sim.Sim
+	tick sim.EventID
+	fn   func()
+}
+
+func (l *Looper) step() {}
+
+func (l *Looper) setup() {
+	l.fn = l.step
+}
+
+func (l *Looper) armViaBadField(d sim.Time) {
+	l.tick = l.s.After(d, l.fn) // want `never zeroes`
+}
+
+// --- suppressed ---
+
+func (c *Conn) armSuppressed(d sim.Time) {
+	c.timer = c.s.After(d, c.fire) //lint:allow eventid fixture pins the suppression path
+}
+
+// --- clean ---
+
+func (c *Conn) armLiteral(d sim.Time) {
+	c.timer = c.s.After(d, func() {
+		c.timer = sim.EventID{}
+		c.fire()
+	})
+}
+
+func (c *Conn) armMethodValue(d sim.Time) {
+	c.timer = c.s.After(d, c.onFire)
+}
+
+// armViaField is the real conn's shape: the callback lives in a func-typed
+// field whose every assignment must zero the timer.
+func (c *Conn) setup() {
+	c.rtoFn = c.onFire
+}
+
+func (c *Conn) armViaField(d sim.Time) {
+	c.timer = c.s.After(d, c.rtoFn)
+}
+
+func (c *Conn) cancelAndZero() {
+	c.s.Cancel(c.timer)
+	c.timer = sim.EventID{}
+}
+
+func (s *Svc) finish() {
+	s.ev = sim.EventID{}
+}
+
+// armTransitive is the platform's shape: the literal zeroes through a
+// helper method.
+func (s *Svc) armTransitive(t sim.Time) {
+	s.ev = s.s.At(t, func() { s.finish() })
+}
+
+// localsCarryNoObligation: only struct fields hold handles across events.
+func localOK(s *sim.Sim) {
+	id := s.After(1, func() {})
+	s.Cancel(id)
+}
+
+// locks is the db-style Cancel with a different signature; type matching
+// must not confuse it with sim.Cancel.
+type locks struct{}
+
+func (l *locks) Cancel(res int, txn int) {}
+
+func unrelatedCancelOK(l *locks) {
+	l.Cancel(1, 2)
+}

@@ -1,0 +1,187 @@
+// Package poolown is the fixture for the pooled-object ownership analyzer:
+// a miniature of the netsim packet pool (alloc/free/send/deliver) seeded
+// with the lifetime bugs the real contracts forbid. Clean functions at the
+// bottom pin the patterns the analyzer must stay silent on.
+package poolown
+
+type Packet struct {
+	Size    int
+	Payload any
+	next    *Packet
+}
+
+type Net struct {
+	free *Packet
+	q    []*Packet
+}
+
+// AllocPacket takes a packet off the free list; the caller owns it and
+// must free or hand it off on every path.
+//
+//pool:alloc
+func (n *Net) AllocPacket() *Packet {
+	p := n.free
+	if p == nil {
+		return &Packet{}
+	}
+	n.free = p.next
+	return p
+}
+
+// freePacket returns a packet to the free list.
+//
+//pool:free
+func (n *Net) freePacket(p *Packet) {
+	p.next = n.free
+	n.free = p
+}
+
+// Send takes ownership of the packet and queues it for the wire.
+//
+//pool:sink
+func (n *Net) Send(p *Packet) {
+	n.q = append(n.q, p)
+}
+
+// dequeue hands an owned packet back to the caller; nil when empty.
+//
+//pool:alloc
+func (n *Net) dequeue() *Packet {
+	if len(n.q) == 0 {
+		return nil
+	}
+	p := n.q[0]
+	n.q = n.q[1:]
+	return p
+}
+
+type Endpoint interface {
+	// Deliver hands the endpoint a packet for the duration of the call
+	// only; the network frees it afterwards.
+	//
+	//pool:borrow
+	Deliver(p *Packet)
+}
+
+// --- violations ---
+
+func leak(n *Net) {
+	pkt := n.AllocPacket() // want `allocated here leaks`
+	_ = pkt.Size
+}
+
+func leakEarlyReturn(n *Net, drop bool) {
+	pkt := n.AllocPacket() // want `allocated here leaks`
+	if drop {
+		return // this path forgets the packet
+	}
+	n.freePacket(pkt)
+}
+
+func doubleFree(n *Net) {
+	pkt := n.AllocPacket()
+	n.freePacket(pkt)
+	n.freePacket(pkt) // want `freed twice`
+}
+
+// release has no directive: its free summary is derived from the body, so
+// the double free below is caught across the call.
+func release(n *Net, p *Packet) {
+	n.freePacket(p)
+}
+
+func doubleFreeViaHelper(n *Net) {
+	pkt := n.AllocPacket()
+	release(n, pkt)
+	n.freePacket(pkt) // want `freed twice`
+}
+
+func useAfterFree(n *Net) {
+	pkt := n.AllocPacket()
+	n.freePacket(pkt)
+	_ = pkt.Size // want `after it was freed`
+}
+
+func sendTwice(n *Net) {
+	pkt := n.AllocPacket()
+	n.Send(pkt)
+	n.Send(pkt) // want `handed off twice`
+}
+
+// badFreeingEndpoint violates Deliver's borrow contract by freeing.
+type badFreeingEndpoint struct{ n *Net }
+
+func (b *badFreeingEndpoint) Deliver(p *Packet) {
+	b.n.freePacket(p) // want `borrowed`
+}
+
+// badRetainingEndpoint violates it by retaining past the call.
+type badRetainingEndpoint struct{ held *Packet }
+
+func (b *badRetainingEndpoint) Deliver(p *Packet) {
+	b.held = p // want `borrowed`
+}
+
+// --- suppressed ---
+
+func suppressedLeak(n *Net) {
+	pkt := n.AllocPacket() //lint:allow poolown fixture pins the suppression path
+	_ = pkt
+}
+
+// --- clean ---
+
+func goodFreeBothPaths(n *Net, drop bool) {
+	pkt := n.AllocPacket()
+	if drop {
+		n.freePacket(pkt)
+		return
+	}
+	n.Send(pkt)
+}
+
+// goodEndpoint only reads the borrowed packet.
+type goodEndpoint struct{ total int }
+
+func (g *goodEndpoint) Deliver(p *Packet) {
+	g.total += p.Size
+}
+
+// goodDeliverThenFree is the real network's delivery shape: a borrow call
+// leaves ownership with the caller, which then frees.
+func goodDeliverThenFree(n *Net, ep Endpoint) {
+	pkt := n.AllocPacket()
+	ep.Deliver(pkt)
+	n.freePacket(pkt)
+}
+
+// ring derives a sink summary from its append.
+type ring struct{ buf []*Packet }
+
+func (r *ring) push(p *Packet) {
+	r.buf = append(r.buf, p)
+}
+
+func goodStoreConsume(n *Net, r *ring) {
+	pkt := n.AllocPacket()
+	r.push(pkt)
+}
+
+// goodDrain is the nil-guarded dequeue loop every qdisc teardown uses.
+func goodDrain(n *Net) {
+	for {
+		pkt := n.dequeue()
+		if pkt == nil {
+			return
+		}
+		n.freePacket(pkt)
+	}
+}
+
+// goodReturnTransfersOwnership: returning an owned packet moves the
+// obligation to the caller.
+func goodReturnTransfersOwnership(n *Net) *Packet {
+	pkt := n.AllocPacket()
+	pkt.Size = 1
+	return pkt
+}

@@ -12,6 +12,8 @@ type Sim struct{}
 
 func (s *Sim) After(d Time, fn func()) EventID { fn(); return EventID{} }
 
+func (s *Sim) At(t Time, fn func()) EventID { fn(); return EventID{} }
+
 func (s *Sim) Cancel(id EventID) {}
 
 type Proc struct{}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 
 	"dclue/internal/lint/analysis"
@@ -44,10 +45,17 @@ type Options struct {
 	Analyzers []*analysis.Analyzer
 	// CacheDir, when non-empty, memoizes per-package findings keyed by the
 	// transitive content hash of the package's sources, its module-internal
-	// dependencies' hashes, and the analyzer suite — the facts cache CI
-	// restores between runs. A hit skips the analyzers (type-checking still
-	// happens, because dependents need this package's exports).
+	// dependencies' hashes, the analyzer suite, and the Go toolchain — the
+	// facts cache CI restores between runs. A hit skips the analyzers' Run
+	// passes (type-checking and Summarize still happen, because dependents
+	// need this package's exports and cross-package facts).
 	CacheDir string
+	// AllowAudit additionally reports //lint:allow directives that
+	// suppressed nothing this run (stale suppressions), as findings under
+	// the "allow" pseudo-analyzer. The audit needs every analyzer's
+	// diagnostics to flow through the suppression filter, so it bypasses
+	// the facts cache.
+	AllowAudit bool
 	// Log, when non-nil, receives loader warnings (stubbed imports etc.).
 	Log io.Writer
 }
@@ -58,7 +66,11 @@ func Run(opts Options) ([]Finding, error) {
 	if suite == nil {
 		suite = analyzers.All()
 	}
-	known := make(map[string]bool)
+	// The set of allow-directive names every run accepts is the full
+	// registered suite, not just the analyzers selected by -only: a
+	// directive for an analyzer that simply isn't running this time is
+	// dormant, not malformed.
+	known := analyzers.Known()
 	for _, a := range suite {
 		known[a.Name] = true
 	}
@@ -75,20 +87,37 @@ func Run(opts Options) ([]Finding, error) {
 
 	cache := newFactsCache(opts.CacheDir, suite)
 	hashes := make(map[string]string) // pkg path -> transitive content hash
+	facts := analysis.NewFacts()
 
 	var findings []Finding
 	for _, pkg := range res.Packages {
+		// Summarize runs on every package, cache hit or not: cross-package
+		// facts (ownership summaries) are rebuilt from source each run, only
+		// the diagnostics replay from the cache.
+		for _, a := range suite {
+			if a.Summarize == nil {
+				continue
+			}
+			pass := newPass(res.Fset, pkg, a, facts, func(analysis.Diagnostic) {})
+			if err := a.Summarize(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s summarizing %s: %v", a.Name, pkg.Path, err)
+			}
+		}
 		hash := cache.pkgHash(pkg, hashes)
 		hashes[pkg.Path] = hash
-		if cached, ok := cache.get(hash); ok {
-			findings = append(findings, cached...)
-			continue
+		if !opts.AllowAudit {
+			if cached, ok := cache.get(hash); ok {
+				findings = append(findings, cached...)
+				continue
+			}
 		}
-		pf, err := runPackage(res.Fset, pkg, suite, known)
+		pf, err := runPackage(res.Fset, pkg, suite, known, facts, opts.AllowAudit)
 		if err != nil {
 			return nil, err
 		}
-		cache.put(hash, pf)
+		if !opts.AllowAudit {
+			cache.put(hash, pf)
+		}
 		findings = append(findings, pf...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -107,8 +136,24 @@ func Run(opts Options) ([]Finding, error) {
 	return findings, nil
 }
 
+// newPass builds one analyzer's view of one loaded package.
+func newPass(fset *token.FileSet, pkg *load.Package, a *analysis.Analyzer, facts *analysis.Facts, report func(analysis.Diagnostic)) *analysis.Pass {
+	return &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		PkgPath:   pkg.Path,
+		Facts:     facts,
+		Report:    report,
+	}
+}
+
 // runPackage applies the suite to one package and filters suppressions.
-func runPackage(fset *token.FileSet, pkg *load.Package, suite []*analysis.Analyzer, known map[string]bool) ([]Finding, error) {
+// With audit set it additionally reports the package's stale allow
+// directives (ones that suppressed nothing).
+func runPackage(fset *token.FileSet, pkg *load.Package, suite []*analysis.Analyzer, known map[string]bool, facts *analysis.Facts, audit bool) ([]Finding, error) {
 	allows := analysis.CollectAllows(fset, pkg.Files, known)
 	var findings []Finding
 	for _, d := range allows.Malformed {
@@ -116,20 +161,17 @@ func runPackage(fset *token.FileSet, pkg *load.Package, suite []*analysis.Analyz
 	}
 	for _, a := range suite {
 		var diags []analysis.Diagnostic
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			PkgPath:   pkg.Path,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-		}
+		pass := newPass(fset, pkg, a, facts, func(d analysis.Diagnostic) { diags = append(diags, d) })
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
 		}
 		for _, d := range allows.Filter(a.Name, diags) {
 			findings = append(findings, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+	}
+	if audit {
+		for _, d := range allows.Stale() {
+			findings = append(findings, Finding{Analyzer: "allow", Pos: fset.Position(d.Pos), Message: d.Message})
 		}
 	}
 	return findings, nil
@@ -147,17 +189,28 @@ type factsCache struct {
 
 // suiteVersion participates in every cache key; bump when analyzer
 // behavior changes in a way that should invalidate cached findings.
-const suiteVersion = "dcluevet-v1"
+const suiteVersion = "dcluevet-v2"
+
+// cacheSalt is the run-invariant prefix of every cache key. It must cover
+// everything that can change a package's findings without changing its
+// sources: the suite version, the Go toolchain (go/types behavior and the
+// stdlib the loader type-checks against move with it), and the selected
+// analyzer list (an -only run must not serve, or poison, the full suite's
+// cache entries). Factored out and parameterized on the toolchain string so
+// the regression test can prove each ingredient changes the key.
+func cacheSalt(suite []*analysis.Analyzer, toolchain string) string {
+	salt := suiteVersion + ":" + toolchain
+	for _, a := range suite {
+		salt += ":" + a.Name
+	}
+	return salt
+}
 
 func newFactsCache(dir string, suite []*analysis.Analyzer) *factsCache {
 	if dir == "" {
 		return &factsCache{}
 	}
-	names := suiteVersion
-	for _, a := range suite {
-		names += ":" + a.Name
-	}
-	return &factsCache{dir: dir, suite: names}
+	return &factsCache{dir: dir, suite: cacheSalt(suite, runtime.Version())}
 }
 
 func (c *factsCache) pkgHash(pkg *load.Package, depHashes map[string]string) string {

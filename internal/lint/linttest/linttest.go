@@ -54,7 +54,13 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		Pkg:       pkg,
 		TypesInfo: info,
 		PkgPath:   pkgPath,
+		Facts:     analysis.NewFacts(),
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if a.Summarize != nil {
+		if err := a.Summarize(pass); err != nil {
+			t.Fatalf("%s: summarize error: %v", pkgPath, err)
+		}
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer error: %v", pkgPath, err)

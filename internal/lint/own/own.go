@@ -1,0 +1,1183 @@
+// Package own is the interprocedural ownership engine under the poolown
+// analyzer: it turns doc-comment contract directives and derived
+// per-function summaries into a World fact that flows across packages in
+// dependency order, so a caller in internal/tcp knows that
+// netsim.(*Network).Send consumes its packet without ever looking at
+// netsim's source again.
+//
+// # Contract directives
+//
+// A function (or interface method) is marked with a directive line in its
+// doc comment:
+//
+//	//pool:alloc   — the function's first result is an owned pooled object;
+//	                 the caller must free or hand it off on every path. The
+//	                 result type becomes a pooled type. The result may be
+//	                 nil (drain-style helpers); a nil-guarded early return
+//	                 discharges the obligation.
+//	//pool:free    — the function consumes its pooled pointer parameters by
+//	                 returning them to the pool. After the call the caller
+//	                 owns nothing: any further use is a use-after-free.
+//	//pool:sink    — the function consumes its pooled pointer parameters by
+//	                 handing ownership onward (stores them or transfers them
+//	                 to another owner). The caller must not free them again.
+//	//pool:borrow  — the function may read its pooled pointer parameters
+//	                 only for the duration of the call: it must neither free
+//	                 nor retain them. On an interface method this is a
+//	                 contract every implementation is checked against,
+//	                 matched by method name and parameter type.
+//
+// # Derived summaries
+//
+// Functions without directives get summaries derived from their bodies by a
+// fixpoint over the package (dependencies already summarized): a pooled
+// parameter consumed exactly once on every non-panic exit derives free/sink;
+// one never consumed, stored, or escaped derives borrow; anything mixed
+// derives unknown, which makes callers silently stop tracking the argument
+// — the engine prefers silence to false positives.
+package own
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dclue/internal/lint/analysis"
+)
+
+// Effect is what a callee does with one pooled-pointer parameter.
+type Effect int
+
+const (
+	EffUnknown Effect = iota // no contract: callers stop tracking the argument
+	EffBorrow                // valid for the call only; neither freed nor retained
+	EffFree                  // consumed: returned to the pool
+	EffSink                  // consumed: ownership handed onward
+)
+
+func (e Effect) String() string {
+	switch e {
+	case EffBorrow:
+		return "borrow"
+	case EffFree:
+		return "free"
+	case EffSink:
+		return "sink"
+	}
+	return "unknown"
+}
+
+// Consumes reports whether the effect ends the caller's ownership.
+func (e Effect) Consumes() bool { return e == EffFree || e == EffSink }
+
+// Summary is the ownership contract of one function.
+type Summary struct {
+	Params    map[int]Effect // parameter index -> effect (pooled params only)
+	Alloc     bool           // result 0 is an owned pooled object
+	Directive bool           // explicit //pool: contract; derivation never overwrites it
+}
+
+func (s *Summary) equal(o *Summary) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Alloc != o.Alloc || s.Directive != o.Directive || len(s.Params) != len(o.Params) {
+		return false
+	}
+	for i, e := range s.Params {
+		if o.Params[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// World is the cross-package ownership fact, shared by every package of a
+// lint run through the analysis.Facts store.
+type World struct {
+	// Pooled holds the pooled struct types, keyed "pkgpath.TypeName".
+	Pooled map[string]bool
+	// Funcs maps types.Func FullName (methods include the receiver, e.g.
+	// "(*dclue/internal/netsim.Qdisc).Enqueue") to its contract.
+	Funcs map[string]*Summary
+	// BorrowMethods records interface borrow contracts for implementation
+	// checking: method name -> parameter index -> pooled type key. A
+	// concrete method with a matching name and parameter type inherits the
+	// borrow obligation.
+	BorrowMethods map[string]map[int]string
+}
+
+// FactKey is where the World lives in the run's Facts store.
+const FactKey = "own:world"
+
+// Shared returns the run's World, creating and publishing it on first use.
+// A nil facts store (ad-hoc harness) yields a private world.
+func Shared(facts *analysis.Facts) *World {
+	if facts == nil {
+		return newWorld()
+	}
+	if v, ok := facts.Get(FactKey); ok {
+		return v.(*World)
+	}
+	w := newWorld()
+	facts.Set(FactKey, w)
+	return w
+}
+
+func newWorld() *World {
+	return &World{
+		Pooled:        make(map[string]bool),
+		Funcs:         make(map[string]*Summary),
+		BorrowMethods: make(map[string]map[int]string),
+	}
+}
+
+// TypeKey returns the pooled-type key for a pointer-to-named type.
+func TypeKey(t types.Type) (string, bool) {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	return obj.Pkg().Path() + "." + obj.Name(), true
+}
+
+// PooledParam reports whether t is a pointer to a pooled type.
+func (w *World) PooledParam(t types.Type) (string, bool) {
+	key, ok := TypeKey(t)
+	if !ok || !w.Pooled[key] {
+		return "", false
+	}
+	return key, true
+}
+
+// directives recognized in doc comments.
+var directiveKinds = []string{"alloc", "free", "sink", "borrow"}
+
+// docDirective scans a doc comment group for a //pool:<kind> line.
+func docDirective(doc *ast.CommentGroup) (kind string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		for _, k := range directiveKinds {
+			if _, isDir := analysis.ScanDirective(c.Text, "pool:"+k); isDir {
+				return k, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Summarize ingests one package into the world: contract directives first
+// (they define the pooled types), then derived summaries to a fixpoint.
+// Packages arrive in dependency order, so summaries for imports are already
+// present.
+func Summarize(pass *analysis.Pass) error {
+	w := Shared(pass.Facts)
+
+	// Pass 1: //pool:alloc directives define the pooled types.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if kind, ok := docDirective(fd.Doc); ok && kind == "alloc" {
+				w.applyAlloc(pass, fd)
+			}
+			return true
+		})
+	}
+
+	// Pass 2: free/sink/borrow directives on functions and interface
+	// methods (their pooled parameter types are now known).
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if kind, ok := docDirective(d.Doc); ok && kind != "alloc" {
+					w.applyParamDirective(pass, d, kind)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						if kind, ok := docDirective(m.Doc); ok {
+							w.applyIfaceDirective(pass, m, kind)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: derive summaries for the rest, iterating to a fixpoint so
+	// facts flow through helper chains (Send -> transmit -> Enqueue).
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns = append(fns, fd)
+			}
+		}
+	}
+	for iter, changed := 0, true; changed && iter < 10; iter++ {
+		changed = false
+		for _, fd := range fns {
+			fn := funcObj(pass, fd)
+			if fn == nil {
+				continue
+			}
+			key := fn.FullName()
+			if old := w.Funcs[key]; old != nil && old.Directive {
+				continue
+			}
+			sum := w.derive(pass, fd, fn)
+			if !sum.equal(w.Funcs[key]) {
+				w.Funcs[key] = sum
+				changed = true
+			}
+		}
+	}
+	return nil
+}
+
+// applyAlloc records a //pool:alloc directive: the first result type
+// becomes pooled and the function an allocation site.
+func (w *World) applyAlloc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	fn := funcObj(pass, fd)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	key, ok := TypeKey(sig.Results().At(0).Type())
+	if !ok {
+		return
+	}
+	w.Pooled[key] = true
+	w.Funcs[fn.FullName()] = &Summary{Alloc: true, Directive: true, Params: map[int]Effect{}}
+}
+
+// applyParamDirective records a free/sink/borrow directive on a function:
+// every pooled pointer parameter gets the effect.
+func (w *World) applyParamDirective(pass *analysis.Pass, fd *ast.FuncDecl, kind string) {
+	fn := funcObj(pass, fd)
+	if fn == nil {
+		return
+	}
+	sum := w.paramSummary(fn, kind)
+	if sum != nil {
+		w.Funcs[fn.FullName()] = sum
+	}
+}
+
+// applyIfaceDirective records a directive on an interface method: the
+// contract is registered under the method's FullName for call sites, and
+// borrow contracts additionally under the bare method name so concrete
+// implementations can be held to them.
+func (w *World) applyIfaceDirective(pass *analysis.Pass, m *ast.Field, kind string) {
+	if len(m.Names) == 0 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Defs[m.Names[0]].(*types.Func)
+	if !ok {
+		return
+	}
+	sum := w.paramSummary(fn, kind)
+	if sum == nil {
+		return
+	}
+	w.Funcs[fn.FullName()] = sum
+	if kind != "borrow" {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sum.Params[i] != EffBorrow {
+			continue
+		}
+		key, _ := w.PooledParam(sig.Params().At(i).Type())
+		if w.BorrowMethods[fn.Name()] == nil {
+			w.BorrowMethods[fn.Name()] = make(map[int]string)
+		}
+		w.BorrowMethods[fn.Name()][i] = key
+	}
+}
+
+// paramSummary builds the directive summary for fn's pooled parameters.
+func (w *World) paramSummary(fn *types.Func, kind string) *Summary {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	eff := map[string]Effect{"free": EffFree, "sink": EffSink, "borrow": EffBorrow}[kind]
+	sum := &Summary{Directive: true, Params: make(map[int]Effect)}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if _, ok := w.PooledParam(sig.Params().At(i).Type()); ok {
+			sum.Params[i] = eff
+		}
+	}
+	if len(sum.Params) == 0 {
+		return nil
+	}
+	return sum
+}
+
+// funcObj resolves a FuncDecl to its types.Func.
+func funcObj(pass *analysis.Pass, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	return fn
+}
+
+// CalleeOf resolves the called function at a call site: a package function,
+// a method (concrete or interface), or nil for func-typed values, builtins
+// and conversions.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow walker
+// ---------------------------------------------------------------------------
+
+// vstate is the per-variable ownership state along one path.
+type vstate int
+
+const (
+	vUntracked vstate = iota // escaped or merged away: checking stops
+	vOwned                   // live pooled object this function must consume
+	vFreed                   // returned to the pool: any use is a bug
+	vStored                  // handed off: field reads stay legal, consuming again is a bug
+	vNil                     // proven nil on this path
+	vBorrowed                // borrowed parameter: must not be consumed or retained
+)
+
+// cell is the dataflow state of one tracked variable.
+type cell struct {
+	st       vstate
+	key      string    // pooled type key, for messages
+	allocPos token.Pos // alloc site (leak obligation); NoPos for parameters
+	eventPos token.Pos // where it was consumed (secondary position in reports)
+	consumed int       // consumptions along this path (derivation)
+	stored   bool      // ever sink-consumed (derivation flavor)
+	escaped  bool      // went untracked (derivation poisons the summary)
+}
+
+func (c *cell) clone() *cell { d := *c; return &d }
+
+// state maps variables (by types object, so shadowing resolves correctly)
+// to their cells.
+type state map[types.Object]*cell
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v.clone()
+	}
+	return out
+}
+
+// merge joins two branch outcomes: identical states keep, anything that
+// disagrees goes untracked (silence over false positives).
+func merge(a, b state) state {
+	out := make(state, len(a))
+	for obj, ca := range a {
+		cb, ok := b[obj]
+		if !ok {
+			continue // declared in one branch only: out of scope after it
+		}
+		if ca.st == cb.st {
+			m := ca.clone()
+			if cb.consumed > m.consumed {
+				m.consumed = cb.consumed
+			}
+			m.stored = ca.stored || cb.stored
+			m.escaped = ca.escaped || cb.escaped
+			out[obj] = m
+			continue
+		}
+		m := ca.clone()
+		m.st = vUntracked
+		m.escaped = true
+		out[obj] = m
+	}
+	return out
+}
+
+// Flow walks one function body. In derive mode (report nil) it records the
+// parameter cells at every non-panic exit; in check mode it reports leaks,
+// double-consumes, use-after-free and borrow violations.
+type Flow struct {
+	pass   *analysis.Pass
+	w      *World
+	report func(pos token.Pos, format string, args ...any) // nil in derive mode
+	exits  []state
+	leaked map[token.Pos]bool // alloc sites already reported (dedup across exits)
+}
+
+// NewFlow returns a checking walker reporting through report.
+func NewFlow(pass *analysis.Pass, w *World, report func(pos token.Pos, format string, args ...any)) *Flow {
+	return &Flow{pass: pass, w: w, report: report, leaked: make(map[token.Pos]bool)}
+}
+
+// derive analyzes fd and computes a summary for its pooled parameters.
+func (w *World) derive(pass *analysis.Pass, fd *ast.FuncDecl, fn *types.Func) *Summary {
+	sig := fn.Type().(*types.Signature)
+	sum := &Summary{Params: make(map[int]Effect)}
+	st := make(state)
+	var params []types.Object
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if key, ok := w.PooledParam(p.Type()); ok {
+			st[p] = &cell{st: vOwned, key: key}
+			params = append(params, p)
+		} else {
+			params = append(params, nil)
+		}
+	}
+	if len(st) == 0 {
+		return sum
+	}
+	fl := &Flow{pass: pass, w: w, leaked: make(map[token.Pos]bool)}
+	if fell := fl.stmts(fd.Body.List, st); fell {
+		fl.exit(st, nil)
+	}
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		sum.Params[i] = deriveEffect(fl.exits, p)
+	}
+	return sum
+}
+
+// deriveEffect folds the exit states of one parameter into an effect.
+func deriveEffect(exits []state, p types.Object) Effect {
+	seen := false
+	consumedAll, borrowedAll, stored := true, true, false
+	for _, ex := range exits {
+		c := ex[p]
+		if c == nil {
+			return EffUnknown
+		}
+		if c.escaped || c.st == vUntracked {
+			return EffUnknown
+		}
+		if c.st == vNil {
+			continue // a nil-guarded exit carries no obligation
+		}
+		seen = true
+		if c.consumed == 1 {
+			borrowedAll = false
+			stored = stored || c.stored
+		} else if c.consumed == 0 {
+			consumedAll = false
+		} else {
+			return EffUnknown // consumed twice on one path: never summarize that
+		}
+	}
+	switch {
+	case !seen:
+		return EffUnknown
+	case consumedAll && !borrowedAll:
+		if stored {
+			return EffSink
+		}
+		return EffFree
+	case borrowedAll:
+		return EffBorrow
+	default:
+		return EffUnknown
+	}
+}
+
+// Check walks fd in check mode: parameters start owned (or borrowed when a
+// directive or interface contract applies), alloc-call results are tracked
+// to every exit.
+func (fl *Flow) Check(fd *ast.FuncDecl) {
+	st := make(state)
+	fn := funcObj(fl.pass, fd)
+	if fn != nil {
+		sig := fn.Type().(*types.Signature)
+		own := fl.w.Funcs[fn.FullName()]
+		for i := 0; i < sig.Params().Len(); i++ {
+			p := sig.Params().At(i)
+			key, ok := fl.w.PooledParam(p.Type())
+			if !ok {
+				continue
+			}
+			c := &cell{st: vOwned, key: key}
+			if own != nil && own.Params[i] == EffBorrow {
+				c.st = vBorrowed
+			}
+			if fd.Recv != nil {
+				if bm, ok := fl.w.BorrowMethods[fn.Name()]; ok && bm[i] == key {
+					c.st = vBorrowed
+				}
+			}
+			st[p] = c
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+	if fell := fl.stmts(fd.Body.List, st); fell {
+		fl.exit(st, nil)
+	}
+}
+
+// exit handles one non-panic function exit: record for derivation, report
+// leaks in check mode. ret is the return statement (nil for falling off the
+// end).
+func (fl *Flow) exit(st state, ret *ast.ReturnStmt) {
+	if fl.report == nil {
+		fl.exits = append(fl.exits, st.clone())
+		return
+	}
+	pos := token.NoPos
+	if ret != nil {
+		pos = ret.Pos()
+	}
+	var leaks []*cell
+	for _, c := range st {
+		if c.st == vOwned && c.allocPos.IsValid() && !fl.leaked[c.allocPos] {
+			fl.leaked[c.allocPos] = true
+			leaks = append(leaks, c)
+		}
+	}
+	// st is a map; report in alloc-site order so output is deterministic.
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].allocPos < leaks[j].allocPos })
+	for _, c := range leaks {
+		where := "the end of the function"
+		if pos.IsValid() {
+			where = fmt.Sprintf("the return at %s", fl.pass.Fset.Position(pos))
+		}
+		fl.report(c.allocPos,
+			"pooled %s allocated here leaks: it is not freed or handed off on the path reaching %s",
+			shortKey(c.key), where)
+	}
+}
+
+// stmts walks a statement list; the returned bool reports whether control
+// can fall past the end of the list.
+func (fl *Flow) stmts(list []ast.Stmt, st state) bool {
+	for _, s := range list {
+		if !fl.stmt(s, st) {
+			return false
+		}
+		// Early-exit nil guard: after `if x == nil { return }`, x is
+		// non-nil (still owned) for the rest of the list — already the
+		// default, since the guard only refines the then-branch.
+	}
+	return true
+}
+
+// stmt walks one statement; false means control never continues past it.
+func (fl *Flow) stmt(s ast.Stmt, st state) bool {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		return fl.stmts(s.List, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			fl.escape(e, st) // returning an owned object transfers it out
+			fl.eval(e, st)
+		}
+		fl.exit(st, s)
+		return false
+	case *ast.IfStmt:
+		fl.stmt(s.Init, st)
+		fl.eval(s.Cond, st)
+		thenSt, elseSt := st.clone(), st.clone()
+		refineNil(s.Cond, thenSt, elseSt, fl.pass)
+		thenFell := fl.stmt(s.Body, thenSt)
+		elseFell := true
+		if s.Else != nil {
+			elseFell = fl.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenFell && elseFell:
+			replace(st, merge(thenSt, elseSt))
+		case thenFell:
+			replace(st, thenSt)
+		case elseFell:
+			replace(st, elseSt)
+		default:
+			return false
+		}
+	case *ast.AssignStmt:
+		fl.assign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, val := range vs.Values {
+						fl.eval(val, st)
+						if i < len(vs.Names) {
+							fl.trackBind(vs.Names[i], val, st)
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanic(call) {
+			for _, a := range call.Args {
+				fl.eval(a, st)
+			}
+			return false // panic exits carry no pool obligation
+		}
+		fl.eval(s.X, st)
+	case *ast.IncDecStmt:
+		fl.eval(s.X, st)
+	case *ast.SendStmt:
+		fl.eval(s.Chan, st)
+		fl.escape(s.Value, st)
+		fl.eval(s.Value, st)
+	case *ast.GoStmt:
+		fl.escapeCall(s.Call, st)
+	case *ast.DeferStmt:
+		fl.escapeCall(s.Call, st)
+	case *ast.LabeledStmt:
+		return fl.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: stop this path; the loop-conservatism below
+		// keeps the post-loop state sound.
+		return false
+	case *ast.ForStmt:
+		fl.stmt(s.Init, st)
+		if s.Cond != nil {
+			fl.eval(s.Cond, st)
+		}
+		fl.loopBody(s.Body, func(inner state) {
+			fl.stmt(s.Post, inner)
+		}, st, nil)
+	case *ast.RangeStmt:
+		fl.eval(s.X, st)
+		fl.loopBody(s.Body, nil, st, []ast.Expr{s.Key, s.Value})
+	case *ast.SwitchStmt:
+		fl.stmt(s.Init, st)
+		if s.Tag != nil {
+			fl.eval(s.Tag, st)
+		}
+		fl.switchBody(s.Body, st, hasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		fl.stmt(s.Init, st)
+		fl.stmt(s.Assign, st)
+		fl.switchBody(s.Body, st, hasDefault(s.Body))
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := st.clone()
+				fl.stmt(cc.Comm, inner)
+				fl.stmts(cc.Body, inner)
+			}
+		}
+		untrackChanged(st) // conservative: any branch may have run
+	case *ast.EmptyStmt:
+	}
+	return true
+}
+
+// loopBody analyzes a loop body once on a clone, then untracks every
+// variable the body touched: a second iteration could otherwise double-free
+// state the single pass thinks is settled.
+func (fl *Flow) loopBody(body *ast.BlockStmt, post func(state), st state, rangeVars []ast.Expr) {
+	inner := st.clone()
+	for _, e := range rangeVars {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := fl.pass.TypesInfo.Defs[id]; obj != nil {
+				if key, ok := fl.w.PooledParam(obj.Type()); ok {
+					// Range values over pooled collections are the
+					// collection's property, not ours: visible but untracked.
+					inner[obj] = &cell{st: vUntracked, key: key, escaped: true}
+				}
+			}
+		}
+	}
+	fl.stmts(body.List, inner)
+	if post != nil {
+		post(inner)
+	}
+	for obj, c := range st {
+		in := inner[obj]
+		if in == nil || in.st != c.st || in.consumed != c.consumed {
+			c.st = vUntracked
+			c.escaped = true
+		}
+	}
+}
+
+// switchBody merges every case branch (plus the fallthrough-less entry when
+// there is no default case).
+func (fl *Flow) switchBody(body *ast.BlockStmt, st state, hasDefault bool) {
+	var outs []state
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		inner := st.clone()
+		for _, e := range cc.List {
+			fl.eval(e, inner)
+		}
+		if fl.stmts(cc.Body, inner) {
+			outs = append(outs, inner)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st.clone())
+	}
+	if len(outs) == 0 {
+		// Every case exits; no merge needed, but the enclosing statement
+		// list continues only if there was an implicit no-match path —
+		// handled above. Leave st untouched.
+		return
+	}
+	acc := outs[0]
+	for _, o := range outs[1:] {
+		acc = merge(acc, o)
+	}
+	replace(st, acc)
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// assign handles tracking across assignment statements.
+func (fl *Flow) assign(s *ast.AssignStmt, st state) {
+	// Store-consume: a tracked value written into a field, slice, map or
+	// global hands ownership to the container.
+	for _, r := range s.Rhs {
+		fl.eval(r, st)
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, lhs := range s.Lhs {
+			rhs := s.Rhs[i]
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				fl.trackBind(l, rhs, st)
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				fl.eval(lhs, st)
+				if c := fl.lookup(rhs, st); c != nil {
+					fl.consume(c, EffSink, rhs.Pos(), exprString(rhs))
+				}
+				_ = l
+			}
+		}
+		return
+	}
+	// Multi-value assignment: targets leave tracking.
+	for _, lhs := range s.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := fl.objOf(id); obj != nil {
+				delete(st, obj)
+			}
+		}
+	}
+}
+
+// trackBind handles `x := rhs` / `x = rhs` for a plain identifier target.
+func (fl *Flow) trackBind(id *ast.Ident, rhs ast.Expr, st state) {
+	obj := fl.objOf(id)
+	if obj == nil {
+		return
+	}
+	// Alloc call: a fresh owned object.
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		if fn := CalleeOf(fl.pass.TypesInfo, call); fn != nil {
+			if sum := fl.w.Funcs[fn.FullName()]; sum != nil && sum.Alloc {
+				key, _ := TypeKey(fl.pass.TypeOf(id))
+				st[obj] = &cell{st: vOwned, key: key, allocPos: call.Pos()}
+				return
+			}
+		}
+	}
+	// Move: `a := pkt` transfers the cell, the source leaves tracking
+	// (linear ownership: exactly one name owns the object).
+	if src := fl.lookup(rhs, st); src != nil {
+		st[obj] = src.clone()
+		src.st = vUntracked
+		src.escaped = true
+		return
+	}
+	// Anything else (field read, nil, untracked call): the target is not a
+	// tracked owner.
+	if _, pooled := fl.w.PooledParam(fl.pass.TypeOf(id)); pooled {
+		delete(st, obj)
+	}
+}
+
+// consume transitions a cell through a free/sink effect, reporting
+// double-consume and borrow violations.
+func (fl *Flow) consume(c *cell, eff Effect, pos token.Pos, name string) {
+	verb := "freed"
+	if eff == EffSink {
+		verb = "handed off"
+	}
+	switch c.st {
+	case vOwned:
+		if eff == EffFree {
+			c.st = vFreed
+		} else {
+			c.st = vStored
+			c.stored = true
+		}
+		c.consumed++
+		c.eventPos = pos
+	case vFreed, vStored:
+		prev := "freed"
+		if c.st == vStored {
+			prev = "handed off"
+		}
+		fl.reportf(pos, "pooled %s %s is %s twice: already %s at %s",
+			shortKey(c.key), name, verb, prev, fl.pos(c.eventPos))
+		c.consumed++
+	case vBorrowed:
+		fl.reportf(pos, "pooled %s %s is borrowed (pool:borrow): it is only valid for the duration of this call and must not be %s",
+			shortKey(c.key), name, verb)
+		c.escaped = true
+		c.st = vUntracked
+	case vNil, vUntracked:
+		// Nothing to say: nil frees crash at runtime, untracked is silence.
+	}
+}
+
+// eval walks an expression, applying call effects and use-after checks.
+func (fl *Flow) eval(e ast.Expr, st state) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		fl.call(e, st)
+	case *ast.Ident:
+		fl.useCheck(e, st, false)
+	case *ast.SelectorExpr:
+		// Field read: legal on owned, borrowed and handed-off objects,
+		// a bug on freed ones.
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			fl.useCheck(id, st, true)
+			return
+		}
+		fl.eval(e.X, st)
+	case *ast.BinaryExpr:
+		fl.eval(e.X, st)
+		fl.eval(e.Y, st)
+	case *ast.UnaryExpr:
+		fl.eval(e.X, st)
+	case *ast.ParenExpr:
+		fl.eval(e.X, st)
+	case *ast.StarExpr:
+		fl.eval(e.X, st)
+	case *ast.IndexExpr:
+		fl.eval(e.X, st)
+		fl.eval(e.Index, st)
+	case *ast.SliceExpr:
+		fl.eval(e.X, st)
+	case *ast.TypeAssertExpr:
+		fl.eval(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			fl.escape(el, st)
+			fl.eval(el, st)
+		}
+	case *ast.KeyValueExpr:
+		fl.escape(e.Value, st)
+		fl.eval(e.Value, st)
+	case *ast.FuncLit:
+		fl.closure(e, st)
+	}
+}
+
+// call applies a callee's summary to its tracked arguments.
+func (fl *Flow) call(call *ast.CallExpr, st state) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 1 {
+		// append(container, pkt): the container takes ownership.
+		fl.eval(call.Args[0], st)
+		for _, a := range call.Args[1:] {
+			if c := fl.lookup(a, st); c != nil {
+				fl.consume(c, EffSink, a.Pos(), exprString(a))
+			} else {
+				fl.eval(a, st)
+			}
+		}
+		return
+	}
+	fl.eval(call.Fun, st)
+	fn := CalleeOf(fl.pass.TypesInfo, call)
+	var sum *Summary
+	if fn != nil {
+		sum = fl.w.Funcs[fn.FullName()]
+	}
+	for i, a := range call.Args {
+		c := fl.lookup(a, st)
+		if c == nil {
+			fl.eval(a, st)
+			continue
+		}
+		eff := EffUnknown
+		if sum != nil {
+			eff = sum.Params[i]
+		}
+		switch {
+		case eff.Consumes():
+			fl.consume(c, eff, a.Pos(), exprString(a))
+		case eff == EffBorrow:
+			fl.useCheckCell(c, a.Pos(), exprString(a))
+		default:
+			// No contract: stop tracking rather than guess.
+			c.st = vUntracked
+			c.escaped = true
+		}
+	}
+}
+
+// closure handles a func literal: captured tracked variables leave
+// tracking (the closure may run at any time), and in check mode the body is
+// checked as its own function scope.
+func (fl *Flow) closure(lit *ast.FuncLit, st state) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := fl.objOf(id); obj != nil {
+			if c, tracked := st[obj]; tracked {
+				c.st = vUntracked
+				c.escaped = true
+			}
+		}
+		return true
+	})
+	if fl.report != nil {
+		inner := make(state)
+		if fell := fl.stmts(lit.Body.List, inner); fell {
+			fl.exit(inner, nil)
+		}
+	}
+}
+
+// escape untracks a value that flows somewhere the engine cannot follow
+// (return values, channel sends, composite literals).
+func (fl *Flow) escape(e ast.Expr, st state) {
+	if c := fl.lookup(e, st); c != nil {
+		c.st = vUntracked
+		c.escaped = true
+	}
+}
+
+// escapeCall untracks everything a go/defer call touches: it runs later,
+// outside this path.
+func (fl *Flow) escapeCall(call *ast.CallExpr, st state) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := fl.objOf(id); obj != nil {
+				if c, tracked := st[obj]; tracked {
+					c.st = vUntracked
+					c.escaped = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// useCheck flags a read of a freed object. fieldRead permits reads on
+// handed-off objects (a container owns them now, but the bytes are valid —
+// the qdisc reads pkt.Size right after queueing pkt).
+func (fl *Flow) useCheck(id *ast.Ident, st state, fieldRead bool) {
+	obj := fl.objOf(id)
+	if obj == nil {
+		return
+	}
+	c, ok := st[obj]
+	if !ok {
+		return
+	}
+	if c.st == vFreed {
+		fl.reportf(id.Pos(), "use of pooled %s %s after it was freed at %s",
+			shortKey(c.key), id.Name, fl.pos(c.eventPos))
+		return
+	}
+	if c.st == vStored && !fieldRead {
+		// Passing the bare pointer onward after hand-off: stop tracking
+		// (the new owner may legally share it back).
+		c.st = vUntracked
+		c.escaped = true
+	}
+}
+
+// useCheckCell is useCheck for a cell already in hand (borrow-effect call
+// arguments).
+func (fl *Flow) useCheckCell(c *cell, pos token.Pos, name string) {
+	if c.st == vFreed {
+		fl.reportf(pos, "use of pooled %s %s after it was freed at %s",
+			shortKey(c.key), name, fl.pos(c.eventPos))
+	}
+}
+
+// lookup resolves e to a tracked cell (plain identifiers only: pooled
+// objects are pointers, so the identifier is the whole reference).
+func (fl *Flow) lookup(e ast.Expr, st state) *cell {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := fl.objOf(id)
+	if obj == nil {
+		return nil
+	}
+	return st[obj]
+}
+
+func (fl *Flow) objOf(id *ast.Ident) types.Object {
+	if obj := fl.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return fl.pass.TypesInfo.Defs[id]
+}
+
+func (fl *Flow) reportf(pos token.Pos, format string, args ...any) {
+	if fl.report != nil {
+		fl.report(pos, format, args...)
+	}
+}
+
+func (fl *Flow) pos(p token.Pos) string {
+	return fl.pass.Fset.Position(p).String()
+}
+
+// refineNil applies `x == nil` / `x != nil` conditions to the branch
+// states: the nil branch's cell becomes vNil (no obligation), the non-nil
+// branch keeps ownership.
+func refineNil(cond ast.Expr, thenSt, elseSt state, pass *analysis.Pass) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var x ast.Expr
+	nilThen := false
+	switch {
+	case be.Op == token.EQL && isNil(be.Y):
+		x, nilThen = be.X, true
+	case be.Op == token.EQL && isNil(be.X):
+		x, nilThen = be.Y, true
+	case be.Op == token.NEQ && isNil(be.Y):
+		x, nilThen = be.X, false
+	case be.Op == token.NEQ && isNil(be.X):
+		x, nilThen = be.Y, false
+	default:
+		return
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	target := thenSt
+	if !nilThen {
+		target = elseSt
+	}
+	if c, tracked := target[obj]; tracked {
+		c.st = vNil
+	}
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// replace overwrites dst's contents with src (the maps are shared with the
+// caller's view, so mutation must happen in place).
+func replace(dst, src state) {
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+		}
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// untrackChanged is the select-statement conservatism: with no way to know
+// which branch ran, everything consumed anywhere must leave tracking. The
+// model code has no selects on pooled paths; this is belt and braces.
+func untrackChanged(st state) {
+	for _, c := range st {
+		if c.consumed > 0 || c.st != vOwned {
+			c.st = vUntracked
+			c.escaped = true
+		}
+	}
+}
+
+// shortKey trims the package path off a pooled type key for messages.
+func shortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// exprString renders a small expression for diagnostics.
+func exprString(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return types.ExprString(e)
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"dclue/internal/lint/analysis"
+)
+
+// SARIF output (dcluevet -sarif FILE). The structs below are the minimal
+// subset of SARIF 2.1.0 that GitHub code scanning consumes via
+// codeql-action/upload-sarif: one run, a tool.driver with a rule per
+// analyzer, and one result per finding with a physical location. Paths are
+// emitted relative to the module root with %SRCROOT% as the uriBaseId,
+// which is what lets GitHub anchor annotations onto PR diffs regardless of
+// the runner's checkout directory.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. root is the module
+// root the finding positions are made relative to; suite supplies the rule
+// catalog (every analyzer is listed even when clean, so GitHub shows the
+// rule set that ran, not just the rules that fired).
+func WriteSARIF(w io.Writer, findings []Finding, suite []*analysis.Analyzer, root string) error {
+	rules := []sarifRule{{
+		// The "allow" pseudo-analyzer owns malformed and stale suppression
+		// directives (see internal/lint/analysis/allow.go).
+		ID:               "allow",
+		ShortDescription: sarifMessage{Text: "//lint:allow directives must be well-formed and must suppress something"},
+	}}
+	for _, a := range suite {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: firstSentence(a.Doc)},
+			FullDescription:  sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       sarifURI(f.Pos.Filename, root),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dcluevet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI makes a finding path repo-relative with forward slashes (SARIF
+// URIs are not OS paths). A path outside root is passed through as-is.
+func sarifURI(path, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+// firstSentence trims an analyzer doc to its invariant statement.
+func firstSentence(doc string) string {
+	if i := strings.Index(doc, ". "); i >= 0 {
+		return doc[:i+1]
+	}
+	return doc
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dclue/internal/lint/analyzers"
+)
+
+// TestWriteSARIF checks the properties GitHub code scanning depends on:
+// valid JSON in the 2.1.0 shape, a rule for every analyzer plus the "allow"
+// pseudo-rule, and finding locations rewritten repo-relative with forward
+// slashes under %SRCROOT%.
+func TestWriteSARIF(t *testing.T) {
+	root := filepath.Join("/", "work", "repo")
+	findings := []Finding{
+		{
+			Analyzer: "poolown",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "tcp", "tcp.go"), Line: 42, Column: 3},
+			Message:  "pooled tcp.segment allocated here leaks",
+		},
+		{
+			Analyzer: "eventid",
+			Pos:      token.Position{Filename: filepath.Join("/", "elsewhere", "x.go"), Line: 7, Column: 1},
+			Message:  "EventID field is armed here but the callback never zeroes it",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, findings, analyzers.All(), root); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 with 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dcluevet" {
+		t.Fatalf("driver name %q", run.Tool.Driver.Name)
+	}
+
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no short description", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"allow", "poolown", "eventid", "maporder"} {
+		if !ruleIDs[want] {
+			t.Errorf("rule catalog missing %q (have %v)", want, ruleIDs)
+		}
+	}
+	if len(run.Tool.Driver.Rules) != len(analyzers.All())+1 {
+		t.Errorf("%d rules for %d analyzers + allow", len(run.Tool.Driver.Rules), len(analyzers.All()))
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "poolown" || r0.Level != "error" {
+		t.Fatalf("result 0: ruleId %q level %q", r0.RuleID, r0.Level)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if got := loc.ArtifactLocation.URI; got != "internal/tcp/tcp.go" {
+		t.Fatalf("in-root URI %q, want repo-relative forward-slash path", got)
+	}
+	if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Fatalf("uriBaseId %q", loc.ArtifactLocation.URIBaseID)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 3 {
+		t.Fatalf("region %+v", loc.Region)
+	}
+	// A finding outside the root keeps its absolute path (slash form).
+	if got := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; !strings.HasSuffix(got, "elsewhere/x.go") || strings.HasPrefix(got, "..") {
+		t.Fatalf("out-of-root URI %q must pass through, not escape via ..", got)
+	}
+}

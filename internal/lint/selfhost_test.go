@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dclue/internal/lint/analysis"
+	"dclue/internal/lint/analyzers"
 )
 
 // moduleRoot locates the repository root (the directory holding go.mod).
@@ -35,6 +38,31 @@ func TestSelfHost(t *testing.T) {
 	}
 	if len(findings) > 0 {
 		t.Fatalf("dcluevet is not clean on its own repository: %d finding(s)", len(findings))
+	}
+}
+
+// TestSelfHostOwnershipOnly pins the acceptance gate the CI lint job uses:
+// the interprocedural ownership analyzers alone, run over the repository,
+// report nothing. Unlike TestSelfHost this exercises the -only path, where
+// summaries must still be collected from every package even though only two
+// analyzers run.
+func TestSelfHostOwnershipOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-host lint loads and type-checks the whole module")
+	}
+	findings, err := Run(Options{
+		Dir:       moduleRoot(t),
+		Patterns:  []string{"./..."},
+		Analyzers: []*analysis.Analyzer{analyzers.Poolown, analyzers.Eventid},
+	})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("ownership analyzers are not clean on their own repository: %d finding(s)", len(findings))
 	}
 }
 

@@ -55,6 +55,8 @@ type Endpoint interface {
 	// is only valid for the duration of the call: the network recycles it as
 	// soon as Deliver returns, so an endpoint that needs the contents later
 	// must copy them out (the payload itself may be retained).
+	//
+	//pool:borrow
 	Deliver(pkt *Packet)
 }
 
@@ -89,6 +91,27 @@ type Network struct {
 	// corrupted them in flight (modelling a checksum failure).
 	FaultDrops   uint64
 	CorruptDrops uint64
+
+	// AbandonedPayloads counts packets recycled with their payload still
+	// attached — the packet died in the fabric (dropped, lost, corrupted, or
+	// delivered to nobody) and whatever rode in it was never handed to an
+	// endpoint. The transport pool-balance test uses this as the runtime
+	// witness for the static ownership contract: every segment the sender
+	// put on the wire is either delivered or abandoned, never duplicated and
+	// never silently retained by the network.
+	AbandonedPayloads uint64
+
+	// pktAllocs/pktFrees audit the pool contract at run time; see
+	// PoolOutstanding.
+	pktAllocs, pktFrees int64
+}
+
+// PoolOutstanding reports how many pool-drawn packets are currently live
+// (allocated and not yet recycled). A quiesced network must read zero; a
+// positive residue means some path leaked a packet, the exact bug class the
+// poolown analyzer proves absent statically.
+func (n *Network) PoolOutstanding() int {
+	return int(n.pktAllocs - n.pktFrees)
 }
 
 // DelayTally accumulates end-to-end packet delays for one class.
@@ -115,8 +138,12 @@ func (n *Network) Sim() *sim.Sim { return n.sim }
 
 // AllocPacket draws a zeroed packet from the recycle pool. Senders that use
 // it avoid a per-packet allocation; Send also accepts packets allocated any
-// other way.
+// other way. The caller owns the result and must hand it to Send (or free
+// it) on every path.
+//
+//pool:alloc
 func (n *Network) AllocPacket() *Packet {
+	n.pktAllocs++
 	if ln := len(n.pktPool); ln > 0 {
 		pkt := n.pktPool[ln-1]
 		n.pktPool[ln-1] = nil
@@ -126,8 +153,16 @@ func (n *Network) AllocPacket() *Packet {
 	return &Packet{}
 }
 
-// freePacket recycles a dead packet (delivered or dropped).
+// freePacket recycles a dead packet (delivered or dropped). A payload
+// still attached here never reached its endpoint: the segment died with
+// the packet (see AbandonedPayloads).
+//
+//pool:free
 func (n *Network) freePacket(pkt *Packet) {
+	if pkt.Payload != nil {
+		n.AbandonedPayloads++
+	}
+	n.pktFrees++
 	*pkt = Packet{}
 	n.pktPool = append(n.pktPool, pkt)
 }
@@ -143,7 +178,11 @@ func (n *Network) NIC(addr Addr) *NIC {
 }
 
 // Send injects a packet from src's NIC toward its destination. It is the
-// single entry point used by the transport layer.
+// single entry point used by the transport layer; it takes ownership of the
+// packet, which dies somewhere in the fabric (delivered or dropped) and is
+// recycled there.
+//
+//pool:sink
 func (n *Network) Send(pkt *Packet) {
 	n.nextPktID++
 	pkt.ID = n.nextPktID
@@ -177,5 +216,9 @@ func (n *Network) deliver(pkt *Packet) {
 	t.N++
 	t.Sum += d
 	nic.endpoint.Deliver(pkt)
+	// The payload was handed to the endpoint (Deliver's borrow covers the
+	// packet; the payload transfers); detach it so freePacket does not count
+	// it abandoned.
+	pkt.Payload = nil
 	n.freePacket(pkt)
 }

@@ -100,7 +100,11 @@ func (q *Qdisc) Enqueue(pkt *Packet) {
 	}
 }
 
-// dequeue removes the next packet under the configured discipline.
+// dequeue removes the next packet under the configured discipline, handing
+// ownership back to the caller (the link), or nil when every class is
+// empty.
+//
+//pool:alloc
 func (q *Qdisc) dequeue() *Packet {
 	pkt := q.pick()
 	if pkt != nil && q.tel != nil {

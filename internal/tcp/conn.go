@@ -637,6 +637,22 @@ func (c *Conn) teardown(reset bool) {
 		c.state = stClosed
 	}
 	c.disarmRTO()
+	// Return any retained out-of-order segments to the pool: the reassembly
+	// gap they were waiting behind will never fill now. A closed connection
+	// never touches c.oob again (handleSegment returns before reassembly for
+	// stClosed/stReset), so freeing here cannot double-free. Keys are sorted
+	// so the pool's free-list order stays deterministic.
+	if len(c.oob) > 0 {
+		seqs := make([]int, 0, len(c.oob))
+		for seq := range c.oob {
+			seqs = append(seqs, seq)
+		}
+		sort.Ints(seqs)
+		for _, seq := range seqs {
+			c.stack.dom.freeSeg(c.oob[seq])
+		}
+		c.oob = nil
+	}
 	// Linger (TIME_WAIT) so late retransmissions from the peer still find
 	// us and get acked, then reap the connection state.
 	linger := 2 * c.stack.dom.cfg.MaxRTO

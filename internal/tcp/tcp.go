@@ -100,9 +100,14 @@ type Domain struct {
 	nextID uint64
 
 	// segPool recycles wire segments: the sender draws from the pool, the
-	// receiving stack returns each segment once it has been fully consumed
-	// (segments dropped in the fabric simply fall to the garbage collector).
+	// receiving stack returns each segment once it has been fully consumed.
+	// Segments dropped in the fabric fall to the garbage collector; the
+	// network counts each one in AbandonedPayloads, which is what keeps
+	// PoolOutstanding auditable after a faulted run.
 	segPool []*segment
+
+	// segAllocs/segFrees audit the pool contract; see PoolOutstanding.
+	segAllocs, segFrees int64
 
 	// Domain-wide statistics.
 	SegsSent     uint64
@@ -119,8 +124,20 @@ func NewDomain(n *netsim.Network, cfg Config) *Domain {
 	return &Domain{sim: n.Sim(), net: n, cfg: cfg}
 }
 
-// allocSeg draws a zeroed segment from the pool.
+// PoolOutstanding reports how many pool-drawn segments are live. After a
+// run in which every connection finished or was aborted, the only legal
+// residue is the segments the fabric dropped with their packets
+// (netsim.Network.AbandonedPayloads); anything beyond that is a leak.
+func (d *Domain) PoolOutstanding() int {
+	return int(d.segAllocs - d.segFrees)
+}
+
+// allocSeg draws a zeroed segment from the pool; the caller owns it and
+// must send it or free it on every path.
+//
+//pool:alloc
 func (d *Domain) allocSeg() *segment {
+	d.segAllocs++
 	if n := len(d.segPool); n > 0 {
 		seg := d.segPool[n-1]
 		d.segPool[n-1] = nil
@@ -131,7 +148,10 @@ func (d *Domain) allocSeg() *segment {
 }
 
 // freeSeg recycles a fully-consumed segment, keeping its sack buffer.
+//
+//pool:free
 func (d *Domain) freeSeg(seg *segment) {
+	d.segFrees++
 	sacks := seg.sacks[:0]
 	*seg = segment{}
 	seg.sacks = sacks
@@ -266,7 +286,13 @@ func (s *Stack) handleSYN(seg *segment, from netsim.Addr) {
 }
 
 // sendSegment stamps the frame and pushes it through send-side processing
-// onto the wire.
+// onto the wire. It takes ownership of the segment: after protocol
+// processing it rides a packet into the fabric, where it is either
+// delivered to the peer stack (which frees or retains it) or dies with the
+// packet. The hand-off happens through a processor continuation the
+// ownership engine cannot follow, hence the explicit contract.
+//
+//pool:sink
 func (s *Stack) sendSegment(seg *segment, to netsim.Addr) {
 	s.dom.SegsSent++
 	seg.from = s.addr
